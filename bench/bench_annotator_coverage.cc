@@ -1,0 +1,90 @@
+// E6 — §4.5.3 annotator comparison (in-text numbers): "the original
+// taxonomy annotator does not recognize any taxonomy concepts in 2530 out
+// of the 7500 data bundles, but the new annotator finds concepts in all of
+// these." The optimized trie annotator is also faster, finds more concept
+// mentions overall (higher recall), and captures multiwords correctly.
+
+#include <chrono>
+#include <cstdio>
+
+#include "cas/annotators.h"
+#include "cas/cas.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "taxonomy/concept_annotator.h"
+
+int main() {
+  qatk::datagen::DomainWorld world;
+  qatk::datagen::OemCorpusGenerator generator(&world);
+  qatk::kb::Corpus corpus = generator.Generate();
+
+  qatk::cas::TokenizerAnnotator tokenizer;
+  qatk::tax::TrieConceptAnnotator trie_annotator(world.taxonomy());
+  qatk::tax::LegacyConceptAnnotator legacy_annotator(world.taxonomy());
+
+  struct Stats {
+    size_t zero_concept_bundles = 0;
+    size_t total_mentions = 0;
+    double seconds = 0;
+  };
+  Stats trie_stats;
+  Stats legacy_stats;
+  size_t trie_rescues = 0;  // Legacy-empty bundles where the trie finds some.
+
+  using Clock = std::chrono::steady_clock;
+  for (const qatk::kb::DataBundle& bundle : corpus.bundles) {
+    // Report text only: the annotator comparison concerns the messy
+    // free-text reports, not the standardized description catalogs.
+    constexpr unsigned kReportsOnly =
+        qatk::kb::kMechanicReport | qatk::kb::kInitialReport |
+        qatk::kb::kSupplierReport | qatk::kb::kFinalReport;
+    std::string doc = qatk::kb::ComposeDocument(bundle, kReportsOnly, corpus);
+
+    qatk::cas::Cas trie_cas(doc);
+    tokenizer.Process(&trie_cas).Abort();
+    auto t0 = Clock::now();
+    trie_annotator.Process(&trie_cas).Abort();
+    auto t1 = Clock::now();
+    trie_stats.seconds += std::chrono::duration<double>(t1 - t0).count();
+    size_t trie_found = trie_cas.CountType(qatk::cas::types::kConcept);
+    trie_stats.total_mentions += trie_found;
+    if (trie_found == 0) ++trie_stats.zero_concept_bundles;
+
+    qatk::cas::Cas legacy_cas(doc);
+    tokenizer.Process(&legacy_cas).Abort();
+    auto t2 = Clock::now();
+    legacy_annotator.Process(&legacy_cas).Abort();
+    auto t3 = Clock::now();
+    legacy_stats.seconds += std::chrono::duration<double>(t3 - t2).count();
+    size_t legacy_found = legacy_cas.CountType(qatk::cas::types::kConcept);
+    legacy_stats.total_mentions += legacy_found;
+    if (legacy_found == 0) {
+      ++legacy_stats.zero_concept_bundles;
+      if (trie_found > 0) ++trie_rescues;
+    }
+  }
+
+  size_t n = corpus.bundles.size();
+  std::printf("E6 / §4.5.3 — legacy vs optimized concept annotator over "
+              "%zu bundles\n\n", n);
+  std::printf("%-38s %14s %14s\n", "", "legacy", "trie (ours)");
+  std::printf("%-38s %14zu %14zu\n", "bundles with zero concepts",
+              legacy_stats.zero_concept_bundles,
+              trie_stats.zero_concept_bundles);
+  std::printf("%-38s %14zu %14zu\n", "total concept mentions",
+              legacy_stats.total_mentions, trie_stats.total_mentions);
+  std::printf("%-38s %14.1f %14.1f\n", "annotation time per bundle (us)",
+              legacy_stats.seconds * 1e6 / static_cast<double>(n),
+              trie_stats.seconds * 1e6 / static_cast<double>(n));
+  std::printf("\npaper: legacy finds no concepts in 2530/7500 bundles; the "
+              "new annotator finds concepts in all of these.\n");
+  std::printf("measured: legacy empty on %zu bundles; trie rescues %zu of "
+              "them (%s).\n",
+              legacy_stats.zero_concept_bundles, trie_rescues,
+              trie_rescues == legacy_stats.zero_concept_bundles
+                  ? "all"
+                  : "not all");
+  std::printf("trie size: %zu nodes, %zu synonym entries\n",
+              trie_annotator.trie_nodes(), trie_annotator.trie_entries());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E7 — reproduces the §3.2 data profile (in-text numbers):
+//   7,500 data bundles; 31 part ids; 831 article codes; 1,271 distinct
+//   error codes of which 718 are singletons -> 553 classes over 6,782
+//   learnable bundles; max 146 codes per part id; 25 of 31 part ids with
+//   instances of over 10 error codes; ~70 words and ~26 concept mentions
+//   per combined text (§4.3).
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/features.h"
+
+namespace {
+
+using qatk::datagen::DomainWorld;
+using qatk::datagen::OemConfig;
+using qatk::datagen::OemCorpusGenerator;
+
+void Row(const char* label, double paper, double measured) {
+  std::printf("%-46s %10.1f %10.1f\n", label, paper, measured);
+}
+
+}  // namespace
+
+int main() {
+  DomainWorld world;
+  OemCorpusGenerator generator(&world, OemConfig());
+  qatk::kb::Corpus corpus = generator.Generate();
+
+  std::set<std::string> parts;
+  std::set<std::string> articles;
+  std::map<std::string, size_t> code_counts;
+  std::map<std::string, std::set<std::string>> codes_per_part;
+  for (const qatk::kb::DataBundle& b : corpus.bundles) {
+    parts.insert(b.part_id);
+    articles.insert(b.article_code);
+    ++code_counts[b.error_code];
+    codes_per_part[b.part_id].insert(b.error_code);
+  }
+  size_t singletons = 0;
+  for (const auto& [code, count] : code_counts) {
+    if (count == 1) ++singletons;
+  }
+  size_t max_codes_per_part = 0;
+  size_t parts_over_10 = 0;
+  for (const auto& [part, codes] : codes_per_part) {
+    max_codes_per_part = std::max(max_codes_per_part, codes.size());
+    if (codes.size() > 10) ++parts_over_10;
+  }
+  std::vector<const qatk::kb::DataBundle*> learnable =
+      corpus.LearnableBundles();
+  std::set<std::string> classes;
+  for (const qatk::kb::DataBundle* b : learnable) {
+    classes.insert(b->error_code);
+  }
+
+  // Mention statistics over the combined (train-time) document.
+  qatk::kb::FeatureVocabulary vocabulary;
+  qatk::kb::FeatureExtractor words(qatk::kb::FeatureModel::kBagOfWords,
+                                   nullptr, &vocabulary);
+  qatk::kb::FeatureVocabulary unused;
+  qatk::kb::FeatureExtractor concepts(
+      qatk::kb::FeatureModel::kBagOfConcepts, &world.taxonomy(), &unused);
+  double word_mentions = 0;
+  double concept_mentions = 0;
+  size_t sampled = 0;
+  for (size_t i = 0; i < corpus.bundles.size(); i += 10) {
+    std::string doc = qatk::kb::ComposeDocument(
+        corpus.bundles[i], qatk::kb::kTrainSources, corpus);
+    words.Extract(doc).status().Abort();
+    word_mentions += static_cast<double>(words.last_mention_count());
+    concepts.Extract(doc).status().Abort();
+    concept_mentions += static_cast<double>(concepts.last_mention_count());
+    ++sampled;
+  }
+  word_mentions /= static_cast<double>(sampled);
+  concept_mentions /= static_cast<double>(sampled);
+
+  std::printf("E7: corpus profile (paper §3.2 / §4.3 vs. generated)\n");
+  std::printf("%-46s %10s %10s\n", "statistic", "paper", "measured");
+  Row("data bundles", 7500, static_cast<double>(corpus.bundles.size()));
+  Row("distinct part ids", 31, static_cast<double>(parts.size()));
+  Row("distinct article codes", 831, static_cast<double>(articles.size()));
+  Row("distinct error codes", 1271,
+      static_cast<double>(code_counts.size()));
+  Row("singleton error codes", 718, static_cast<double>(singletons));
+  Row("classes after singleton removal", 553,
+      static_cast<double>(classes.size()));
+  Row("learnable bundles", 6782, static_cast<double>(learnable.size()));
+  Row("max error codes for one part id", 146,
+      static_cast<double>(max_codes_per_part));
+  Row("part ids with >10 error codes", 25,
+      static_cast<double>(parts_over_10));
+  Row("avg word mentions per text", 70, word_mentions);
+  Row("avg concept mentions per text", 26, concept_mentions);
+  Row("taxonomy concepts with German synonyms",
+      1800, static_cast<double>(world.taxonomy().CountWithLanguage(
+                qatk::text::Language::kGerman)));
+  Row("taxonomy concepts with English synonyms",
+      1900, static_cast<double>(world.taxonomy().CountWithLanguage(
+                qatk::text::Language::kEnglish)));
+  return 0;
+}

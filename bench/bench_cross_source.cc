@@ -1,0 +1,115 @@
+// A4 (ours) — cross-source robustness, quantifying the §5.4 claim: "the
+// bag-of-words approach suffers in accuracy as soon as test and training
+// data are different text types or in different languages, whereas the
+// bag-of-concepts approach is in principle independent of the document
+// language or other text features."
+//
+// Both models are trained on the OEM corpus and then classify (a) held-in
+// OEM test documents and (b) NHTSA consumer complaints sharing the same
+// latent error causes but written in a different register with none of
+// the supplier cause vocabulary. Shape: BoW collapses across sources,
+// BoC retains most of its accuracy.
+
+#include <cstdio>
+
+#include "common/strutil.h"
+#include "core/classifier.h"
+#include "datagen/nhtsa.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/features.h"
+#include "kb/knowledge_base.h"
+
+namespace {
+
+using qatk::kb::FeatureModel;
+
+struct SourceAccuracy {
+  double in_domain_a1 = 0;
+  double in_domain_a10 = 0;
+  double cross_a1 = 0;
+  double cross_a10 = 0;
+};
+
+}  // namespace
+
+int main() {
+  qatk::datagen::DomainWorld world;
+  qatk::datagen::OemCorpusGenerator oem_generator(&world);
+  qatk::kb::Corpus corpus = oem_generator.Generate();
+  qatk::datagen::NhtsaComplaintGenerator nhtsa_generator(&world);
+  auto complaints = nhtsa_generator.Generate();
+  auto learnable = corpus.LearnableBundles();
+
+  std::printf("A4 — cross-source robustness (train: OEM, test: OEM vs "
+              "NHTSA complaints)\n\n");
+  std::printf("%-22s %10s %10s %12s %12s %10s\n", "model", "OEM A@1",
+              "OEM A@10", "NHTSA A@1", "NHTSA A@10", "A@1 kept");
+
+  for (FeatureModel model :
+       {FeatureModel::kBagOfWords, FeatureModel::kBagOfConcepts}) {
+    qatk::kb::FeatureVocabulary vocabulary;
+    qatk::kb::FeatureExtractor extractor(model, &world.taxonomy(),
+                                         &vocabulary);
+    qatk::kb::KnowledgeBase knowledge;
+    // Hold out every 5th bundle as the in-domain test set.
+    for (size_t i = 0; i < learnable.size(); ++i) {
+      if (i % 5 == 0) continue;
+      auto features = extractor.Extract(qatk::kb::ComposeDocument(
+          *learnable[i], qatk::kb::kTrainSources, corpus));
+      features.status().Abort();
+      knowledge.AddInstance(learnable[i]->part_id, learnable[i]->error_code,
+                            features.MoveValueUnsafe());
+    }
+    extractor.set_frozen_vocabulary(true);
+    qatk::core::RankedKnnClassifier classifier;
+
+    SourceAccuracy acc;
+    size_t in_n = 0;
+    size_t in_hit1 = 0;
+    size_t in_hit10 = 0;
+    for (size_t i = 0; i < learnable.size(); i += 5) {
+      auto features = extractor.Extract(qatk::kb::ComposeDocument(
+          *learnable[i], qatk::kb::kTestSources, corpus));
+      features.status().Abort();
+      auto ranked = classifier.Classify(knowledge, learnable[i]->part_id,
+                                        *features);
+      size_t rank = qatk::core::RankOf(ranked, learnable[i]->error_code);
+      ++in_n;
+      if (rank == 1) ++in_hit1;
+      if (rank >= 1 && rank <= 10) ++in_hit10;
+    }
+    acc.in_domain_a1 = static_cast<double>(in_hit1) / in_n;
+    acc.in_domain_a10 = static_cast<double>(in_hit10) / in_n;
+
+    size_t x_n = 0;
+    size_t x_hit1 = 0;
+    size_t x_hit10 = 0;
+    for (const auto& complaint : complaints) {
+      auto features = extractor.Extract(complaint.narrative);
+      features.status().Abort();
+      auto ranked =
+          classifier.Classify(knowledge, complaint.part_id, *features);
+      size_t rank = qatk::core::RankOf(ranked, complaint.latent_error_code);
+      ++x_n;
+      if (rank == 1) ++x_hit1;
+      if (rank >= 1 && rank <= 10) ++x_hit10;
+    }
+    acc.cross_a1 = static_cast<double>(x_hit1) / x_n;
+    acc.cross_a10 = static_cast<double>(x_hit10) / x_n;
+
+    std::printf("%-22s %10s %10s %12s %12s %9s%%\n",
+                qatk::kb::FeatureModelToString(model),
+                qatk::FormatDouble(acc.in_domain_a1, 3).c_str(),
+                qatk::FormatDouble(acc.in_domain_a10, 3).c_str(),
+                qatk::FormatDouble(acc.cross_a1, 3).c_str(),
+                qatk::FormatDouble(acc.cross_a10, 3).c_str(),
+                qatk::FormatDouble(
+                    100.0 * acc.cross_a1 / std::max(1e-9, acc.in_domain_a1),
+                    0)
+                    .c_str());
+  }
+  std::printf("\n(shape: bag-of-words retains far less of its in-domain "
+              "accuracy on the foreign text type than bag-of-concepts)\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// E2 — Figure 12: Experiment 2a, point of entry. Knowledge bases stay
+// trained on all reports; test bundles are reduced to the mechanic report
+// only. Paper anchors (shape): ALL four classifier variants fall below the
+// code-frequency baseline (A@1 between 16% and 29% vs the baseline's 35%),
+// with bag-of-words still slightly ahead of bag-of-concepts — the mechanic
+// report alone does not carry enough signal for an earlier entry point.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  return qatk::benchutil::RunFigureBench(
+      "E2 / Figure 12 — Experiment 2a: mechanic reports only",
+      qatk::kb::kMechanicOnly, argc > 1 ? argv[1] : nullptr);
+}

@@ -1,0 +1,13 @@
+// E3 — Figure 13: Experiment 2b, point of entry. Knowledge bases stay
+// trained on all reports; test bundles are reduced to the supplier report
+// only. Paper anchors (shape): accuracies nearly as good as with all
+// reports — BoW+Jaccard A@1 ~78%, >90% from k=5 (BoW) / k=10 (BoC); the
+// BoC+overlap curve closely resembles the code-frequency baseline.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  return qatk::benchutil::RunFigureBench(
+      "E3 / Figure 13 — Experiment 2b: supplier reports only",
+      qatk::kb::kSupplierOnly, argc > 1 ? argv[1] : nullptr);
+}

@@ -1,0 +1,66 @@
+// E4 — §5.2.2 runtime feasibility (in-text numbers). The paper reports,
+// per classified bundle: bag-of-words ~0.5 s, bag-of-words after stopword
+// removal ~0.3 s (accuracy unchanged), bag-of-concepts ~0.14 s — i.e. the
+// domain-specific model is >3x faster than the domain-ignorant one, which
+// is what makes it the industrially feasible choice despite its lower
+// accuracy. Absolute numbers are not comparable (their stack was Java +
+// an external RDBMS); the SHAPE to check is the ordering and the ratio,
+// plus "removing stopwords ... has no impact on the accuracy of
+// classification, but shortens the runtime".
+
+#include <cstdio>
+
+#include "common/strutil.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "eval/evaluator.h"
+
+int main() {
+  qatk::datagen::DomainWorld world;
+  qatk::datagen::OemCorpusGenerator generator(&world);
+  qatk::kb::Corpus corpus = generator.Generate();
+
+  qatk::eval::Evaluator evaluator(&world.taxonomy(), &corpus);
+  qatk::eval::EvalConfig config;
+  config.probe_masks = {qatk::kb::kTestSources};
+  config.variants = {
+      {qatk::kb::FeatureModel::kBagOfWords,
+       qatk::core::SimilarityMeasure::kJaccard},
+      {qatk::kb::FeatureModel::kBagOfWordsNoStop,
+       qatk::core::SimilarityMeasure::kJaccard},
+      {qatk::kb::FeatureModel::kBagOfConcepts,
+       qatk::core::SimilarityMeasure::kJaccard},
+  };
+  config.include_candidate_baseline = false;
+  config.include_frequency_baseline = false;
+  auto report = evaluator.Run(config);
+  report.status().Abort();
+
+  std::printf("E4 / §5.2.2 — runtime feasibility per classified bundle\n\n");
+  std::printf("%-42s %8s %8s %10s %12s %12s\n", "variant", "A@1", "A@10",
+              "us/bundle", "candidates", "paper s/bndl");
+  const char* paper[] = {"0.50", "0.30", "0.14"};
+  const char* names[] = {"bag-of-words + jaccard",
+                         "bag-of-words-nostop + jaccard",
+                         "bag-of-concepts + jaccard"};
+  double bow_us = 0;
+  double boc_us = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto curve = report->Find(names[i], qatk::kb::kTestSources);
+    curve.status().Abort();
+    std::printf("%-42s %8s %8s %10s %12s %12s\n", names[i],
+                qatk::FormatDouble((*curve)->accuracy_at[0], 3).c_str(),
+                qatk::FormatDouble((*curve)->accuracy_at[2], 3).c_str(),
+                qatk::FormatDouble((*curve)->micros_per_bundle, 1).c_str(),
+                qatk::FormatDouble((*curve)->mean_candidates, 1).c_str(),
+                paper[i]);
+    if (i == 0) bow_us = (*curve)->micros_per_bundle;
+    if (i == 2) boc_us = (*curve)->micros_per_bundle;
+  }
+  std::printf("\nbag-of-words / bag-of-concepts runtime ratio: measured "
+              "%.1fx, paper ~3.6x (0.5s / 0.14s)\n",
+              bow_us / boc_us);
+  std::printf("(shape check: BoC fastest; stopword removal speeds up BoW "
+              "without changing accuracy)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef QATK_BENCH_BENCH_UTIL_H_
+#define QATK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/strutil.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "eval/evaluator.h"
+
+namespace qatk::benchutil {
+
+/// Runs the standard 5-fold evaluation for one probe mask and prints the
+/// paper-style table; optionally writes the CSV series to `csv_path`.
+inline int RunFigureBench(const char* title, unsigned probe_mask,
+                          const char* csv_path) {
+  datagen::DomainWorld world;
+  datagen::OemCorpusGenerator generator(&world);
+  kb::Corpus corpus = generator.Generate();
+
+  eval::Evaluator evaluator(&world.taxonomy(), &corpus);
+  eval::EvalConfig config;
+  config.probe_masks = {probe_mask};
+  auto report = evaluator.Run(config);
+  report.status().Abort();
+
+  std::printf("%s\n\n%s\n", title, report->FormatTable(probe_mask).c_str());
+
+  if (csv_path != nullptr) {
+    std::ofstream csv_file(csv_path);
+    CsvWriter csv(&csv_file);
+    std::vector<std::string> header = {"variant"};
+    for (size_t k : report->ks) header.push_back("a@" + std::to_string(k));
+    csv.WriteRow(header);
+    for (const auto* curve : report->CurvesFor(probe_mask)) {
+      std::vector<std::string> row = {curve->name};
+      for (double a : curve->accuracy_at) row.push_back(FormatDouble(a, 4));
+      csv.WriteRow(row);
+    }
+    std::printf("series written to %s\n", csv_path);
+  }
+  return 0;
+}
+
+}  // namespace qatk::benchutil
+
+#endif  // QATK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// QDB mini-shell: the embedded relational substrate standing alone.
+// Pipes a canned demo script by default; with arguments, opens/creates a
+// database file and executes statements from stdin (one per line).
+//
+// Run: ./build/examples/qdb_shell
+//      ./build/examples/qdb_shell /tmp/my.qdb   (then type SQL, Ctrl-D ends)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "storage/database.h"
+#include "storage/sql.h"
+
+namespace {
+
+int RunDemo() {
+  auto db = qatk::db::Database::OpenInMemory();
+  db.status().Abort();
+  qatk::db::SqlSession session(db->get());
+  const char* script[] = {
+      "CREATE TABLE parts (part_id STRING, error_code STRING, qty INT, "
+      "weight DOUBLE)",
+      "CREATE INDEX parts_by_id ON parts (part_id)",
+      "INSERT INTO parts VALUES ('P01', 'E100', 4, 1.5), "
+      "('P01', 'E100', 2, 1.5), ('P01', 'E200', 7, 0.8), "
+      "('P02', 'E300', 1, 12.25), ('P02', 'E300', 3, 12.25)",
+      "SELECT * FROM parts WHERE part_id = 'P01'",
+      "SELECT error_code, COUNT(*) AS n, SUM(qty) AS total FROM parts "
+      "GROUP BY error_code ORDER BY n DESC",
+      "DELETE FROM parts WHERE qty < 2",
+      "SELECT COUNT(*) AS remaining FROM parts",
+  };
+  for (const char* sql : script) {
+    std::printf("qdb> %s\n", sql);
+    auto result = session.Execute(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result->ToString().c_str());
+  }
+  return 0;
+}
+
+int RunInteractive(const std::string& path) {
+  auto db = qatk::db::Database::OpenFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  qatk::db::SqlSession session(db->get());
+  std::string line;
+  std::printf("qdb shell on %s — one statement per line, Ctrl-D to exit\n",
+              path.c_str());
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto result = session.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString().c_str());
+  }
+  auto checkpoint = (*db)->Checkpoint();
+  if (!checkpoint.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n",
+                 checkpoint.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return RunInteractive(argv[1]);
+  return RunDemo();
+}

@@ -1,0 +1,105 @@
+// Quality-engineering workflow: the full QUEST loop on a realistic corpus.
+//
+//   ingest   -> persist raw bundles in QDB (the relational substrate)
+//   train    -> build + persist the knowledge base
+//   work     -> a quality expert processes incoming parts: top-10
+//               recommendations, full-list fallback, final assignment,
+//               defining a brand-new error code
+//   report   -> SQL over the stored recommendations
+//
+// Run: ./build/examples/quality_workflow
+
+#include <cstdio>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/kb_store.h"
+#include "quest/recommendation_service.h"
+#include "storage/database.h"
+#include "storage/sql.h"
+
+int main() {
+  // --- Ingest: generate the messy corpus and persist it relationally.
+  qatk::datagen::WorldConfig world_config;
+  world_config.num_parts = 10;
+  world_config.num_article_codes = 120;
+  world_config.num_error_codes = 220;
+  world_config.max_codes_largest_part = 60;
+  world_config.num_components = 160;
+  world_config.num_symptoms = 140;
+  world_config.num_locations = 40;
+  world_config.num_solutions = 40;
+  qatk::datagen::DomainWorld world(world_config);
+  qatk::datagen::OemConfig oem_config;
+  oem_config.num_bundles = 1500;
+  qatk::datagen::OemCorpusGenerator generator(&world, oem_config);
+  qatk::kb::Corpus corpus = generator.Generate();
+
+  auto db = qatk::db::Database::OpenInMemory(2048);
+  db.status().Abort();
+  qatk::kb::KbStore store(db->get(), "oem");
+  store.SaveCorpus(corpus).Abort();
+  std::printf("ingested %zu bundles into QDB\n", corpus.bundles.size());
+
+  // --- Train the recommendation service (bag-of-concepts: the
+  //     industrially feasible configuration per §5.2.2).
+  qatk::quest::RecommendationService service(&world.taxonomy(), {});
+  service.Train(corpus).Abort();
+  std::printf("knowledge base: %zu nodes from %zu instances\n\n",
+              service.knowledge().num_nodes(),
+              service.knowledge().num_instances());
+
+  // --- The expert's queue: three incoming parts (we reuse stored bundles
+  //     and pretend their final code is not yet assigned).
+  const char* queue[] = {"REF000007", "REF000321", "REF000900"};
+  for (const char* ref : queue) {
+    auto bundle = store.FindBundle(ref);
+    bundle.status().Abort();
+    std::string truth = bundle->error_code;
+    bundle->error_code.clear();       // Not yet coded.
+    bundle->final_oem_report.clear();  // Not yet written.
+
+    auto recommendation = service.Recommend(*bundle);
+    recommendation.status().Abort();
+    std::printf("[%s] part %s — top %zu suggestions:\n", ref,
+                bundle->part_id.c_str(), recommendation->top.size());
+    size_t shown = std::min<size_t>(5, recommendation->top.size());
+    for (size_t i = 0; i < shown; ++i) {
+      const auto& scored = recommendation->top[i];
+      std::printf("    %zu. %-7s %.3f%s\n", i + 1,
+                  scored.error_code.c_str(), scored.score,
+                  scored.error_code == truth ? "   <- expert confirms" : "");
+    }
+    size_t rank = qatk::core::RankOf(recommendation->top, truth);
+    if (rank == 0) {
+      std::printf("    correct code %s not in top-10; expert opens the "
+                  "full list (%zu codes for this part)\n",
+                  truth.c_str(),
+                  service.FullListForPart(bundle->part_id).size());
+    }
+    // Persist the scored suggestions (§4.4 step 3c).
+    std::vector<std::pair<std::string, double>> scored;
+    for (const auto& s : recommendation->top) {
+      scored.emplace_back(s.error_code, s.score);
+    }
+    store.SaveRecommendations(ref, scored).Abort();
+    std::printf("\n");
+  }
+
+  // --- A novel failure mode: the expert defines a new error code.
+  service.DefineErrorCode("P01", "E9999", "novel water ingress at connector")
+      .Abort();
+  std::printf("defined new error code E9999 for part P01; full list now "
+              "has %zu entries\n\n",
+              service.FullListForPart("P01").size());
+
+  // --- Reporting: plain SQL over the persisted recommendations.
+  qatk::db::SqlSession session(db->get());
+  auto result = session.Execute(
+      "SELECT ref, error_code, score FROM oem_results WHERE rank = 0 "
+      "ORDER BY score DESC");
+  result.status().Abort();
+  std::printf("top-1 recommendations stored in QDB:\n%s",
+              result->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,238 @@
+// QUEST terminal client: the text-mode stand-in for the paper's web app
+// (§4.5.4). Drives the same backend the web UI would: bundle lookup,
+// top-10 recommendations with full-list fallback, final code assignment
+// persisted to QDB, error-code creation, and the data-comparison screen.
+//
+// Run: ./build/examples/quest_cli           (scripted demo session)
+//      ./build/examples/quest_cli -i        (interactive; `help` lists cmds)
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/strutil.h"
+#include "datagen/nhtsa.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/kb_store.h"
+#include "quest/comparison.h"
+#include "quest/recommendation_service.h"
+#include "storage/database.h"
+
+namespace {
+
+/// Holds the trained backend and executes one command per line.
+class QuestSession {
+ public:
+  QuestSession() {
+    world_ = std::make_unique<qatk::datagen::DomainWorld>();
+    qatk::datagen::OemCorpusGenerator generator(world_.get());
+    corpus_ = generator.Generate();
+    db_ = qatk::db::Database::OpenInMemory(4096).MoveValueUnsafe();
+    store_ = std::make_unique<qatk::kb::KbStore>(db_.get(), "oem");
+    store_->SaveCorpus(corpus_).Abort();
+    service_ = std::make_unique<qatk::quest::RecommendationService>(
+        &world_->taxonomy(),
+        qatk::quest::RecommendationService::Options{});
+    service_->Train(corpus_).Abort();
+    std::printf("QUEST ready: %zu bundles, %zu knowledge nodes\n\n",
+                corpus_.bundles.size(), service_->knowledge().num_nodes());
+  }
+
+  /// Executes one command line; returns false on `quit`.
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "view") {
+      std::string ref;
+      in >> ref;
+      View(ref);
+    } else if (command == "recommend") {
+      std::string ref;
+      in >> ref;
+      Recommend(ref);
+    } else if (command == "codes") {
+      std::string part;
+      in >> part;
+      Codes(part);
+    } else if (command == "assign") {
+      std::string ref;
+      std::string code;
+      in >> ref >> code;
+      Assign(ref, code);
+    } else if (command == "newcode") {
+      std::string part;
+      std::string code;
+      in >> part >> code;
+      std::string description;
+      std::getline(in, description);
+      NewCode(part, code, std::string(qatk::Trim(description)));
+    } else if (command == "compare") {
+      std::string part;
+      in >> part;
+      Compare(part);
+    } else {
+      std::printf("unknown command '%s'; try `help`\n", command.c_str());
+    }
+    return true;
+  }
+
+ private:
+  void Help() {
+    std::printf(
+        "  view <ref>              show a data bundle's reports\n"
+        "  recommend <ref>         top-10 error-code suggestions\n"
+        "  codes <part>            full code list for a part id\n"
+        "  assign <ref> <code>     set the final error code\n"
+        "  newcode <part> <code> <description...>  define an error code\n"
+        "  compare <part>          OEM vs NHTSA distribution screen\n"
+        "  quit\n");
+  }
+
+  void View(const std::string& ref) {
+    auto bundle = store_->FindBundle(ref);
+    if (!bundle.ok()) {
+      std::printf("%s\n", bundle.status().ToString().c_str());
+      return;
+    }
+    std::printf("reference   %s\n", bundle->reference_number.c_str());
+    std::printf("part        %s (article %s)\n", bundle->part_id.c_str(),
+                bundle->article_code.c_str());
+    std::printf("error code  %s\n", bundle->error_code.empty()
+                                        ? "(unassigned)"
+                                        : bundle->error_code.c_str());
+    std::printf("mechanic    %s\n", bundle->mechanic_report.c_str());
+    if (!bundle->initial_oem_report.empty()) {
+      std::printf("initial     %s\n", bundle->initial_oem_report.c_str());
+    }
+    std::printf("supplier    %s\n", bundle->supplier_report.c_str());
+  }
+
+  void Recommend(const std::string& ref) {
+    auto bundle = store_->FindBundle(ref);
+    if (!bundle.ok()) {
+      std::printf("%s\n", bundle.status().ToString().c_str());
+      return;
+    }
+    bundle->error_code.clear();
+    bundle->final_oem_report.clear();
+    auto recommendation = service_->Recommend(*bundle);
+    if (!recommendation.ok()) {
+      std::printf("%s\n", recommendation.status().ToString().c_str());
+      return;
+    }
+    for (size_t i = 0; i < recommendation->top.size(); ++i) {
+      std::printf("  %2zu. %-8s %.3f\n", i + 1,
+                  recommendation->top[i].error_code.c_str(),
+                  recommendation->top[i].score);
+    }
+    if (recommendation->truncated) {
+      std::printf("  ... more available via `codes %s`\n",
+                  bundle->part_id.c_str());
+    }
+  }
+
+  void Codes(const std::string& part) {
+    auto list = service_->FullListForPart(part);
+    if (list.empty()) {
+      std::printf("no codes known for part '%s'\n", part.c_str());
+      return;
+    }
+    std::printf("%zu codes for %s (by training frequency):", list.size(),
+                part.c_str());
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i % 8 == 0) std::printf("\n  ");
+      std::printf("%s(%.0f) ", list[i].error_code.c_str(), list[i].score);
+    }
+    std::printf("\n");
+  }
+
+  void Assign(const std::string& ref, const std::string& code) {
+    auto bundle = store_->FindBundle(ref);
+    if (!bundle.ok()) {
+      std::printf("%s\n", bundle.status().ToString().c_str());
+      return;
+    }
+    Status st = store_->SaveRecommendations(ref, {{code, 1.0}});
+    if (!st.ok()) {
+      std::printf("%s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("assigned %s to %s (persisted to QDB)\n", code.c_str(),
+                ref.c_str());
+  }
+
+  void NewCode(const std::string& part, const std::string& code,
+               const std::string& description) {
+    Status st = service_->DefineErrorCode(part, code, description);
+    std::printf("%s\n", st.ok() ? "created" : st.ToString().c_str());
+  }
+
+  void Compare(const std::string& part) {
+    if (complaints_.empty()) {
+      qatk::datagen::NhtsaComplaintGenerator generator(world_.get());
+      complaints_ = generator.Generate();
+    }
+    std::map<std::string, size_t> oem_counts;
+    for (const auto& bundle : corpus_.bundles) {
+      if (bundle.part_id == part) ++oem_counts[bundle.error_code];
+    }
+    std::map<std::string, size_t> public_counts;
+    for (const auto& complaint : complaints_) {
+      if (complaint.part_id != part) continue;
+      auto rec = service_->RecommendForText(part, complaint.narrative);
+      if (rec.ok() && !rec->top.empty()) {
+        ++public_counts[rec->top[0].error_code];
+      }
+    }
+    qatk::quest::ComparisonScreen screen;
+    screen.left = qatk::quest::Distribution::FromCounts(
+        "OEM warranty data", oem_counts, 3);
+    screen.right = qatk::quest::Distribution::FromCounts(
+        "NHTSA complaints (auto-classified)", public_counts, 3);
+    std::printf("%s", screen.Render().c_str());
+  }
+
+  using Status = qatk::Status;
+  std::unique_ptr<qatk::datagen::DomainWorld> world_;
+  qatk::kb::Corpus corpus_;
+  std::unique_ptr<qatk::db::Database> db_;
+  std::unique_ptr<qatk::kb::KbStore> store_;
+  std::unique_ptr<qatk::quest::RecommendationService> service_;
+  std::vector<qatk::datagen::NhtsaComplaint> complaints_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  QuestSession session;
+  bool interactive = argc > 1 && std::string(argv[1]) == "-i";
+  if (!interactive) {
+    const char* script[] = {
+        "view REF000042",     "recommend REF000042",
+        "codes P02",          "assign REF000042 E1061",
+        "newcode P02 E9999 water ingress at connector",
+        "compare P01",        "quit",
+    };
+    for (const char* line : script) {
+      std::printf("quest> %s\n", line);
+      if (!session.Execute(line)) break;
+      std::printf("\n");
+    }
+    return 0;
+  }
+  std::string line;
+  std::printf("quest> ");
+  while (std::getline(std::cin, line)) {
+    if (!session.Execute(line)) break;
+    std::printf("quest> ");
+  }
+  return 0;
+}

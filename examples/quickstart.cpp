@@ -1,0 +1,118 @@
+// Quickstart: the QATK/QUEST pipeline end to end in ~60 lines.
+//
+// 1. Build (or load) the multilingual part-and-error taxonomy.
+// 2. Train the recommendation service on coded data bundles.
+// 3. Ask for error-code recommendations for a new, uncoded bundle.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "kb/data_bundle.h"
+#include "quest/recommendation_service.h"
+#include "taxonomy/taxonomy.h"
+
+using qatk::kb::Corpus;
+using qatk::kb::DataBundle;
+using qatk::tax::Category;
+using qatk::tax::Concept;
+using qatk::tax::Taxonomy;
+using qatk::text::Language;
+
+namespace {
+
+Concept MakeConcept(int64_t id, Category category, const char* label,
+                    std::vector<std::string> de,
+                    std::vector<std::string> en) {
+  Concept c;
+  c.id = id;
+  c.category = category;
+  c.label = label;
+  c.synonyms[Language::kGerman] = std::move(de);
+  c.synonyms[Language::kEnglish] = std::move(en);
+  return c;
+}
+
+DataBundle MakeBundle(const char* ref, const char* code, const char* mechanic,
+                      const char* supplier, const char* final_report) {
+  DataBundle b;
+  b.reference_number = ref;
+  b.part_id = "RADIO";
+  b.article_code = "A100";
+  b.error_code = code;
+  b.mechanic_report = mechanic;
+  b.supplier_report = supplier;
+  b.final_oem_report = final_report;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  // 1. A miniature taxonomy: components and symptoms with multilingual
+  //    synonyms (the real resource has ~1,900 concepts; datagen can
+  //    generate one at full scale).
+  Taxonomy taxonomy;
+  taxonomy.Add(MakeConcept(1, Category::kComponent, "Radio",
+                           {"Radio"}, {"radio", "head unit"})).Abort();
+  taxonomy.Add(MakeConcept(2, Category::kComponent, "Fan",
+                           {"Lüfter"}, {"fan", "blower"})).Abort();
+  taxonomy.Add(MakeConcept(3, Category::kSymptom, "SelfToggle",
+                           {"schaltet sich selbst"}, {"turns on and off"}))
+      .Abort();
+  taxonomy.Add(MakeConcept(4, Category::kSymptom, "BurntSmell",
+                           {"verschmort", "durchgeschmort"},
+                           {"electrical smell", "burnt smell"})).Abort();
+  taxonomy.Add(MakeConcept(5, Category::kSymptom, "Crackle",
+                           {"knistern"}, {"crackling sound"})).Abort();
+
+  // 2. A few historical, already-coded data bundles (the paper's Fig. 3
+  //    example — spelling errors included on purpose).
+  Corpus corpus;
+  corpus.part_descriptions["RADIO"] = "Radio Steuergeraet / radio head unit";
+  corpus.bundles.push_back(MakeBundle(
+      "REF001", "E7741",
+      "Kleint says taht radio turns on and off by itself. Electiral smell, "
+      "crackling sound.",
+      "Unit non-functional. Lüfter funktioniert nicht. Kontakt defekt, "
+      "durchgeschmort.",
+      "Kontakt durchgeschmort, Luefter defekt."));
+  corpus.bundles.push_back(MakeBundle(
+      "REF002", "E7741",
+      "radio geht von selbst an und aus, verschmorter Geruch",
+      "fan blocked, contact burnt through, burnt smell inside housing",
+      "burnt contact confirmed"));
+  corpus.bundles.push_back(MakeBundle(
+      "REF003", "E5520",
+      "radio shows no display, totally dead",
+      "power supply capacitor failed, no short circuit, no burnt smell",
+      "capacitor aged, replaced"));
+
+  qatk::quest::RecommendationService service(&taxonomy, {});
+  service.Train(corpus).Abort();
+
+  // 3. A new damaged part arrives — no error code yet.
+  DataBundle incoming;
+  incoming.reference_number = "REF999";
+  incoming.part_id = "RADIO";
+  incoming.mechanic_report =
+      "customer complains radio turns on and off, crackling sound from "
+      "dashboard";
+  incoming.supplier_report =
+      "Lüfter defekt, Kontakt durchgeschmort, burnt smell";
+
+  auto recommendation = service.Recommend(incoming);
+  recommendation.status().Abort();
+
+  std::printf("Recommendations for %s (part %s):\n",
+              incoming.reference_number.c_str(), incoming.part_id.c_str());
+  for (size_t i = 0; i < recommendation->top.size(); ++i) {
+    std::printf("  %zu. %-8s score %.3f\n", i + 1,
+                recommendation->top[i].error_code.c_str(),
+                recommendation->top[i].score);
+  }
+  std::printf("\nThe quality expert confirms the top suggestion and "
+              "assigns %s.\n",
+              recommendation->top[0].error_code.c_str());
+  return 0;
+}

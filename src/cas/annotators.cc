@@ -1,0 +1,51 @@
+#include "cas/annotators.h"
+
+#include "common/strutil.h"
+
+namespace qatk::cas {
+
+Status TokenizerAnnotator::Process(Cas* cas) {
+  for (const text::Token& token : tokenizer_.Tokenize(cas->document())) {
+    Annotation a;
+    a.type = types::kToken;
+    a.begin = token.begin;
+    a.end = token.end;
+    a.string_features[types::kFeatureKind] =
+        token.kind == text::TokenKind::kWord ? "word" : "punct";
+    if (token.kind == text::TokenKind::kWord) {
+      a.string_features[types::kFeatureNorm] = FoldGerman(token.text);
+    }
+    QATK_RETURN_NOT_OK(cas->Add(std::move(a)));
+  }
+  return Status::OK();
+}
+
+Status LanguageAnnotator::Process(Cas* cas) {
+  text::Language lang = detector_.Detect(cas->document());
+  cas->SetMeta(types::kMetaLanguage, text::LanguageToString(lang));
+  return Status::OK();
+}
+
+Status StemmerAnnotator::Process(Cas* cas) {
+  text::Language lang = text::Language::kUnknown;
+  std::string_view code = cas->GetMeta(types::kMetaLanguage);
+  if (code == "de") lang = text::Language::kGerman;
+  else if (code == "en") lang = text::Language::kEnglish;
+  for (Annotation* token : cas->SelectMutable(types::kToken)) {
+    if (token->GetString(types::kFeatureKind) != "word") continue;
+    token->string_features[types::kFeatureStem] = stemmer_.Stem(
+        token->GetString(types::kFeatureNorm), lang);
+  }
+  return Status::OK();
+}
+
+Status StopwordAnnotator::Process(Cas* cas) {
+  for (Annotation* token : cas->SelectMutable(types::kToken)) {
+    if (token->GetString(types::kFeatureKind) != "word") continue;
+    bool stop = filter_.IsStopword(token->GetString(types::kFeatureNorm));
+    token->int_features[types::kFeatureStopword] = stop ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace qatk::cas

@@ -1,0 +1,45 @@
+#include "cas/pipeline.h"
+
+#include <chrono>
+
+namespace qatk::cas {
+
+Pipeline& Pipeline::Add(std::unique_ptr<Annotator> annotator) {
+  timings_.push_back({annotator->name(), 0, 0});
+  stages_.push_back(std::move(annotator));
+  return *this;
+}
+
+Status Pipeline::Process(Cas* cas) {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    Status st = stages_[i]->Process(cas);
+    auto end = std::chrono::steady_clock::now();
+    timings_[i].seconds +=
+        std::chrono::duration<double>(end - start).count();
+    ++timings_[i].documents;
+    if (!st.ok()) {
+      return Status(st.code(), "stage '" + stages_[i]->name() +
+                                   "' failed: " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+void Pipeline::ResetTimings() {
+  for (StageTiming& t : timings_) {
+    t.seconds = 0;
+    t.documents = 0;
+  }
+}
+
+std::string Pipeline::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += stages_[i]->name();
+  }
+  return out;
+}
+
+}  // namespace qatk::cas

@@ -1,0 +1,69 @@
+#ifndef QATK_CAS_PIPELINE_H_
+#define QATK_CAS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cas/cas.h"
+#include "common/status.h"
+
+namespace qatk::cas {
+
+/// \brief One Analysis Engine: reads a CAS, adds annotations or metadata.
+///
+/// Mirrors UIMA's annotator contract: annotators are stateless with respect
+/// to individual documents and build on findings of earlier engines in the
+/// pipeline (paper §4.5.2).
+class Annotator {
+ public:
+  virtual ~Annotator() = default;
+
+  /// Stable name used in pipeline descriptions and timing reports.
+  virtual std::string name() const = 0;
+
+  /// Processes one document.
+  virtual Status Process(Cas* cas) = 0;
+};
+
+/// Cumulative wall-clock spent in one annotator across a pipeline run.
+struct StageTiming {
+  std::string name;
+  double seconds = 0;
+  size_t documents = 0;
+};
+
+/// \brief Ordered composition of annotators with per-stage timing, the
+/// QATK counterpart of a uimaFIT aggregate engine.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Appends a stage; returns *this for fluent building.
+  Pipeline& Add(std::unique_ptr<Annotator> annotator);
+
+  size_t num_stages() const { return stages_.size(); }
+
+  /// Runs every stage on `cas` in order; stops at the first failure.
+  Status Process(Cas* cas);
+
+  /// Per-stage cumulative timings since construction/ResetTimings.
+  const std::vector<StageTiming>& timings() const { return timings_; }
+  void ResetTimings();
+
+  /// "Tokenizer -> LanguageDetector -> ConceptAnnotator".
+  std::string Describe() const;
+
+ private:
+  std::vector<std::unique_ptr<Annotator>> stages_;
+  std::vector<StageTiming> timings_;
+};
+
+}  // namespace qatk::cas
+
+#endif  // QATK_CAS_PIPELINE_H_

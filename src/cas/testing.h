@@ -1,0 +1,96 @@
+#ifndef QATK_CAS_TESTING_H_
+#define QATK_CAS_TESTING_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cas/cas.h"
+#include "cas/pipeline.h"
+#include "common/result.h"
+
+namespace qatk::cas::testing {
+
+/// \brief Test support for single Analysis Engines, after Ogren & Bethard's
+/// "Building test suites for UIMA components" (the paper's ref [14]):
+/// exercise one annotator against raw text, with its upstream dependencies
+/// declared explicitly, and assert on the annotations it produced.
+///
+///   AnnotatorTester tester;
+///   tester.Before(std::make_unique<TokenizerAnnotator>());
+///   QATK_ASSIGN_OR_RETURN(Cas cas,
+///       tester.Process(std::make_unique<StopwordAnnotator>(),
+///                      "the fan broke"));
+///   EXPECT_EQ(CoveredTexts(cas, types::kToken)[0], "the");
+class AnnotatorTester {
+ public:
+  AnnotatorTester() = default;
+
+  /// Declares an upstream stage run before the annotator under test.
+  AnnotatorTester& Before(std::unique_ptr<Annotator> annotator) {
+    upstream_.Add(std::move(annotator));
+    return *this;
+  }
+
+  /// Runs the upstream stages and then `subject` on `text`; returns the
+  /// resulting CAS for assertions.
+  Result<Cas> Process(std::unique_ptr<Annotator> subject,
+                      const std::string& text) {
+    Cas cas(text);
+    QATK_RETURN_NOT_OK(upstream_.Process(&cas));
+    QATK_RETURN_NOT_OK(subject->Process(&cas));
+    return cas;
+  }
+
+ private:
+  Pipeline upstream_;
+};
+
+/// The document substrings covered by every annotation of `type`, in span
+/// order.
+inline std::vector<std::string> CoveredTexts(const Cas& cas,
+                                             const std::string& type) {
+  std::vector<std::string> out;
+  for (const Annotation* annotation : cas.Select(type)) {
+    out.emplace_back(cas.CoveredText(*annotation));
+  }
+  return out;
+}
+
+/// The (begin, end) spans of every annotation of `type`, in span order.
+inline std::vector<std::pair<size_t, size_t>> Spans(
+    const Cas& cas, const std::string& type) {
+  std::vector<std::pair<size_t, size_t>> out;
+  for (const Annotation* annotation : cas.Select(type)) {
+    out.emplace_back(annotation->begin, annotation->end);
+  }
+  return out;
+}
+
+/// The values of one string feature across all annotations of `type`
+/// (empty string where the feature is absent).
+inline std::vector<std::string> StringFeatures(const Cas& cas,
+                                               const std::string& type,
+                                               const std::string& key) {
+  std::vector<std::string> out;
+  for (const Annotation* annotation : cas.Select(type)) {
+    out.emplace_back(annotation->GetString(key));
+  }
+  return out;
+}
+
+/// The values of one int feature across all annotations of `type`.
+inline std::vector<int64_t> IntFeatures(const Cas& cas,
+                                        const std::string& type,
+                                        const std::string& key) {
+  std::vector<int64_t> out;
+  for (const Annotation* annotation : cas.Select(type)) {
+    out.push_back(annotation->GetInt(key));
+  }
+  return out;
+}
+
+}  // namespace qatk::cas::testing
+
+#endif  // QATK_CAS_TESTING_H_

@@ -1,0 +1,127 @@
+#include "cas/xmi.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/xml.h"
+
+namespace qatk::cas {
+
+std::string CasToXml(const Cas& cas) {
+  XmlElement root;
+  root.tag = "cas";
+
+  // The document goes into an attribute: attribute values are escaped
+  // verbatim, while element text would be whitespace-trimmed on write.
+  auto sofa = std::make_unique<XmlElement>();
+  sofa->tag = "sofa";
+  sofa->attributes["text"] = cas.document();
+  root.children.push_back(std::move(sofa));
+
+  // Metadata: Cas does not expose iteration over metadata by design; the
+  // known pipeline keys are exported explicitly.
+  for (const char* key : {types::kMetaLanguage}) {
+    if (!cas.HasMeta(key)) continue;
+    auto meta = std::make_unique<XmlElement>();
+    meta->tag = "meta";
+    meta->attributes["key"] = key;
+    meta->attributes["value"] = std::string(cas.GetMeta(key));
+    root.children.push_back(std::move(meta));
+  }
+
+  for (const char* type : {types::kToken, types::kConcept}) {
+    for (const Annotation* annotation : cas.Select(type)) {
+      auto element = std::make_unique<XmlElement>();
+      element->tag = "annotation";
+      element->attributes["type"] = annotation->type;
+      element->attributes["begin"] = std::to_string(annotation->begin);
+      element->attributes["end"] = std::to_string(annotation->end);
+      for (const auto& [key, value] : annotation->string_features) {
+        auto feature = std::make_unique<XmlElement>();
+        feature->tag = "string";
+        feature->attributes["key"] = key;
+        feature->attributes["value"] = value;
+        element->children.push_back(std::move(feature));
+      }
+      for (const auto& [key, value] : annotation->int_features) {
+        auto feature = std::make_unique<XmlElement>();
+        feature->tag = "int";
+        feature->attributes["key"] = key;
+        feature->attributes["value"] = std::to_string(value);
+        element->children.push_back(std::move(feature));
+      }
+      root.children.push_back(std::move(element));
+    }
+  }
+  return WriteXml(root);
+}
+
+Result<Cas> CasFromXml(const std::string& input) {
+  QATK_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseXml(input));
+  if (root->tag != "cas") {
+    return Status::Invalid("expected <cas> root, got <" + root->tag + ">");
+  }
+  const XmlElement* sofa = root->FirstChild("sofa");
+  if (sofa == nullptr) {
+    return Status::Invalid("<cas> is missing its <sofa>");
+  }
+  QATK_ASSIGN_OR_RETURN(std::string document,
+                        sofa->RequiredAttribute("text"));
+  Cas cas(std::move(document));
+  for (const auto& child : root->children) {
+    if (child->tag == "sofa") continue;
+    if (child->tag == "meta") {
+      QATK_ASSIGN_OR_RETURN(std::string key,
+                            child->RequiredAttribute("key"));
+      QATK_ASSIGN_OR_RETURN(std::string value,
+                            child->RequiredAttribute("value"));
+      cas.SetMeta(key, std::move(value));
+      continue;
+    }
+    if (child->tag != "annotation") {
+      return Status::Invalid("unexpected <" + child->tag + "> inside <cas>");
+    }
+    Annotation annotation;
+    QATK_ASSIGN_OR_RETURN(annotation.type,
+                          child->RequiredAttribute("type"));
+    QATK_ASSIGN_OR_RETURN(std::string begin,
+                          child->RequiredAttribute("begin"));
+    QATK_ASSIGN_OR_RETURN(std::string end, child->RequiredAttribute("end"));
+    annotation.begin = std::stoul(begin);
+    annotation.end = std::stoul(end);
+    for (const auto& feature : child->children) {
+      QATK_ASSIGN_OR_RETURN(std::string key,
+                            feature->RequiredAttribute("key"));
+      QATK_ASSIGN_OR_RETURN(std::string value,
+                            feature->RequiredAttribute("value"));
+      if (feature->tag == "string") {
+        annotation.string_features[key] = std::move(value);
+      } else if (feature->tag == "int") {
+        annotation.int_features[key] = std::stoll(value);
+      } else {
+        return Status::Invalid("unexpected <" + feature->tag +
+                               "> inside <annotation>");
+      }
+    }
+    QATK_RETURN_NOT_OK(cas.Add(std::move(annotation)));
+  }
+  return cas;
+}
+
+Status SaveCasFile(const Cas& cas, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write CAS file '" + path + "'");
+  out << CasToXml(cas);
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<Cas> LoadCasFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open CAS file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CasFromXml(buffer.str());
+}
+
+}  // namespace qatk::cas

@@ -1,0 +1,39 @@
+#ifndef QATK_CAS_XMI_H_
+#define QATK_CAS_XMI_H_
+
+#include <string>
+
+#include "cas/cas.h"
+#include "common/result.h"
+
+namespace qatk::cas {
+
+/// \brief XMI-style XML serialization of a CAS, the QATK analogue of
+/// UIMA's interchange format: the document text (sofa), metadata, and
+/// every annotation with its typed features.
+///
+///   <cas>
+///     <sofa>Lüfter defekt.</sofa>
+///     <meta key="language" value="de"/>
+///     <annotation type="Token" begin="0" end="6">
+///       <string key="kind" value="word"/>
+///       <string key="norm" value="luefter"/>
+///       <int key="stop" value="0"/>
+///     </annotation>
+///   </cas>
+///
+/// Round-trips losslessly; used to persist annotated corpora, diff
+/// pipeline outputs across versions, and debug annotators.
+std::string CasToXml(const Cas& cas);
+
+/// Parses a CAS back from its XML form. Invalid on malformed documents or
+/// spans outside the sofa.
+Result<Cas> CasFromXml(const std::string& input);
+
+/// File convenience wrappers.
+Status SaveCasFile(const Cas& cas, const std::string& path);
+Result<Cas> LoadCasFile(const std::string& path);
+
+}  // namespace qatk::cas
+
+#endif  // QATK_CAS_XMI_H_

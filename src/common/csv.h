@@ -1,0 +1,38 @@
+#ifndef QATK_COMMON_CSV_H_
+#define QATK_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace qatk {
+
+/// \brief Minimal RFC-4180-style CSV writer used by the bench harnesses to
+/// emit machine-readable result series next to the human-readable tables.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row, quoting fields that contain separators/quotes/newlines.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields with embedded
+/// commas, quotes ("" escape), and newlines. Returns Invalid on unbalanced
+/// quotes.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_CSV_H_

@@ -1,0 +1,64 @@
+#ifndef QATK_COMMON_LOGGING_H_
+#define QATK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace qatk {
+namespace internal_logging {
+
+/// Accumulates a fatal message and aborts the process when destroyed.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": ";
+  }
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << "fatal: " << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed expression into void so it can sit in a ternary branch.
+/// operator& binds looser than operator<<, so the full chain runs first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace qatk
+
+/// Aborts with a message when `condition` is false. Active in all builds;
+/// reserve for invariants whose violation would corrupt data. Supports
+/// streaming extra context: QATK_CHECK(n > 0) << "n was " << n;
+#define QATK_CHECK(condition)                                     \
+  (condition) ? (void)0                                           \
+              : ::qatk::internal_logging::Voidify() &             \
+                    ::qatk::internal_logging::FatalLogMessage(    \
+                        __FILE__, __LINE__)                       \
+                        .stream()                                 \
+                        << "Check failed: " #condition " "
+
+#define QATK_CHECK_OK(expr)                                   \
+  do {                                                        \
+    ::qatk::Status _st = (expr);                              \
+    QATK_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (false)
+
+/// Debug-only check: compiled out (condition not evaluated) in NDEBUG builds.
+#ifndef NDEBUG
+#define QATK_DCHECK(condition) QATK_CHECK(condition)
+#else
+#define QATK_DCHECK(condition) QATK_CHECK(true || (condition))
+#endif
+
+#endif  // QATK_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+#ifndef QATK_COMMON_RESULT_H_
+#define QATK_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace qatk {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Counterpart of arrow::Result. A Result constructed from an OK status is a
+/// programming error and degrades to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value. Requires ok().
+  const T& ValueOrDie() const& {
+    QATK_CHECK(ok()) << "ValueOrDie on error Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    QATK_CHECK(ok()) << "ValueOrDie on error Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    QATK_CHECK(ok()) << "ValueOrDie on error Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the held value out. Requires ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace qatk
+
+#define QATK_CONCAT_IMPL(x, y) x##y
+#define QATK_CONCAT(x, y) QATK_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; assigns the value to `lhs`
+/// or returns the error from the enclosing function.
+#define QATK_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  QATK_ASSIGN_OR_RETURN_IMPL(QATK_CONCAT(_result_, __LINE__), lhs,   \
+                             rexpr)
+
+#define QATK_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = result_name.MoveValueUnsafe()
+
+#endif  // QATK_COMMON_RESULT_H_

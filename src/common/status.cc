@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace qatk {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalid:
+      return "Invalid";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::Abort() const {
+  if (ok()) return;
+  std::cerr << "fatal: " << ToString() << std::endl;
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace qatk

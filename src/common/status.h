@@ -1,0 +1,108 @@
+#ifndef QATK_COMMON_STATUS_H_
+#define QATK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qatk {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,         ///< Malformed argument or input data.
+  kIOError,         ///< Filesystem or device failure.
+  kKeyError,        ///< Lookup of a key that does not exist.
+  kAlreadyExists,   ///< Attempt to create something that already exists.
+  kOutOfRange,      ///< Index or capacity bound exceeded.
+  kNotImplemented,  ///< Feature intentionally unimplemented.
+  kInternal,        ///< Invariant violation inside the library.
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail, without using exceptions.
+///
+/// Modeled on Apache Arrow's Status: cheap to copy in the OK case, carries a
+/// code plus message otherwise. Library code returns Status (or Result<T>)
+/// across all public boundaries; exceptions are not thrown.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalid() const { return code_ == StatusCode::kInvalid; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsKeyError() const { return code_ == StatusCode::kKeyError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only in
+  /// examples, benches, and main() functions — never inside the library.
+  void Abort() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace qatk
+
+/// Evaluates an expression returning Status; returns it from the enclosing
+/// function if it is an error.
+#define QATK_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::qatk::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // QATK_COMMON_STATUS_H_

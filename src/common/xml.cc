@@ -1,0 +1,254 @@
+#include "common/xml.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace qatk {
+
+namespace {
+
+std::string EscapeXml(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeXml(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] != '&') {
+      out += input[i++];
+      continue;
+    }
+    size_t semi = input.find(';', i);
+    if (semi == std::string_view::npos) {
+      return Status::Invalid("unterminated XML entity");
+    }
+    std::string_view entity = input.substr(i + 1, semi - i - 1);
+    if (entity == "amp") out += '&';
+    else if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else return Status::Invalid("unknown XML entity '&" +
+                                std::string(entity) + ";'");
+    i = semi + 1;
+  }
+  return out;
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& input) : input_(input) {}
+
+  Result<std::unique_ptr<XmlElement>> Parse() {
+    SkipWhitespaceAndProlog();
+    QATK_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
+    SkipWhitespace();
+    if (pos_ != input_.size()) {
+      return Status::Invalid("trailing content after XML root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (input_.compare(pos_, 2, "<?") == 0) {
+        size_t end = input_.find("?>", pos_);
+        pos_ = (end == std::string::npos) ? input_.size() : end + 2;
+        continue;
+      }
+      if (input_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = (end == std::string::npos) ? input_.size() : end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_' || input_[pos_] == '-' ||
+            input_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::Invalid("expected XML name at offset " +
+                             std::to_string(pos_));
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (pos_ >= input_.size() || input_[pos_] != '<') {
+      return Status::Invalid("expected '<' at offset " +
+                             std::to_string(pos_));
+    }
+    ++pos_;
+    auto element = std::make_unique<XmlElement>();
+    QATK_ASSIGN_OR_RETURN(element->tag, ParseName());
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) {
+        return Status::Invalid("unterminated XML tag <" + element->tag + ">");
+      }
+      if (input_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (input_.compare(pos_, 2, "/>") == 0) {
+        pos_ += 2;
+        return element;
+      }
+      QATK_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWhitespace();
+      if (pos_ >= input_.size() || input_[pos_] != '=') {
+        return Status::Invalid("expected '=' after attribute '" + name + "'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= input_.size() ||
+          (input_[pos_] != '"' && input_[pos_] != '\'')) {
+        return Status::Invalid("expected quoted attribute value for '" +
+                               name + "'");
+      }
+      char quote = input_[pos_++];
+      size_t end = input_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return Status::Invalid("unterminated attribute value for '" + name +
+                               "'");
+      }
+      QATK_ASSIGN_OR_RETURN(std::string value,
+                            UnescapeXml(input_.substr(pos_, end - pos_)));
+      element->attributes[name] = std::move(value);
+      pos_ = end + 1;
+    }
+
+    // Content: text and child elements until the closing tag.
+    for (;;) {
+      if (pos_ >= input_.size()) {
+        return Status::Invalid("missing closing tag </" + element->tag + ">");
+      }
+      if (input_.compare(pos_, 4, "<!--") == 0) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return Status::Invalid("unterminated XML comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (input_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        QATK_ASSIGN_OR_RETURN(std::string closing, ParseName());
+        if (closing != element->tag) {
+          return Status::Invalid("mismatched closing tag </" + closing +
+                                 "> for <" + element->tag + ">");
+        }
+        SkipWhitespace();
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Status::Invalid("malformed closing tag </" + closing + ">");
+        }
+        ++pos_;
+        return element;
+      }
+      if (input_[pos_] == '<') {
+        QATK_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                              ParseElement());
+        element->children.push_back(std::move(child));
+        continue;
+      }
+      size_t next = input_.find('<', pos_);
+      if (next == std::string::npos) {
+        return Status::Invalid("missing closing tag </" + element->tag + ">");
+      }
+      QATK_ASSIGN_OR_RETURN(std::string text,
+                            UnescapeXml(input_.substr(pos_, next - pos_)));
+      element->text += text;
+      pos_ = next;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+void WriteElement(const XmlElement& element, int depth, std::string* out) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  *out += indent + "<" + element.tag;
+  for (const auto& [name, value] : element.attributes) {
+    *out += " " + name + "=\"" + EscapeXml(value) + "\"";
+  }
+  std::string text(Trim(element.text));
+  if (element.children.empty() && text.empty()) {
+    *out += "/>\n";
+    return;
+  }
+  *out += ">";
+  if (!text.empty()) *out += EscapeXml(text);
+  if (!element.children.empty()) {
+    *out += "\n";
+    for (const auto& child : element.children) {
+      WriteElement(*child, depth + 1, out);
+    }
+    *out += indent;
+  }
+  *out += "</" + element.tag + ">\n";
+}
+
+}  // namespace
+
+const XmlElement* XmlElement::FirstChild(const std::string& child_tag) const {
+  for (const auto& child : children) {
+    if (child->tag == child_tag) return child.get();
+  }
+  return nullptr;
+}
+
+Result<std::string> XmlElement::RequiredAttribute(
+    const std::string& name) const {
+  auto it = attributes.find(name);
+  if (it == attributes.end()) {
+    return Status::Invalid("<" + tag + "> is missing attribute '" + name +
+                           "'");
+  }
+  return it->second;
+}
+
+Result<std::unique_ptr<XmlElement>> ParseXml(const std::string& input) {
+  return XmlParser(input).Parse();
+}
+
+std::string WriteXml(const XmlElement& root) {
+  std::string out;
+  WriteElement(root, 0, &out);
+  return out;
+}
+
+}  // namespace qatk

@@ -1,0 +1,61 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace qatk::core {
+
+std::vector<ScoredCode> RankedKnnClassifier::Rank(
+    const std::vector<int64_t>& probe_features,
+    const std::vector<const kb::KnowledgeNode*>& candidates) const {
+  // Score every candidate node (§4.3: "we compute a pairwise similarity
+  // score for each candidate node with reference to the current data
+  // bundle").
+  struct ScoredNode {
+    double score;
+    size_t order;  // Arrival order for deterministic ties.
+    const kb::KnowledgeNode* node;
+  };
+  std::vector<ScoredNode> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double score = Similarity(config_.similarity, probe_features,
+                              candidates[i]->features);
+    scored.push_back({score, i, candidates[i]});
+  }
+  // Partial sort: only the best max_nodes matter.
+  size_t keep = std::min(config_.max_nodes, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const ScoredNode& a, const ScoredNode& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.order < b.order;
+                    });
+  scored.resize(keep);
+
+  // "For each of these error codes, we assign an error code with
+  // associated score": distinct codes keep the score of their best node.
+  std::vector<ScoredCode> ranked;
+  std::unordered_set<std::string> seen;
+  for (const ScoredNode& s : scored) {
+    if (seen.insert(s.node->error_code).second) {
+      ranked.push_back({s.node->error_code, s.score});
+    }
+  }
+  return ranked;
+}
+
+std::vector<ScoredCode> RankedKnnClassifier::Classify(
+    const kb::KnowledgeBase& knowledge, const std::string& part_id,
+    const std::vector<int64_t>& features) const {
+  return Rank(features, knowledge.SelectCandidates(part_id, features));
+}
+
+size_t RankOf(const std::vector<ScoredCode>& ranked,
+              const std::string& truth) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].error_code == truth) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace qatk::core

@@ -1,0 +1,110 @@
+#include "datagen/nhtsa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "datagen/noise.h"
+
+namespace qatk::datagen {
+
+namespace {
+
+using text::Language;
+
+constexpr const char* kMakes[] = {"ALPHAMOTORS", "BETAWAGEN", "CARROVIA",
+                                  "DELTACARS",  "EPSILON",   "ZETAUTO"};
+
+// Consumer-register phrase fragments: verbose, first-person, emotional —
+// nothing like the terse OEM workshop notes.
+constexpr const char* kIntros[] = {
+    "while driving at highway speed i noticed",
+    "my vehicle suddenly developed",
+    "the contact owns this vehicle and stated that",
+    "without any warning the car showed",
+    "after picking the car up from the dealer there was",
+    "i have repeatedly complained to the dealership about",
+};
+constexpr const char* kOutros[] = {
+    "the dealer was unable to reproduce the failure",
+    "this is a serious safety concern for my family",
+    "the manufacturer was notified and offered no assistance",
+    "the failure keeps happening every few days",
+    "i request an investigation into this defect",
+    "the vehicle was taken to an independent mechanic",
+};
+
+}  // namespace
+
+NhtsaComplaintGenerator::NhtsaComplaintGenerator(const DomainWorld* world,
+                                                 NhtsaConfig config)
+    : world_(world), config_(config) {}
+
+std::vector<NhtsaComplaint> NhtsaComplaintGenerator::Generate() {
+  Rng rng(config_.seed);
+  NoiseChannel noise(&rng);
+  const auto& parts = world_->parts();
+
+  // Per-part rank permutation models the market's different error
+  // distribution: with probability distribution_shift a code's Zipf rank
+  // is reshuffled.
+  std::vector<std::vector<size_t>> rank_maps;
+  for (const PartSpec& part : parts) {
+    std::vector<size_t> ranks(part.codes.size());
+    for (size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+    std::vector<size_t> shuffled = ranks;
+    rng.Shuffle(&shuffled);
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      if (rng.NextBernoulli(config_.distribution_shift)) {
+        ranks[i] = shuffled[i];
+      }
+    }
+    rank_maps.push_back(std::move(ranks));
+  }
+
+  std::vector<NhtsaComplaint> complaints;
+  complaints.reserve(config_.num_complaints);
+  for (size_t i = 0; i < config_.num_complaints; ++i) {
+    size_t p = rng.NextBounded(parts.size());
+    const PartSpec& part = parts[p];
+    size_t rank = rng.NextZipf(part.codes.size(), config_.zipf_exponent);
+    const ErrorCodeSpec& spec = part.codes[rank_maps[p][rank]];
+
+    NhtsaComplaint complaint;
+    complaint.odi_number = "ODI" + std::to_string(10000000 + i);
+    complaint.make =
+        kMakes[rng.NextBounded(std::min<size_t>(config_.num_makes,
+                                                std::size(kMakes)))];
+    complaint.latent_error_code = spec.code;
+    complaint.part_id = part.part_id;
+
+    // Component field: the English surface of one affected component.
+    const LexEntry& comp = world_->components()[rng.Pick(spec.components)];
+    complaint.component_text =
+        comp.en.empty() ? comp.de.front() : comp.en.front();
+
+    // Narrative: intro + symptoms (English surfaces) + filler + outro.
+    std::string narrative = kIntros[rng.NextBounded(std::size(kIntros))];
+    for (size_t si : spec.symptoms) {
+      if (!rng.NextBernoulli(0.75)) continue;
+      const LexEntry& symptom = world_->symptoms()[si];
+      const auto& surfaces = symptom.en.empty() ? symptom.de : symptom.en;
+      narrative += " " + surfaces[rng.NextBounded(surfaces.size())];
+      narrative += rng.NextBernoulli(0.5) ? " and" : ",";
+    }
+    narrative += " " + complaint.component_text;
+    // Consumer typos exist but are rarer than mechanic shorthand.
+    std::string filler;
+    for (size_t w = 0; w < 4 + rng.NextBounded(5); ++w) {
+      filler += noise.MaybeTypo(
+                    rng.Pick(world_->filler(Language::kEnglish)), 0.03) +
+                " ";
+    }
+    narrative += ". " + filler;
+    narrative += kOutros[rng.NextBounded(std::size(kOutros))];
+    complaint.narrative = narrative;
+    complaints.push_back(std::move(complaint));
+  }
+  return complaints;
+}
+
+}  // namespace qatk::datagen

@@ -1,0 +1,60 @@
+#ifndef QATK_DATAGEN_NHTSA_H_
+#define QATK_DATAGEN_NHTSA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/world.h"
+
+namespace qatk::datagen {
+
+/// \brief One synthetic ODI/NHTSA consumer complaint (paper §5.4): the
+/// public US complaints database record used for the cross-source
+/// error-distribution comparison.
+struct NhtsaComplaint {
+  std::string odi_number;
+  std::string make;           ///< Vehicle manufacturer (several brands).
+  std::string component_text; ///< NHTSA component field, free text.
+  std::string narrative;      ///< Consumer complaint narrative (English).
+  /// Ground-truth latent error code (hidden from the classifier; kept so
+  /// the bench can report how well the cross-source classification
+  /// recovers the distribution).
+  std::string latent_error_code;
+  /// The OEM part id the complaint maps to.
+  std::string part_id;
+};
+
+/// Sampling parameters for the complaints corpus.
+struct NhtsaConfig {
+  uint64_t seed = 4711;
+  size_t num_complaints = 3000;
+  /// Complaint error distribution differs from the OEM corpus: a different
+  /// market surfaces different failures (this is exactly what the QUEST
+  /// comparison screen is meant to reveal). Mixing parameter in [0,1]:
+  /// 0 = same Zipf ranks as OEM, 1 = fully reshuffled ranks.
+  double distribution_shift = 0.5;
+  double zipf_exponent = 1.25;
+  size_t num_makes = 6;
+};
+
+/// \brief Generates English-only consumer complaints over the same latent
+/// error world as the OEM corpus, but in a different register: verbose,
+/// first-person, no OEM jargon, no supplier cause vocabulary — a different
+/// *text type*, which is why §5.4 argues the bag-of-words model transfers
+/// poorly across sources while bag-of-concepts is robust.
+class NhtsaComplaintGenerator {
+ public:
+  NhtsaComplaintGenerator(const DomainWorld* world,
+                          NhtsaConfig config = NhtsaConfig());
+
+  std::vector<NhtsaComplaint> Generate();
+
+ private:
+  const DomainWorld* world_;
+  NhtsaConfig config_;
+};
+
+}  // namespace qatk::datagen
+
+#endif  // QATK_DATAGEN_NHTSA_H_

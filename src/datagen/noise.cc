@@ -1,0 +1,68 @@
+#include "datagen/noise.h"
+
+#include <cctype>
+
+namespace qatk::datagen {
+
+namespace {
+
+constexpr char kVowels[] = "aeiou";
+
+}  // namespace
+
+std::string NoiseChannel::Typo(const std::string& word) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  size_t op = rng_->NextBounded(4);
+  switch (op) {
+    case 0: {  // Transpose two adjacent characters.
+      size_t i = rng_->NextBounded(out.size() - 1);
+      std::swap(out[i], out[i + 1]);
+      break;
+    }
+    case 1: {  // Drop a character.
+      size_t i = rng_->NextBounded(out.size());
+      out.erase(i, 1);
+      break;
+    }
+    case 2: {  // Double a character.
+      size_t i = rng_->NextBounded(out.size());
+      out.insert(i, 1, out[i]);
+      break;
+    }
+    case 3: {  // Substitute a vowel.
+      size_t i = rng_->NextBounded(out.size());
+      out[i] = kVowels[rng_->NextBounded(sizeof(kVowels) - 1)];
+      break;
+    }
+  }
+  return out;
+}
+
+std::string NoiseChannel::MaybeTypo(const std::string& word, double rate) {
+  return rng_->NextBernoulli(rate) ? Typo(word) : word;
+}
+
+std::string NoiseChannel::MaybeAbbreviate(const std::string& word,
+                                          double rate) {
+  if (word.size() < 6 || !rng_->NextBernoulli(rate)) return word;
+  size_t keep = 3 + rng_->NextBounded(2);
+  return word.substr(0, keep) + ".";
+}
+
+std::string NoiseChannel::RandomizeCase(const std::string& word,
+                                        double rate) {
+  std::string out = word;
+  if (rng_->NextBernoulli(rate)) {
+    for (char& c : out) c = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(c)));
+    return out;
+  }
+  if (!out.empty() && rng_->NextBernoulli(0.2)) {
+    out[0] = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+}  // namespace qatk::datagen

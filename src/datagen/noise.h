@@ -1,0 +1,43 @@
+#ifndef QATK_DATAGEN_NOISE_H_
+#define QATK_DATAGEN_NOISE_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace qatk::datagen {
+
+/// \brief The "messy data" noise channel (paper §1.2: "Text which consists
+/// of non-standard, domain-specific language, riddled with spelling errors,
+/// idiosyncratic and non-idiomatic expressions and OEM-internal
+/// abbreviations").
+class NoiseChannel {
+ public:
+  explicit NoiseChannel(Rng* rng) : rng_(rng) {}
+
+  NoiseChannel(const NoiseChannel&) = delete;
+  NoiseChannel& operator=(const NoiseChannel&) = delete;
+
+  /// Applies one random typo (adjacent transposition, character drop,
+  /// character doubling, or vowel substitution) to `word`. Words of fewer
+  /// than 3 characters pass through unchanged.
+  std::string Typo(const std::string& word);
+
+  /// Applies a typo with probability `rate`, else returns the word as-is.
+  std::string MaybeTypo(const std::string& word, double rate);
+
+  /// Truncates a word into an OEM-style abbreviation ("Batterie" ->
+  /// "Batt.") with probability `rate`.
+  std::string MaybeAbbreviate(const std::string& word, double rate);
+
+  /// Randomly upper-cases the whole word (shouting mechanics) with
+  /// probability `rate`, else title-cases it with probability 0.2.
+  std::string RandomizeCase(const std::string& word, double rate);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace qatk::datagen
+
+#endif  // QATK_DATAGEN_NOISE_H_

@@ -1,0 +1,86 @@
+#ifndef QATK_DATAGEN_OEM_H_
+#define QATK_DATAGEN_OEM_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "datagen/world.h"
+#include "kb/data_bundle.h"
+
+namespace qatk::datagen {
+
+/// Sampling parameters for the synthetic OEM warranty corpus, defaulted to
+/// reproduce the published corpus statistics (§3.2) and the per-source
+/// information-content findings (§5.3): mechanic reports vague, noisy and
+/// often uninformative; supplier reports detailed with cause descriptions.
+struct OemConfig {
+  uint64_t seed = 42;
+  size_t num_bundles = 7500;
+  /// After seeding every pool code with one bundle, the remaining bundles
+  /// are drawn only from the top `active_code_fraction` ranks of each
+  /// part's pool — the inactive tail stays at exactly one occurrence,
+  /// which controls the singleton-code count (paper: 718 of 1,271).
+  double active_code_fraction = 0.48;
+  /// Zipf exponent over the active ranks; tunes how dominant the most
+  /// frequent code is, i.e. the code-frequency baseline's accuracy@1
+  /// (paper: ~35%).
+  double zipf_exponent = 1.30;
+
+  // Mechanic report: "poor in detail, focused on superficial problem
+  // description and often error-riddled".
+  double mechanic_symptom_prob = 0.65;   ///< Any code symptom mentioned.
+  double mechanic_wrong_symptom_prob = 0.15;  ///< Unrelated symptom noise.
+  double mechanic_component_prob = 0.35;
+  double mechanic_typo_rate = 0.07;
+  double mechanic_abbrev_rate = 0.08;
+  /// Probability of a near-empty mechanic note ("n.i.o." and nothing
+  /// else) — common in the real data.
+  double mechanic_terse_prob = 0.10;
+
+  /// Optional initial OEM report presence (§3.2: "an optional initial
+  /// report can be written").
+  double initial_report_prob = 0.40;
+
+  // Supplier report: "more detail and include descriptions of potential
+  // causes".
+  double supplier_symptom_prob = 0.80;   ///< Per code symptom.
+  double supplier_component_prob = 0.75; ///< Per code component.
+  double supplier_cause_prob = 0.92;     ///< Per cause word.
+  double supplier_defect_token_prob = 0.75;  ///< Internal defect-code cite.
+  double supplier_typo_rate = 0.02;
+  /// Probability of a no-trouble-found-style terse supplier report.
+  double supplier_terse_prob = 0.05;
+
+  /// Language mix (the data are "mostly a mix of German and English").
+  double mechanic_german_prob = 0.65;
+  double supplier_german_prob = 0.45;
+};
+
+/// \brief Generates the synthetic OEM warranty corpus from a DomainWorld.
+///
+/// Every bundle draws an error code from its part's Zipf-ranked pool (each
+/// pool code is seeded with one guaranteed bundle so all `num_error_codes`
+/// codes occur, and the Zipf tail yields the several hundred singleton
+/// codes of §3.2), then renders four reports through the messy-data noise
+/// channel.
+class OemCorpusGenerator {
+ public:
+  /// Borrows `world`; it must outlive the generator.
+  OemCorpusGenerator(const DomainWorld* world, OemConfig config = OemConfig());
+
+  /// Generates the full corpus. Deterministic for a fixed (world, config).
+  kb::Corpus Generate();
+
+ private:
+  std::string MechanicReport(const ErrorCodeSpec& spec, Rng* rng);
+  std::string InitialReport(const ErrorCodeSpec& spec, Rng* rng);
+  std::string SupplierReport(const ErrorCodeSpec& spec, Rng* rng);
+  std::string FinalReport(const ErrorCodeSpec& spec, Rng* rng);
+
+  const DomainWorld* world_;
+  OemConfig config_;
+};
+
+}  // namespace qatk::datagen
+
+#endif  // QATK_DATAGEN_OEM_H_

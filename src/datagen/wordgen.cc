@@ -1,0 +1,74 @@
+#include "datagen/wordgen.h"
+
+#include "common/logging.h"
+
+namespace qatk::datagen {
+
+namespace {
+
+// German-flavored syllable inventory (folded spelling: oe/ue/ae).
+constexpr const char* kGermanOnsets[] = {
+    "b", "br", "d", "dr", "f", "fl", "g", "gl", "gr", "k",  "kl",
+    "kn", "l",  "m", "n",  "p", "pf", "r", "s",  "sch", "schl",
+    "schr", "st", "t", "tr", "w", "z"};
+constexpr const char* kGermanVowels[] = {"a",  "e",  "i",  "o",  "u",
+                                         "au", "ei", "ie", "oe", "ue"};
+constexpr const char* kGermanCodas[] = {"",   "ch", "ck", "hl", "l",
+                                        "ll", "n",  "ng", "nk", "r",
+                                        "rm", "s",  "st", "tz", "tt"};
+constexpr const char* kGermanSuffixes[] = {"", "er", "ung", "el", "e"};
+
+// English-flavored syllable inventory.
+constexpr const char* kEnglishOnsets[] = {
+    "b", "bl", "c",  "cr", "d", "f", "fl", "g", "gr", "h", "j", "l",
+    "m", "n",  "p",  "pl", "r", "s", "sl", "sp", "st", "t", "tr", "v",
+    "w", "wh", "sh", "ch"};
+constexpr const char* kEnglishVowels[] = {"a",  "e",  "i",  "o", "u",
+                                          "ea", "oo", "ai", "ou"};
+constexpr const char* kEnglishCodas[] = {"",  "ck", "d",  "ft", "g",  "k",
+                                         "l", "m",  "n",  "nd", "nt", "p",
+                                         "r", "rt", "s",  "st", "t"};
+constexpr const char* kEnglishSuffixes[] = {"", "er", "ing", "or", "y"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&items)[N]) {
+  return items[rng->NextBounded(N)];
+}
+
+}  // namespace
+
+std::string WordGenerator::Word(text::Language lang, size_t syllables) {
+  QATK_CHECK(syllables > 0);
+  std::string word;
+  for (size_t i = 0; i < syllables; ++i) {
+    if (lang == text::Language::kGerman) {
+      word += Pick(rng_, kGermanOnsets);
+      word += Pick(rng_, kGermanVowels);
+      word += Pick(rng_, kGermanCodas);
+    } else {
+      word += Pick(rng_, kEnglishOnsets);
+      word += Pick(rng_, kEnglishVowels);
+      word += Pick(rng_, kEnglishCodas);
+    }
+  }
+  if (lang == text::Language::kGerman) {
+    word += Pick(rng_, kGermanSuffixes);
+  } else {
+    word += Pick(rng_, kEnglishSuffixes);
+  }
+  return word;
+}
+
+std::string WordGenerator::FreshWord(text::Language lang, size_t syllables) {
+  // Retry until a fresh word appears; widen if the space is exhausted at
+  // this syllable count.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    size_t extra = static_cast<size_t>(attempt / 100);
+    std::string word = Word(lang, syllables + extra);
+    if (used_.insert(word).second) return word;
+  }
+  QATK_CHECK(false) << "word space exhausted";
+  return "";
+}
+
+}  // namespace qatk::datagen

@@ -1,0 +1,43 @@
+#ifndef QATK_DATAGEN_WORDGEN_H_
+#define QATK_DATAGEN_WORDGEN_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "text/language.h"
+
+namespace qatk::datagen {
+
+/// \brief Deterministic generator of pronounceable, language-flavored
+/// pseudo-words for the synthetic domain lexicon.
+///
+/// The proprietary corpus cannot be shipped; its replacement needs
+/// vocabulary that (a) is plausibly German/English in character statistics
+/// (so the n-gram language detector works on generated reports), and
+/// (b) never collides between distinct lexicon entries (so classification
+/// signal comes only from the modeled co-occurrences, not accidents).
+class WordGenerator {
+ public:
+  explicit WordGenerator(Rng* rng) : rng_(rng) {}
+
+  WordGenerator(const WordGenerator&) = delete;
+  WordGenerator& operator=(const WordGenerator&) = delete;
+
+  /// Generates a fresh word of `syllables` syllables (2-4 typical) that has
+  /// not been produced before by this generator (any language).
+  std::string FreshWord(text::Language lang, size_t syllables);
+
+  /// Generates a word without uniqueness bookkeeping (filler text).
+  std::string Word(text::Language lang, size_t syllables);
+
+  size_t generated_count() const { return used_.size(); }
+
+ private:
+  Rng* rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace qatk::datagen
+
+#endif  // QATK_DATAGEN_WORDGEN_H_

@@ -1,0 +1,149 @@
+#ifndef QATK_DATAGEN_WORLD_H_
+#define QATK_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "taxonomy/taxonomy.h"
+#include "text/language.h"
+
+namespace qatk::datagen {
+
+/// \brief One bilingual domain term (a part or an error symptom) with its
+/// synonym sets — the latent vocabulary entry behind both the synthetic
+/// taxonomy and the synthetic reports.
+struct LexEntry {
+  /// Synonym surface forms per language; first entry is the primary form.
+  std::vector<std::string> de;
+  std::vector<std::string> en;
+  /// Taxonomy concept id, or 0 when this term is NOT covered by the
+  /// taxonomy (the coverage gap that §5.2.2 blames for the bag-of-concepts
+  /// accuracy deficit).
+  int64_t concept_id = 0;
+  tax::Category category = tax::Category::kComponent;
+};
+
+/// \brief The latent semantics of one error code: which symptoms and
+/// components its reports mention, and its code-specific cause vocabulary.
+struct ErrorCodeSpec {
+  std::string code;
+  std::string part_id;
+  /// Indices into DomainWorld::symptoms(); drawn from the part's symptom
+  /// pool, so codes of one part share symptoms heavily (ambiguity).
+  std::vector<size_t> symptoms;
+  /// Indices into DomainWorld::components() (the owning part's components).
+  std::vector<size_t> components;
+  /// Code-specific root-cause words (globally unique, NOT in the taxonomy):
+  /// the supplier-report vocabulary that gives bag-of-words its edge.
+  std::vector<std::string> cause_de;
+  std::vector<std::string> cause_en;
+  /// Internal defect-code token suppliers cite (e.g. "DC4711"): language-
+  /// neutral, globally unique, invisible to the taxonomy.
+  std::string defect_token;
+  /// Standardized error-code description (German + English).
+  std::string description;
+};
+
+/// \brief One part id with its component vocabulary, symptom pool, article
+/// codes, and error-code pool (pool order = frequency rank for Zipf draws).
+struct PartSpec {
+  std::string part_id;
+  std::vector<size_t> components;     ///< Indices into components().
+  std::vector<size_t> symptom_pool;   ///< Indices into symptoms().
+  std::vector<std::string> article_codes;
+  std::vector<ErrorCodeSpec> codes;
+  std::string description;            ///< Standardized part description.
+};
+
+/// Shape parameters of the synthetic world, defaulted to the published
+/// corpus statistics (§3.2).
+struct WorldConfig {
+  uint64_t seed = 20160315;  // EDBT 2016 conference date.
+  size_t num_parts = 31;
+  size_t num_article_codes = 831;
+  size_t num_error_codes = 1271;
+  size_t max_codes_largest_part = 146;
+  /// Error-code pool bounds for mid-size and small parts.
+  size_t mid_part_min_codes = 15;
+  size_t mid_part_max_codes = 72;
+  size_t small_parts = 6;
+  size_t small_part_max_codes = 10;
+  /// Taxonomy shape (~1.8k/1.9k synonym surfaces per language, §4.5.3).
+  size_t num_components = 800;
+  size_t num_symptoms = 670;
+  size_t num_locations = 300;
+  size_t num_solutions = 300;
+  /// Fraction of symptom terms covered by taxonomy concepts. The rest are
+  /// report vocabulary the taxonomy misses — the legacy-resource coverage
+  /// gap the paper identifies.
+  double symptom_taxonomy_coverage = 0.75;
+  /// Fraction of concepts carrying only English synonyms (makes the
+  /// per-language taxonomy sizes differ as in §4.5.3: ~1.8k DE / 1.9k EN).
+  double english_only_prob = 0.055;
+  /// Per-part symptom pool size (controls symptom ambiguity across codes).
+  size_t part_symptom_pool = 8;
+  size_t components_per_part = 8;
+  /// Cause vocabulary per error code and language.
+  size_t cause_words_per_code = 3;
+  /// Filler vocabulary per language.
+  size_t filler_words = 260;
+};
+
+/// \brief The deterministic synthetic domain: taxonomy + part/error world +
+/// vocabularies. Built once from a seed; the OEM and NHTSA generators then
+/// sample reports from it so both corpora share the same latent error
+/// semantics (needed for the §5.4 cross-source comparison).
+class DomainWorld {
+ public:
+  explicit DomainWorld(WorldConfig config = WorldConfig());
+
+  DomainWorld(const DomainWorld&) = delete;
+  DomainWorld& operator=(const DomainWorld&) = delete;
+
+  const WorldConfig& config() const { return config_; }
+  const tax::Taxonomy& taxonomy() const { return taxonomy_; }
+  const std::vector<PartSpec>& parts() const { return parts_; }
+  const std::vector<LexEntry>& components() const { return components_; }
+  const std::vector<LexEntry>& symptoms() const { return symptoms_; }
+
+  /// Content filler words (generated, language-flavored).
+  const std::vector<std::string>& filler(text::Language lang) const {
+    return lang == text::Language::kGerman ? filler_de_ : filler_en_;
+  }
+  /// Real function words (articles, pronouns, prepositions) mixed into
+  /// reports so stopword filtering has something to remove.
+  const std::vector<std::string>& function_words(text::Language lang) const;
+
+  /// OEM-internal jargon tokens and abbreviations.
+  const std::vector<std::string>& jargon() const { return jargon_; }
+
+  /// Total error codes across all parts.
+  size_t TotalErrorCodes() const;
+
+  /// Finds the spec of an error code. KeyError when unknown.
+  Result<const ErrorCodeSpec*> FindCode(const std::string& code) const;
+
+ private:
+  void BuildLexicons(Rng* rng);
+  void BuildTaxonomy();
+  void BuildParts(Rng* rng);
+
+  WorldConfig config_;
+  std::vector<LexEntry> components_;
+  std::vector<LexEntry> symptoms_;
+  std::vector<LexEntry> locations_;
+  std::vector<LexEntry> solutions_;
+  std::vector<std::string> filler_de_;
+  std::vector<std::string> filler_en_;
+  std::vector<std::string> jargon_;
+  std::vector<PartSpec> parts_;
+  tax::Taxonomy taxonomy_;
+  std::map<std::string, std::pair<size_t, size_t>> code_index_;  // part,code
+};
+
+}  // namespace qatk::datagen
+
+#endif  // QATK_DATAGEN_WORLD_H_

@@ -1,0 +1,262 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/strutil.h"
+#include "core/baselines.h"
+#include "core/classifier.h"
+#include "eval/folds.h"
+#include "eval/metrics.h"
+#include "kb/knowledge_base.h"
+
+namespace qatk::eval {
+
+namespace {
+
+std::string MaskName(unsigned mask) {
+  if (mask == kb::kTestSources) return "all-reports";
+  if (mask == kb::kMechanicOnly) return "mechanic-only";
+  if (mask == kb::kSupplierOnly) return "supplier-only";
+  if (mask == kb::kTrainSources) return "train-sources";
+  return "mask-" + std::to_string(mask);
+}
+
+/// Timing + candidate statistics for one curve.
+struct CurveStats {
+  double seconds = 0;
+  size_t candidates = 0;
+  size_t calls = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+std::string VariantSpec::Name() const {
+  return std::string(kb::FeatureModelToString(model)) + " + " +
+         core::SimilarityMeasureToString(similarity);
+}
+
+std::vector<const CurveResult*> EvalReport::CurvesFor(
+    unsigned probe_mask) const {
+  std::vector<const CurveResult*> out;
+  for (const CurveResult& curve : curves) {
+    if (curve.probe_mask == probe_mask) out.push_back(&curve);
+  }
+  return out;
+}
+
+Result<const CurveResult*> EvalReport::Find(const std::string& name,
+                                            unsigned probe_mask) const {
+  for (const CurveResult& curve : curves) {
+    if (curve.name == name && curve.probe_mask == probe_mask) return &curve;
+  }
+  return Status::KeyError("no curve '" + name + "' for mask " +
+                          std::to_string(probe_mask));
+}
+
+std::string EvalReport::FormatTable(unsigned probe_mask) const {
+  std::ostringstream out;
+  out << "Experiment [" << MaskName(probe_mask) << "], " << learnable_bundles
+      << " bundles, " << distinct_learnable_codes << " classes, ~"
+      << static_cast<size_t>(mean_test_fold_size) << " test bundles/fold\n";
+  out << "  " << std::string(36, ' ');
+  for (size_t k : ks) out << "  A@" << k << (k < 10 ? " " : "");
+  out << "  MRR     us/bundle  candidates\n";
+  for (const CurveResult* curve : CurvesFor(probe_mask)) {
+    std::string name = curve->name;
+    name.resize(38, ' ');
+    out << name;
+    for (size_t i = 0; i < ks.size(); ++i) {
+      out << " " << FormatDouble(curve->accuracy_at[i], 3);
+    }
+    out << " " << FormatDouble(curve->mrr, 3);
+    out << "   " << FormatDouble(curve->micros_per_bundle, 1) << "      "
+        << FormatDouble(curve->mean_candidates, 1) << "\n";
+  }
+  return out.str();
+}
+
+Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
+  // ------------------------------------------------------------------ setup
+  std::vector<const kb::DataBundle*> bundles = corpus_->LearnableBundles();
+  if (bundles.empty()) {
+    return Status::Invalid("corpus has no learnable bundles");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(bundles.size());
+  for (const kb::DataBundle* b : bundles) labels.push_back(b->error_code);
+  QATK_ASSIGN_OR_RETURN(
+      std::vector<size_t> fold_of,
+      StratifiedKFold(labels, config.folds, config.fold_seed));
+
+  // Distinct feature models referenced by the variants.
+  std::vector<kb::FeatureModel> models;
+  for (const VariantSpec& variant : config.variants) {
+    if (std::find(models.begin(), models.end(), variant.model) ==
+        models.end()) {
+      models.push_back(variant.model);
+    }
+  }
+
+  // ------------------------------------------- feature extraction (global)
+  // For each model: per-bundle features for the train mask and for every
+  // probe mask. One global vocabulary per model: interning is pure
+  // representation (no label information flows through it).
+  struct ModelFeatures {
+    std::vector<std::vector<int64_t>> train;               // [bundle]
+    std::map<unsigned, std::vector<std::vector<int64_t>>> probe;  // [mask]
+  };
+  std::map<kb::FeatureModel, ModelFeatures> features;
+  std::map<kb::FeatureModel, kb::FeatureVocabulary> vocabularies;
+  for (kb::FeatureModel model : models) {
+    kb::FeatureVocabulary& vocabulary = vocabularies[model];
+    kb::FeatureExtractor extractor(model, taxonomy_, &vocabulary);
+    ModelFeatures mf;
+    mf.train.reserve(bundles.size());
+    for (unsigned mask : config.probe_masks) {
+      mf.probe[mask].reserve(bundles.size());
+    }
+    for (const kb::DataBundle* bundle : bundles) {
+      QATK_ASSIGN_OR_RETURN(
+          std::vector<int64_t> train_features,
+          extractor.Extract(
+              kb::ComposeDocument(*bundle, config.train_mask, *corpus_)));
+      mf.train.push_back(std::move(train_features));
+      for (unsigned mask : config.probe_masks) {
+        QATK_ASSIGN_OR_RETURN(
+            std::vector<int64_t> probe_features,
+            extractor.Extract(kb::ComposeDocument(*bundle, mask, *corpus_)));
+        mf.probe[mask].push_back(std::move(probe_features));
+      }
+    }
+    features.emplace(model, std::move(mf));
+  }
+
+  // ------------------------------------------------------- accumulators
+  struct CurveKey {
+    std::string name;
+    unsigned mask;
+    bool operator<(const CurveKey& other) const {
+      if (name != other.name) return name < other.name;
+      return mask < other.mask;
+    }
+  };
+  std::map<CurveKey, FoldedAccuracy> accuracy;
+  std::map<CurveKey, CurveStats> stats;
+  auto curve = [&](const std::string& name, unsigned mask) -> FoldedAccuracy& {
+    CurveKey key{name, mask};
+    auto it = accuracy.find(key);
+    if (it == accuracy.end()) {
+      it = accuracy.emplace(key, FoldedAccuracy(config.ks, config.folds))
+               .first;
+    }
+    return it->second;
+  };
+
+  // ------------------------------------------------------------- CV loop
+  for (size_t fold = 0; fold < config.folds; ++fold) {
+    // Train phase: knowledge bases per model + frequency baseline.
+    std::map<kb::FeatureModel, kb::KnowledgeBase> kbs;
+    core::CodeFrequencyBaseline freq_baseline;
+    for (size_t i = 0; i < bundles.size(); ++i) {
+      if (fold_of[i] == fold) continue;  // Held out.
+      freq_baseline.AddObservation(bundles[i]->part_id,
+                                   bundles[i]->error_code);
+      for (kb::FeatureModel model : models) {
+        kbs[model].AddInstance(bundles[i]->part_id, bundles[i]->error_code,
+                               features[model].train[i]);
+      }
+    }
+
+    // Test phase.
+    core::CandidateSetBaseline candidate_baseline;
+    for (size_t i = 0; i < bundles.size(); ++i) {
+      if (fold_of[i] != fold) continue;
+      const kb::DataBundle& bundle = *bundles[i];
+
+      if (config.include_frequency_baseline) {
+        std::vector<core::ScoredCode> ranked =
+            freq_baseline.Rank(bundle.part_id);
+        size_t rank = core::RankOf(ranked, bundle.error_code);
+        for (unsigned mask : config.probe_masks) {
+          curve("code-frequency baseline", mask).Observe(fold, rank);
+        }
+      }
+
+      for (unsigned mask : config.probe_masks) {
+        for (const VariantSpec& variant : config.variants) {
+          const std::vector<int64_t>& probe =
+              features[variant.model].probe[mask][i];
+          const kb::KnowledgeBase& knowledge = kbs[variant.model];
+          core::RankedKnnClassifier classifier(
+              {variant.similarity, config.max_nodes});
+
+          auto start = Clock::now();
+          std::vector<const kb::KnowledgeNode*> candidates =
+              knowledge.SelectCandidates(bundle.part_id, probe);
+          std::vector<core::ScoredCode> ranked =
+              classifier.Rank(probe, candidates);
+          auto end = Clock::now();
+
+          curve(variant.Name(), mask)
+              .Observe(fold, core::RankOf(ranked, bundle.error_code));
+          CurveStats& cs = stats[CurveKey{variant.Name(), mask}];
+          cs.seconds += std::chrono::duration<double>(end - start).count();
+          cs.candidates += candidates.size();
+          ++cs.calls;
+        }
+
+        if (config.include_candidate_baseline) {
+          for (kb::FeatureModel model : models) {
+            const std::vector<int64_t>& probe =
+                features[model].probe[mask][i];
+            std::vector<core::ScoredCode> ranked = candidate_baseline.Rank(
+                kbs[model], bundle.part_id, probe);
+            std::string name = std::string("candidate-set baseline (") +
+                               kb::FeatureModelToString(model) + ")";
+            curve(name, mask)
+                .Observe(fold, core::RankOf(ranked, bundle.error_code));
+          }
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- report
+  EvalReport report;
+  report.ks = config.ks;
+  report.learnable_bundles = bundles.size();
+  report.distinct_learnable_codes =
+      std::set<std::string>(labels.begin(), labels.end()).size();
+  double fold_sizes = 0;
+  for (const auto& [key, folded] : accuracy) {
+    CurveResult result;
+    result.name = key.name;
+    result.probe_mask = key.mask;
+    for (size_t i = 0; i < config.ks.size(); ++i) {
+      result.accuracy_at.push_back(folded.MeanAt(i));
+    }
+    result.mrr = folded.MeanReciprocalRank();
+    auto stats_it = stats.find(key);
+    if (stats_it != stats.end() && stats_it->second.calls > 0) {
+      result.micros_per_bundle = stats_it->second.seconds * 1e6 /
+                                 static_cast<double>(stats_it->second.calls);
+      result.mean_candidates =
+          static_cast<double>(stats_it->second.candidates) /
+          static_cast<double>(stats_it->second.calls);
+    }
+    result.evaluated =
+        static_cast<size_t>(folded.MeanFoldSize() * config.folds);
+    fold_sizes = folded.MeanFoldSize();
+    report.curves.push_back(std::move(result));
+  }
+  report.mean_test_fold_size = fold_sizes;
+  return report;
+}
+
+}  // namespace qatk::eval

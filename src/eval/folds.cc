@@ -1,0 +1,33 @@
+#include "eval/folds.h"
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace qatk::eval {
+
+Result<std::vector<size_t>> StratifiedKFold(
+    const std::vector<std::string>& labels, size_t folds, uint64_t seed) {
+  if (folds < 2) {
+    return Status::Invalid("stratified CV needs at least 2 folds");
+  }
+  if (labels.empty()) {
+    return Status::Invalid("no labels to split");
+  }
+  Rng rng(seed);
+  std::map<std::string, std::vector<size_t>> by_label;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_label[labels[i]].push_back(i);
+  }
+  std::vector<size_t> assignment(labels.size(), 0);
+  for (auto& [label, indices] : by_label) {
+    rng.Shuffle(&indices);
+    size_t start = rng.NextBounded(folds);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      assignment[indices[i]] = (start + i) % folds;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace qatk::eval

@@ -1,0 +1,26 @@
+#ifndef QATK_EVAL_FOLDS_H_
+#define QATK_EVAL_FOLDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::eval {
+
+/// \brief Stratified k-fold assignment (paper §5.1): "for each error code,
+/// we use 4/5 of the data bundles with this error code as input to the
+/// knowledge base and assign error codes to the remaining 1/5".
+///
+/// Returns one fold index in [0, folds) per input position. Instances of
+/// each label are shuffled (seeded) and dealt round-robin from a random
+/// starting fold, so every label is spread as evenly as possible across
+/// folds. Labels with fewer instances than folds land in a strict subset
+/// of folds (each still appears in the training side of every other fold).
+Result<std::vector<size_t>> StratifiedKFold(
+    const std::vector<std::string>& labels, size_t folds, uint64_t seed);
+
+}  // namespace qatk::eval
+
+#endif  // QATK_EVAL_FOLDS_H_

@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qatk::eval {
+
+AccuracyAccumulator::AccuracyAccumulator(std::vector<size_t> ks)
+    : ks_(std::move(ks)), hits_(ks_.size(), 0) {
+  QATK_CHECK(std::is_sorted(ks_.begin(), ks_.end()));
+  QATK_CHECK(!ks_.empty());
+}
+
+void AccuracyAccumulator::Observe(size_t rank) {
+  ++total_;
+  if (rank == 0) return;
+  reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  for (size_t i = 0; i < ks_.size(); ++i) {
+    if (rank <= ks_[i]) ++hits_[i];
+  }
+}
+
+double AccuracyAccumulator::At(size_t i) const {
+  QATK_DCHECK(i < ks_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(hits_[i]) / static_cast<double>(total_);
+}
+
+Status AccuracyAccumulator::Merge(const AccuracyAccumulator& other) {
+  if (other.ks_ != ks_) {
+    return Status::Invalid("cannot merge accumulators with different ks");
+  }
+  for (size_t i = 0; i < hits_.size(); ++i) hits_[i] += other.hits_[i];
+  reciprocal_sum_ += other.reciprocal_sum_;
+  total_ += other.total_;
+  return Status::OK();
+}
+
+double AccuracyAccumulator::MeanReciprocalRank() const {
+  if (total_ == 0) return 0.0;
+  return reciprocal_sum_ / static_cast<double>(total_);
+}
+
+FoldedAccuracy::FoldedAccuracy(std::vector<size_t> ks, size_t folds)
+    : ks_(ks) {
+  QATK_CHECK(folds > 0);
+  folds_.reserve(folds);
+  for (size_t f = 0; f < folds; ++f) folds_.emplace_back(ks);
+}
+
+void FoldedAccuracy::Observe(size_t fold, size_t rank) {
+  QATK_CHECK(fold < folds_.size());
+  folds_[fold].Observe(rank);
+}
+
+double FoldedAccuracy::MeanAt(size_t i) const {
+  double sum = 0;
+  size_t populated = 0;
+  for (const AccuracyAccumulator& fold : folds_) {
+    if (fold.total() == 0) continue;
+    sum += fold.At(i);
+    ++populated;
+  }
+  return populated == 0 ? 0.0 : sum / static_cast<double>(populated);
+}
+
+double FoldedAccuracy::MeanReciprocalRank() const {
+  double sum = 0;
+  size_t populated = 0;
+  for (const AccuracyAccumulator& fold : folds_) {
+    if (fold.total() == 0) continue;
+    sum += fold.MeanReciprocalRank();
+    ++populated;
+  }
+  return populated == 0 ? 0.0 : sum / static_cast<double>(populated);
+}
+
+double FoldedAccuracy::MeanFoldSize() const {
+  double sum = 0;
+  for (const AccuracyAccumulator& fold : folds_) {
+    sum += static_cast<double>(fold.total());
+  }
+  return folds_.empty() ? 0.0 : sum / static_cast<double>(folds_.size());
+}
+
+}  // namespace qatk::eval

@@ -1,0 +1,72 @@
+#ifndef QATK_EVAL_METRICS_H_
+#define QATK_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::eval {
+
+/// \brief Accumulates Accuracy@k (paper §5.1): the share of test bundles
+/// whose correct error code appears within the first k suggestions.
+///
+///   A@k = |D_k| / |T|
+class AccuracyAccumulator {
+ public:
+  /// `ks` must be sorted ascending (the paper uses 1,5,10,15,20,25).
+  explicit AccuracyAccumulator(std::vector<size_t> ks);
+
+  /// Records one test bundle whose correct code sat at 1-based `rank`
+  /// in the suggestion list (0 = not in the list at all).
+  void Observe(size_t rank);
+
+  size_t total() const { return total_; }
+
+  /// Accuracy@ks[i]; 0 when nothing observed.
+  double At(size_t i) const;
+
+  const std::vector<size_t>& ks() const { return ks_; }
+
+  /// Element-wise accumulation of another accumulator (same ks).
+  Status Merge(const AccuracyAccumulator& other);
+
+  /// Mean reciprocal rank over all observations (rank 0 contributes 0).
+  double MeanReciprocalRank() const;
+
+ private:
+  std::vector<size_t> ks_;
+  std::vector<size_t> hits_;
+  double reciprocal_sum_ = 0;
+  size_t total_ = 0;
+};
+
+/// \brief Per-fold accuracy curves averaged the way the paper reports them
+/// ("we do this five times with distinct splits of the data and average
+/// the accuracies obtained in each iteration").
+class FoldedAccuracy {
+ public:
+  FoldedAccuracy(std::vector<size_t> ks, size_t folds);
+
+  void Observe(size_t fold, size_t rank);
+
+  /// Mean over folds of the per-fold Accuracy@ks[i].
+  double MeanAt(size_t i) const;
+
+  /// Mean test-fold size.
+  double MeanFoldSize() const;
+
+  /// Mean over folds of the per-fold mean reciprocal rank.
+  double MeanReciprocalRank() const;
+
+  const std::vector<size_t>& ks() const { return ks_; }
+
+ private:
+  std::vector<size_t> ks_;
+  std::vector<AccuracyAccumulator> folds_;
+};
+
+}  // namespace qatk::eval
+
+#endif  // QATK_EVAL_METRICS_H_

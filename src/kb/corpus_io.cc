@@ -1,0 +1,120 @@
+#include "kb/corpus_io.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace qatk::kb {
+
+namespace {
+
+const std::vector<std::string> kBundleHeader = {
+    "ref",      "article_code", "part_id",  "error_code", "resp_code",
+    "mechanic", "initial",      "supplier", "final"};
+
+Status WriteFile(const std::string& path,
+                 const std::function<void(CsvWriter*)>& emit) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  CsvWriter writer(&out);
+  emit(&writer);
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status CheckHeader(const std::vector<std::vector<std::string>>& rows,
+                   const std::vector<std::string>& expected,
+                   const std::string& path) {
+  if (rows.empty() || rows[0] != expected) {
+    return Status::Invalid("'" + path + "' is missing the expected header");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCorpusCsv(const Corpus& corpus, const std::string& dir) {
+  QATK_RETURN_NOT_OK(WriteFile(dir + "/bundles.csv", [&](CsvWriter* csv) {
+    csv->WriteRow(kBundleHeader);
+    for (const DataBundle& b : corpus.bundles) {
+      csv->WriteRow({b.reference_number, b.article_code, b.part_id,
+                     b.error_code, b.responsibility_code, b.mechanic_report,
+                     b.initial_oem_report, b.supplier_report,
+                     b.final_oem_report});
+    }
+  }));
+  QATK_RETURN_NOT_OK(WriteFile(dir + "/part_desc.csv", [&](CsvWriter* csv) {
+    csv->WriteRow({"part_id", "description"});
+    for (const auto& [part, description] : corpus.part_descriptions) {
+      csv->WriteRow({part, description});
+    }
+  }));
+  return WriteFile(dir + "/error_desc.csv", [&](CsvWriter* csv) {
+    csv->WriteRow({"error_code", "description"});
+    for (const auto& [code, description] : corpus.error_descriptions) {
+      csv->WriteRow({code, description});
+    }
+  });
+}
+
+Result<Corpus> LoadCorpusCsv(const std::string& dir) {
+  Corpus corpus;
+  {
+    std::string path = dir + "/bundles.csv";
+    QATK_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+    QATK_RETURN_NOT_OK(CheckHeader(rows, kBundleHeader, path));
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i].size() != kBundleHeader.size()) {
+        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
+                               " has " + std::to_string(rows[i].size()) +
+                               " fields, expected " +
+                               std::to_string(kBundleHeader.size()));
+      }
+      DataBundle b;
+      b.reference_number = rows[i][0];
+      b.article_code = rows[i][1];
+      b.part_id = rows[i][2];
+      b.error_code = rows[i][3];
+      b.responsibility_code = rows[i][4];
+      b.mechanic_report = rows[i][5];
+      b.initial_oem_report = rows[i][6];
+      b.supplier_report = rows[i][7];
+      b.final_oem_report = rows[i][8];
+      if (b.reference_number.empty()) {
+        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
+                               " has an empty reference number");
+      }
+      corpus.bundles.push_back(std::move(b));
+    }
+  }
+  // Description catalogs are optional.
+  for (const auto& [file, target] :
+       {std::make_pair("/part_desc.csv", &corpus.part_descriptions),
+        std::make_pair("/error_desc.csv", &corpus.error_descriptions)}) {
+    std::string path = dir + file;
+    auto rows = ReadCsvFile(path);
+    if (rows.status().IsIOError()) continue;  // Absent: fine.
+    QATK_RETURN_NOT_OK(rows.status());
+    for (size_t i = 1; i < rows->size(); ++i) {
+      if ((*rows)[i].size() != 2) {
+        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
+                               " must have exactly 2 fields");
+      }
+      (*target)[(*rows)[i][0]] = (*rows)[i][1];
+    }
+  }
+  return corpus;
+}
+
+}  // namespace qatk::kb

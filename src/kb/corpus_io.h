@@ -1,0 +1,35 @@
+#ifndef QATK_KB_CORPUS_IO_H_
+#define QATK_KB_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "kb/data_bundle.h"
+
+namespace qatk::kb {
+
+/// \brief CSV interchange for corpora — the adoption path for real data:
+/// export the synthetic corpus to inspect it, or import an organisation's
+/// own report bundles without touching C++.
+///
+/// Layout under a directory `dir`:
+///   bundles.csv      ref,article_code,part_id,error_code,resp_code,
+///                    mechanic,initial,supplier,final
+///   part_desc.csv    part_id,description
+///   error_desc.csv   error_code,description
+///
+/// All files carry a header row; report fields may contain commas,
+/// quotes, and newlines (RFC-4180 quoting). An empty error_code marks a
+/// bundle that has not been coded yet.
+///
+/// Serializes a corpus into `dir` (must exist).
+Status SaveCorpusCsv(const Corpus& corpus, const std::string& dir);
+
+/// Reads a corpus back. Fails with Invalid on malformed rows (wrong arity
+/// or missing headers) and IOError on unreadable files; the description
+/// files are optional.
+Result<Corpus> LoadCorpusCsv(const std::string& dir);
+
+}  // namespace qatk::kb
+
+#endif  // QATK_KB_CORPUS_IO_H_

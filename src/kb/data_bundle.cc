@@ -1,0 +1,67 @@
+#include "kb/data_bundle.h"
+
+namespace qatk::kb {
+
+namespace {
+
+void AppendSection(std::string* doc, const std::string& text) {
+  if (text.empty()) return;
+  if (!doc->empty()) doc->append("\n");
+  doc->append(text);
+}
+
+std::map<std::string, size_t> ErrorCodeCounts(const Corpus& corpus) {
+  std::map<std::string, size_t> counts;
+  for (const DataBundle& bundle : corpus.bundles) {
+    if (!bundle.error_code.empty()) ++counts[bundle.error_code];
+  }
+  return counts;
+}
+
+}  // namespace
+
+size_t Corpus::CountDistinctErrorCodes() const {
+  return ErrorCodeCounts(*this).size();
+}
+
+size_t Corpus::CountSingletonErrorCodes() const {
+  size_t singletons = 0;
+  for (const auto& [code, count] : ErrorCodeCounts(*this)) {
+    if (count == 1) ++singletons;
+  }
+  return singletons;
+}
+
+std::vector<const DataBundle*> Corpus::LearnableBundles() const {
+  std::map<std::string, size_t> counts = ErrorCodeCounts(*this);
+  std::vector<const DataBundle*> out;
+  for (const DataBundle& bundle : bundles) {
+    auto it = counts.find(bundle.error_code);
+    if (it != counts.end() && it->second > 1) out.push_back(&bundle);
+  }
+  return out;
+}
+
+std::string ComposeDocument(const DataBundle& bundle, unsigned sources,
+                            const Corpus& corpus) {
+  std::string doc;
+  if (sources & kMechanicReport) AppendSection(&doc, bundle.mechanic_report);
+  if (sources & kInitialReport) {
+    AppendSection(&doc, bundle.initial_oem_report);
+  }
+  if (sources & kSupplierReport) AppendSection(&doc, bundle.supplier_report);
+  if (sources & kFinalReport) AppendSection(&doc, bundle.final_oem_report);
+  if (sources & kPartDescription) {
+    auto it = corpus.part_descriptions.find(bundle.part_id);
+    if (it != corpus.part_descriptions.end()) AppendSection(&doc, it->second);
+  }
+  if ((sources & kErrorDescription) && !bundle.error_code.empty()) {
+    auto it = corpus.error_descriptions.find(bundle.error_code);
+    if (it != corpus.error_descriptions.end()) {
+      AppendSection(&doc, it->second);
+    }
+  }
+  return doc;
+}
+
+}  // namespace qatk::kb

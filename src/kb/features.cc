@@ -1,0 +1,135 @@
+#include "kb/features.h"
+
+#include <algorithm>
+
+#include "cas/annotators.h"
+#include "cas/cas.h"
+#include "common/logging.h"
+#include "taxonomy/concept_annotator.h"
+
+namespace qatk::kb {
+
+const char* FeatureModelToString(FeatureModel model) {
+  switch (model) {
+    case FeatureModel::kBagOfWords: return "bag-of-words";
+    case FeatureModel::kBagOfWordsNoStop: return "bag-of-words-nostop";
+    case FeatureModel::kBagOfStems: return "bag-of-stems";
+    case FeatureModel::kBagOfConcepts: return "bag-of-concepts";
+  }
+  return "?";
+}
+
+int64_t FeatureVocabulary::Intern(const std::string& word) {
+  auto it = word_to_id_.find(word);
+  if (it != word_to_id_.end()) return it->second;
+  int64_t id = static_cast<int64_t>(id_to_word_.size());
+  word_to_id_.emplace(word, id);
+  id_to_word_.push_back(word);
+  return id;
+}
+
+int64_t FeatureVocabulary::Lookup(const std::string& word) const {
+  auto it = word_to_id_.find(word);
+  return it == word_to_id_.end() ? -1 : it->second;
+}
+
+Result<std::string> FeatureVocabulary::WordOf(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= id_to_word_.size()) {
+    return Status::KeyError("no word with id " + std::to_string(id));
+  }
+  return id_to_word_[static_cast<size_t>(id)];
+}
+
+Status FeatureVocabulary::Restore(const std::string& word, int64_t id) {
+  if (id < 0) return Status::Invalid("negative vocabulary id");
+  if (word_to_id_.count(word) > 0) {
+    return Status::AlreadyExists("word '" + word + "' already interned");
+  }
+  if (static_cast<size_t>(id) != id_to_word_.size()) {
+    return Status::Invalid("vocabulary ids must be restored densely in "
+                           "order; got " +
+                           std::to_string(id) + " expected " +
+                           std::to_string(id_to_word_.size()));
+  }
+  word_to_id_.emplace(word, id);
+  id_to_word_.push_back(word);
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, int64_t>> FeatureVocabulary::Entries()
+    const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(id_to_word_.size());
+  for (size_t i = 0; i < id_to_word_.size(); ++i) {
+    out.emplace_back(id_to_word_[i], static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+FeatureExtractor::FeatureExtractor(FeatureModel model,
+                                   const tax::Taxonomy* taxonomy,
+                                   FeatureVocabulary* vocabulary,
+                                   bool frozen_vocabulary)
+    : model_(model),
+      vocabulary_(vocabulary),
+      frozen_vocabulary_(frozen_vocabulary) {
+  pipeline_.Add(std::make_unique<cas::TokenizerAnnotator>());
+  switch (model) {
+    case FeatureModel::kBagOfWords:
+      break;
+    case FeatureModel::kBagOfWordsNoStop:
+      pipeline_.Add(std::make_unique<cas::StopwordAnnotator>());
+      break;
+    case FeatureModel::kBagOfStems:
+      pipeline_.Add(std::make_unique<cas::LanguageAnnotator>());
+      pipeline_.Add(std::make_unique<cas::StemmerAnnotator>());
+      pipeline_.Add(std::make_unique<cas::StopwordAnnotator>());
+      break;
+    case FeatureModel::kBagOfConcepts:
+      QATK_CHECK(taxonomy != nullptr)
+          << "bag-of-concepts needs a taxonomy";
+      pipeline_.Add(std::make_unique<tax::TrieConceptAnnotator>(*taxonomy));
+      break;
+  }
+  QATK_CHECK(vocabulary_ != nullptr) << "vocabulary must be provided";
+}
+
+Result<std::vector<int64_t>> FeatureExtractor::Extract(
+    const std::string& document) {
+  cas::Cas c(document);
+  QATK_RETURN_NOT_OK(pipeline_.Process(&c));
+
+  std::vector<int64_t> features;
+  last_mention_count_ = 0;
+  if (model_ == FeatureModel::kBagOfConcepts) {
+    for (const cas::Annotation* a : c.Select(cas::types::kConcept)) {
+      features.push_back(a->GetInt(cas::types::kFeatureConceptId));
+      ++last_mention_count_;
+    }
+  } else {
+    bool filter_stop = model_ == FeatureModel::kBagOfWordsNoStop ||
+                       model_ == FeatureModel::kBagOfStems;
+    bool use_stem = model_ == FeatureModel::kBagOfStems;
+    for (const cas::Annotation* token : c.Select(cas::types::kToken)) {
+      if (token->GetString(cas::types::kFeatureKind) != "word") continue;
+      if (filter_stop &&
+          token->GetInt(cas::types::kFeatureStopword) == 1) {
+        continue;
+      }
+      std::string word(token->GetString(
+          use_stem ? cas::types::kFeatureStem : cas::types::kFeatureNorm));
+      int64_t id = frozen_vocabulary_ ? vocabulary_->Lookup(word)
+                                      : vocabulary_->Intern(word);
+      if (id >= 0) {
+        features.push_back(id);
+        ++last_mention_count_;
+      }
+    }
+  }
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()),
+                 features.end());
+  return features;
+}
+
+}  // namespace qatk::kb

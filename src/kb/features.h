@@ -1,0 +1,103 @@
+#ifndef QATK_KB_FEATURES_H_
+#define QATK_KB_FEATURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cas/pipeline.h"
+#include "common/result.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::kb {
+
+/// Feature representation of a data bundle (paper §4.3): the
+/// domain-ignorant bag-of-words, its stopword-filtered variant (§5.2.2),
+/// and the domain-specific bag-of-concepts.
+enum class FeatureModel {
+  kBagOfWords,
+  kBagOfWordsNoStop,
+  /// Stemmed, stopword-filtered words (the §6 preprocessing extension).
+  kBagOfStems,
+  kBagOfConcepts,
+};
+
+const char* FeatureModelToString(FeatureModel model);
+
+/// \brief Bidirectional word <-> id interning for bag-of-words features.
+///
+/// Word features are interned to int64 ids so both feature models share
+/// one similarity kernel and one knowledge-node representation. The
+/// vocabulary is persisted next to the knowledge base.
+class FeatureVocabulary {
+ public:
+  FeatureVocabulary() = default;
+
+  /// Returns the id for `word`, assigning the next id on first sight.
+  int64_t Intern(const std::string& word);
+
+  /// Returns the id or -1 when the word is unknown (read-only lookup used
+  /// at test time: unseen words can never match a knowledge node anyway).
+  int64_t Lookup(const std::string& word) const;
+
+  /// Inverse mapping; KeyError for unknown ids.
+  Result<std::string> WordOf(int64_t id) const;
+
+  size_t size() const { return word_to_id_.size(); }
+
+  /// Restores an entry with a fixed id (persistence path). Ids must stay
+  /// dense and unique.
+  Status Restore(const std::string& word, int64_t id);
+
+  /// All (word, id) pairs ordered by id.
+  std::vector<std::pair<std::string, int64_t>> Entries() const;
+
+ private:
+  std::unordered_map<std::string, int64_t> word_to_id_;
+  std::vector<std::string> id_to_word_;
+};
+
+/// \brief Turns a composed document into a sorted, deduplicated feature-id
+/// set by running the QATK preprocessing pipeline (§4.4 step 2).
+///
+/// Bag-of-words: tokenize -> fold -> (optional stopword removal) -> intern.
+/// Bag-of-concepts: tokenize -> trie concept annotation -> concept ids
+/// ("we use the concept mentions as attributes without distinguishing
+/// between types of concepts").
+class FeatureExtractor {
+ public:
+  /// For kBagOfConcepts, `taxonomy` must be non-null and outlive the
+  /// extractor; `vocabulary` (non-null, caller-owned) is used by the word
+  /// models. `frozen_vocabulary` extracts with Lookup instead of Intern.
+  FeatureExtractor(FeatureModel model, const tax::Taxonomy* taxonomy,
+                   FeatureVocabulary* vocabulary,
+                   bool frozen_vocabulary = false);
+
+  FeatureExtractor(const FeatureExtractor&) = delete;
+  FeatureExtractor& operator=(const FeatureExtractor&) = delete;
+
+  /// Extracts the sorted unique feature ids of `document`.
+  Result<std::vector<int64_t>> Extract(const std::string& document);
+
+  /// Number of feature mentions (pre-dedup) in the last Extract call; the
+  /// paper reports ~70 word vs ~26 concept mentions per text (§4.3).
+  size_t last_mention_count() const { return last_mention_count_; }
+
+  FeatureModel model() const { return model_; }
+
+  /// Freezes/unfreezes the vocabulary (train vs. test phase).
+  void set_frozen_vocabulary(bool frozen) { frozen_vocabulary_ = frozen; }
+
+ private:
+  FeatureModel model_;
+  FeatureVocabulary* vocabulary_;
+  bool frozen_vocabulary_;
+  cas::Pipeline pipeline_;
+  size_t last_mention_count_ = 0;
+};
+
+}  // namespace qatk::kb
+
+#endif  // QATK_KB_FEATURES_H_

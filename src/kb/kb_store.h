@@ -1,0 +1,85 @@
+#ifndef QATK_KB_KB_STORE_H_
+#define QATK_KB_KB_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/data_bundle.h"
+#include "kb/features.h"
+#include "kb/knowledge_base.h"
+#include "storage/database.h"
+
+namespace qatk::kb {
+
+/// \brief Relational persistence of QATK data (paper §4.5.1: "For data
+/// storage, we use relational databases").
+///
+/// Layout under a prefix `p`:
+///   p_bundles(ref, article_code, part_id, error_code, resp_code,
+///             mechanic, initial, supplier, final)   + index on part_id, ref
+///   p_part_desc(part_id, description)
+///   p_error_desc(error_code, description)
+///   p_nodes(node_id, part_id, error_code, instances)
+///   p_features(node_id, part_id, feature)           + index (part_id, feature)
+///   p_vocab(id, word)
+///   p_results(ref, error_code, score, rank)
+class KbStore {
+ public:
+  /// Borrows `db`; the database must outlive the store.
+  KbStore(db::Database* database, std::string prefix);
+
+  // -- Raw corpus ------------------------------------------------------------
+
+  /// Creates the corpus tables and writes all bundles + description texts.
+  Status SaveCorpus(const Corpus& corpus);
+
+  /// Reads the full corpus back.
+  Result<Corpus> LoadCorpus() const;
+
+  /// Fetches one bundle by reference number (uses the ref index).
+  Result<DataBundle> FindBundle(const std::string& reference_number);
+
+  // -- Knowledge base ----------------------------------------------------------
+
+  /// Creates knowledge-base tables and writes nodes + posting rows +
+  /// vocabulary. Overwrites nothing: fails if tables exist.
+  Status SaveKnowledgeBase(const KnowledgeBase& kb,
+                           const FeatureVocabulary& vocabulary);
+
+  /// Loads the knowledge base and vocabulary back into memory.
+  Result<KnowledgeBase> LoadKnowledgeBase() const;
+  Result<FeatureVocabulary> LoadVocabulary() const;
+
+  /// On-the-fly candidate selection straight from the database indexes
+  /// (paper §2.2: instances are held "on disk, as is the case in our
+  /// implementation, for comparison with the data instances to be
+  /// classified"). Returns materialized candidate nodes for the probe.
+  Result<std::vector<KnowledgeNode>> SelectCandidatesFromDb(
+      const std::string& part_id, const std::vector<int64_t>& features);
+
+  // -- Recommendations -------------------------------------------------------
+
+  /// Persists one ranked recommendation list for a bundle (§4.4 step 3c:
+  /// "store scored error code suggestions in a relational database").
+  Status SaveRecommendations(
+      const std::string& reference_number,
+      const std::vector<std::pair<std::string, double>>& scored_codes);
+
+  /// Loads the stored recommendations for a bundle, best first.
+  Result<std::vector<std::pair<std::string, double>>> LoadRecommendations(
+      const std::string& reference_number);
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string T(const std::string& suffix) const {
+    return prefix_ + "_" + suffix;
+  }
+
+  db::Database* db_;
+  std::string prefix_;
+};
+
+}  // namespace qatk::kb
+
+#endif  // QATK_KB_KB_STORE_H_

@@ -1,0 +1,86 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qatk::kb {
+
+std::string KnowledgeBase::ConfigKey(const std::string& part_id,
+                                     const std::string& error_code,
+                                     const std::vector<int64_t>& features) {
+  std::string key = part_id;
+  key.push_back('\x1f');
+  key += error_code;
+  for (int64_t f : features) {
+    key.push_back('\x1f');
+    key += std::to_string(f);
+  }
+  return key;
+}
+
+void KnowledgeBase::AddInstance(const std::string& part_id,
+                                const std::string& error_code,
+                                std::vector<int64_t> features) {
+  QATK_DCHECK(std::is_sorted(features.begin(), features.end()));
+  ++num_instances_;
+  std::string key = ConfigKey(part_id, error_code, features);
+  auto it = config_index_.find(key);
+  if (it != config_index_.end()) {
+    ++nodes_[it->second].instance_count;
+    return;
+  }
+  size_t index = nodes_.size();
+  KnowledgeNode node;
+  node.part_id = part_id;
+  node.error_code = error_code;
+  node.features = std::move(features);
+  nodes_.push_back(std::move(node));
+  config_index_.emplace(std::move(key), index);
+  by_part_[part_id].push_back(index);
+  auto& part_postings = postings_[part_id];
+  for (int64_t f : nodes_[index].features) {
+    part_postings[f].push_back(index);
+  }
+}
+
+std::vector<const KnowledgeNode*> KnowledgeBase::SelectCandidates(
+    const std::string& part_id, const std::vector<int64_t>& features) const {
+  auto part_it = postings_.find(part_id);
+  if (part_it == postings_.end()) {
+    // Unknown part id: "we select all nodes into our neighbor candidate
+    // set" (§4.3).
+    return AllNodes();
+  }
+  std::vector<size_t> hits;
+  for (int64_t f : features) {
+    auto post_it = part_it->second.find(f);
+    if (post_it == part_it->second.end()) continue;
+    hits.insert(hits.end(), post_it->second.begin(), post_it->second.end());
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  std::vector<const KnowledgeNode*> out;
+  out.reserve(hits.size());
+  for (size_t index : hits) out.push_back(&nodes_[index]);
+  return out;
+}
+
+std::vector<const KnowledgeNode*> KnowledgeBase::NodesForPart(
+    const std::string& part_id) const {
+  std::vector<const KnowledgeNode*> out;
+  auto it = by_part_.find(part_id);
+  if (it == by_part_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t index : it->second) out.push_back(&nodes_[index]);
+  return out;
+}
+
+std::vector<const KnowledgeNode*> KnowledgeBase::AllNodes() const {
+  std::vector<const KnowledgeNode*> out;
+  out.reserve(nodes_.size());
+  for (const KnowledgeNode& node : nodes_) out.push_back(&node);
+  return out;
+}
+
+}  // namespace qatk::kb

@@ -1,0 +1,82 @@
+#ifndef QATK_KB_KNOWLEDGE_BASE_H_
+#define QATK_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::kb {
+
+/// \brief One knowledge node (paper Fig. 9): a unique combination of part
+/// id, error code, and occurring features (concept ids or interned words).
+///
+/// Nodes are *configuration instances* abstracted from data instances
+/// (§4.3): identical combinations merge, shrinking the knowledge base and
+/// speeding up the pairwise comparisons — the paper's answer to kNN's
+/// instance-storage weakness, following Guo et al.'s kNN-Model idea.
+struct KnowledgeNode {
+  std::string part_id;
+  std::string error_code;
+  /// Sorted, deduplicated feature ids.
+  std::vector<int64_t> features;
+  /// Number of raw data instances merged into this node.
+  size_t instance_count = 1;
+};
+
+/// \brief In-memory knowledge base with the candidate-selection indexes of
+/// Fig. 5: by part id, and by (part id, feature) posting lists.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Adds one training instance; merges into an existing node when the
+  /// (part, code, features) configuration is already present. `features`
+  /// must be sorted and deduplicated (FeatureExtractor output).
+  void AddInstance(const std::string& part_id, const std::string& error_code,
+                   std::vector<int64_t> features);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_instances() const { return num_instances_; }
+  const std::vector<KnowledgeNode>& nodes() const { return nodes_; }
+
+  bool HasPart(const std::string& part_id) const {
+    return by_part_.count(part_id) > 0;
+  }
+
+  /// Candidate-set generation (paper Fig. 5): from all knowledge nodes (1),
+  /// keep those with the same part id (2), then those sharing at least one
+  /// feature with the probe (3). When the part id is unknown, every node
+  /// becomes a candidate. Returned pointers are stable until the next
+  /// AddInstance.
+  std::vector<const KnowledgeNode*> SelectCandidates(
+      const std::string& part_id,
+      const std::vector<int64_t>& features) const;
+
+  /// All nodes with the given part id (step 2 only; used by tests and the
+  /// candidate-set ablation).
+  std::vector<const KnowledgeNode*> NodesForPart(
+      const std::string& part_id) const;
+
+  std::vector<const KnowledgeNode*> AllNodes() const;
+
+ private:
+  static std::string ConfigKey(const std::string& part_id,
+                               const std::string& error_code,
+                               const std::vector<int64_t>& features);
+
+  std::vector<KnowledgeNode> nodes_;
+  size_t num_instances_ = 0;
+  std::unordered_map<std::string, std::vector<size_t>> by_part_;
+  /// part id -> feature -> node indices (posting lists).
+  std::unordered_map<std::string,
+                     std::unordered_map<int64_t, std::vector<size_t>>>
+      postings_;
+  std::unordered_map<std::string, size_t> config_index_;
+};
+
+}  // namespace qatk::kb
+
+#endif  // QATK_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,88 @@
+#include "quest/comparison.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strutil.h"
+
+namespace qatk::quest {
+
+Distribution Distribution::FromCounts(
+    std::string source_name, const std::map<std::string, size_t>& counts,
+    size_t top_n) {
+  Distribution dist;
+  dist.source_name = std::move(source_name);
+  for (const auto& [code, count] : counts) dist.total += count;
+  if (dist.total == 0) return dist;
+
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  size_t shown = 0;
+  for (size_t i = 0; i < sorted.size() && i < top_n; ++i) {
+    DistributionEntry entry;
+    entry.error_code = sorted[i].first;
+    entry.count = sorted[i].second;
+    entry.fraction =
+        static_cast<double>(entry.count) / static_cast<double>(dist.total);
+    shown += entry.count;
+    dist.entries.push_back(std::move(entry));
+  }
+  if (shown < dist.total) {
+    DistributionEntry other;
+    other.error_code = "Other";
+    other.count = dist.total - shown;
+    other.fraction =
+        static_cast<double>(other.count) / static_cast<double>(dist.total);
+    dist.entries.push_back(std::move(other));
+  }
+  return dist;
+}
+
+namespace {
+
+std::string Bar(double fraction, size_t width) {
+  size_t filled = static_cast<size_t>(fraction * static_cast<double>(width));
+  std::string bar(filled, '#');
+  bar += std::string(width - filled, '.');
+  return bar;
+}
+
+void RenderColumn(const Distribution& dist, std::ostringstream* out) {
+  *out << dist.source_name << " (" << dist.total << " records)\n";
+  for (const DistributionEntry& entry : dist.entries) {
+    std::string code = entry.error_code;
+    code.resize(10, ' ');
+    *out << "  " << code << " " << Bar(entry.fraction, 30) << " "
+         << qatk::FormatDouble(entry.fraction * 100, 1) << "%\n";
+  }
+}
+
+}  // namespace
+
+std::string ComparisonScreen::Render() const {
+  std::ostringstream out;
+  out << "=== Error distribution comparison ===\n";
+  RenderColumn(left, &out);
+  out << "---\n";
+  RenderColumn(right, &out);
+  return out.str();
+}
+
+double ComparisonScreen::OverlapScore() const {
+  double overlap = 0;
+  for (const DistributionEntry& l : left.entries) {
+    if (l.error_code == "Other") continue;
+    for (const DistributionEntry& r : right.entries) {
+      if (r.error_code == l.error_code) {
+        overlap += std::min(l.fraction, r.fraction);
+      }
+    }
+  }
+  return overlap;
+}
+
+}  // namespace qatk::quest

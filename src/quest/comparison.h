@@ -1,0 +1,51 @@
+#ifndef QATK_QUEST_COMPARISON_H_
+#define QATK_QUEST_COMPARISON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::quest {
+
+/// One slice of an error-code distribution.
+struct DistributionEntry {
+  std::string error_code;
+  size_t count = 0;
+  double fraction = 0;
+};
+
+/// \brief Error-code distribution of one data source, reduced to the top-n
+/// codes plus an "Other" bucket — the pie charts of the QUEST data
+/// comparison screen (paper Fig. 14).
+struct Distribution {
+  std::string source_name;
+  std::vector<DistributionEntry> entries;  ///< Top-n then "Other".
+  size_t total = 0;
+
+  /// Reduces raw counts to top-n + Other. Ties break lexicographically.
+  static Distribution FromCounts(std::string source_name,
+                                 const std::map<std::string, size_t>& counts,
+                                 size_t top_n);
+};
+
+/// \brief The side-by-side comparison of Fig. 14: top error codes of the
+/// proprietary data set next to the (classified) public NHTSA data.
+struct ComparisonScreen {
+  Distribution left;
+  Distribution right;
+
+  /// ASCII rendering: one row per code with percentage bars, the terminal
+  /// stand-in for the web app's pie charts.
+  std::string Render() const;
+
+  /// Sum over shared codes of min(fraction_left, fraction_right): 1.0 =
+  /// identical distributions. Quantifies the cross-market overlap the
+  /// business case is after.
+  double OverlapScore() const;
+};
+
+}  // namespace qatk::quest
+
+#endif  // QATK_QUEST_COMPARISON_H_

@@ -1,0 +1,120 @@
+#include "quest/recommendation_service.h"
+
+#include <algorithm>
+
+namespace qatk::quest {
+
+RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
+                                             Options options)
+    : taxonomy_(taxonomy),
+      options_(options),
+      classifier_({options.similarity, options.max_nodes}) {}
+
+Status RecommendationService::Train(const kb::Corpus& corpus) {
+  if (trained_) {
+    return Status::Invalid("service already trained");
+  }
+  part_descriptions_ = corpus.part_descriptions;
+  error_descriptions_ = corpus.error_descriptions;
+
+  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_);
+  for (const kb::DataBundle& bundle : corpus.bundles) {
+    if (bundle.error_code.empty()) continue;  // Not yet coded: no label.
+    QATK_ASSIGN_OR_RETURN(
+        std::vector<int64_t> features,
+        extractor.Extract(
+            kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
+    knowledge_.AddInstance(bundle.part_id, bundle.error_code,
+                           std::move(features));
+    frequency_.AddObservation(bundle.part_id, bundle.error_code);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<RecommendationService::Recommendation>
+RecommendationService::Recommend(const kb::DataBundle& bundle) const {
+  if (!trained_) return Status::Invalid("service not trained");
+  // Compose the test-time document (no final report / error description).
+  kb::Corpus context;
+  context.part_descriptions = part_descriptions_;
+  std::string document =
+      kb::ComposeDocument(bundle, kb::kTestSources, context);
+  return RecommendForText(bundle.part_id, document);
+}
+
+Result<RecommendationService::Recommendation>
+RecommendationService::RecommendForText(const std::string& part_id,
+                                        const std::string& text) const {
+  if (!trained_) return Status::Invalid("service not trained");
+  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_,
+                                 /*frozen_vocabulary=*/true);
+  QATK_ASSIGN_OR_RETURN(std::vector<int64_t> features,
+                        extractor.Extract(text));
+  std::vector<core::ScoredCode> ranked =
+      classifier_.Classify(knowledge_, part_id, features);
+  Recommendation recommendation;
+  recommendation.truncated = ranked.size() > options_.top_n;
+  if (recommendation.truncated) ranked.resize(options_.top_n);
+  recommendation.top = std::move(ranked);
+  return recommendation;
+}
+
+Status RecommendationService::ConfirmAssignment(
+    const kb::DataBundle& bundle, const std::string& error_code) {
+  if (!trained_) return Status::Invalid("service not trained");
+  if (error_code.empty()) {
+    return Status::Invalid("cannot confirm an empty error code");
+  }
+  kb::Corpus context;
+  context.part_descriptions = part_descriptions_;
+  context.error_descriptions = error_descriptions_;
+  kb::DataBundle coded = bundle;
+  coded.error_code = error_code;
+  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_);
+  QATK_ASSIGN_OR_RETURN(
+      std::vector<int64_t> features,
+      extractor.Extract(
+          kb::ComposeDocument(coded, kb::kTrainSources, context)));
+  knowledge_.AddInstance(bundle.part_id, error_code, std::move(features));
+  frequency_.AddObservation(bundle.part_id, error_code);
+  return Status::OK();
+}
+
+std::vector<core::ScoredCode> RecommendationService::FullListForPart(
+    const std::string& part_id) const {
+  std::vector<core::ScoredCode> list = frequency_.Rank(part_id);
+  auto manual = manual_codes_.find(part_id);
+  if (manual != manual_codes_.end()) {
+    for (const std::string& code : manual->second) {
+      list.push_back({code, 0.0});
+    }
+  }
+  return list;
+}
+
+Status RecommendationService::DefineErrorCode(const std::string& part_id,
+                                              const std::string& code,
+                                              const std::string& description) {
+  for (const core::ScoredCode& existing : FullListForPart(part_id)) {
+    if (existing.error_code == code) {
+      return Status::AlreadyExists("error code '" + code +
+                                   "' already defined for part '" + part_id +
+                                   "'");
+    }
+  }
+  manual_codes_[part_id].push_back(code);
+  error_descriptions_[code] = description;
+  return Status::OK();
+}
+
+Result<std::string> RecommendationService::DescribeCode(
+    const std::string& code) const {
+  auto it = error_descriptions_.find(code);
+  if (it == error_descriptions_.end()) {
+    return Status::KeyError("no description for error code '" + code + "'");
+  }
+  return it->second;
+}
+
+}  // namespace qatk::quest

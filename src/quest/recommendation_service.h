@@ -1,0 +1,100 @@
+#ifndef QATK_QUEST_RECOMMENDATION_SERVICE_H_
+#define QATK_QUEST_RECOMMENDATION_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/baselines.h"
+#include "core/classifier.h"
+#include "kb/data_bundle.h"
+#include "kb/features.h"
+#include "kb/knowledge_base.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::quest {
+
+/// \brief The QUEST error-code assignment backend (paper §4.5.4): trains a
+/// knowledge base once, then serves ranked recommendations per bundle.
+///
+/// UI contract reproduced from the paper: "the user is first presented
+/// with a selection of the 10 most likely error codes in descending order
+/// of likelihood. If the user decides that the correct error code is not
+/// among these 10 codes, they can access the list of all error codes
+/// available for the part ID of the current data bundle". Users with
+/// extended rights can also define new error codes (DefineErrorCode).
+class RecommendationService {
+ public:
+  struct Options {
+    /// Feature model for the deployed service; the paper concludes the
+    /// domain-specific model is the industrially feasible one (§5.2.2).
+    kb::FeatureModel model = kb::FeatureModel::kBagOfConcepts;
+    core::SimilarityMeasure similarity = core::SimilarityMeasure::kJaccard;
+    size_t max_nodes = 25;
+    size_t top_n = 10;
+  };
+
+  /// `taxonomy` must outlive the service.
+  RecommendationService(const tax::Taxonomy* taxonomy, Options options);
+
+  /// Builds the knowledge base, the frequency-sorted full lists, and the
+  /// description catalogs from a coded corpus. Callable once.
+  Status Train(const kb::Corpus& corpus);
+
+  /// Ranked recommendation for one (possibly uncoded) bundle.
+  struct Recommendation {
+    /// Top-N codes, best first.
+    std::vector<core::ScoredCode> top;
+    /// True when more candidates existed beyond top (the UI shows the
+    /// "view all codes" affordance either way).
+    bool truncated = false;
+  };
+  Result<Recommendation> Recommend(const kb::DataBundle& bundle) const;
+
+  /// Classifies a foreign-source text under an OEM part id (§5.4: applying
+  /// the knowledge base to NHTSA complaint narratives).
+  Result<Recommendation> RecommendForText(const std::string& part_id,
+                                          const std::string& text) const;
+
+  /// The fallback list: every error code known for the part, sorted by
+  /// training-set frequency (most frequent first).
+  std::vector<core::ScoredCode> FullListForPart(
+      const std::string& part_id) const;
+
+  /// Online learning: folds a confirmed final assignment back into the
+  /// knowledge base and the frequency statistics, so the next
+  /// recommendations benefit from the expert's decision. `bundle` should
+  /// carry all reports available at confirmation time.
+  Status ConfirmAssignment(const kb::DataBundle& bundle,
+                           const std::string& error_code);
+
+  /// Registers a new error code for a part (QUEST "create new error
+  /// codes" capability). Fails if the code already exists for the part.
+  Status DefineErrorCode(const std::string& part_id, const std::string& code,
+                         const std::string& description);
+
+  /// Description of an error code, if known.
+  Result<std::string> DescribeCode(const std::string& code) const;
+
+  bool trained() const { return trained_; }
+  const kb::KnowledgeBase& knowledge() const { return knowledge_; }
+
+ private:
+  const tax::Taxonomy* taxonomy_;
+  Options options_;
+  bool trained_ = false;
+  kb::KnowledgeBase knowledge_;
+  mutable kb::FeatureVocabulary vocabulary_;
+  core::CodeFrequencyBaseline frequency_;
+  core::RankedKnnClassifier classifier_;
+  std::map<std::string, std::string> part_descriptions_;
+  std::map<std::string, std::string> error_descriptions_;
+  /// Codes defined through the UI after training (frequency 0).
+  std::map<std::string, std::vector<std::string>> manual_codes_;
+};
+
+}  // namespace qatk::quest
+
+#endif  // QATK_QUEST_RECOMMENDATION_SERVICE_H_

@@ -1,0 +1,451 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace qatk::db {
+
+namespace {
+
+constexpr size_t kNodeHeader = 10;
+constexpr uint8_t kLeafType = 1;
+constexpr uint8_t kInternalType = 2;
+constexpr size_t kLeafPayload = 8;      // rid_page u32 + rid_slot u32
+constexpr size_t kInternalPayload = 4;  // child u32
+
+/// In-.cc view over one B+-tree node page. Does not own the pin.
+class NodeView {
+ public:
+  explicit NodeView(Page* page) : page_(page) {}
+
+  static void Init(Page* page, bool leaf) {
+    char* d = page->WritableData();
+    d[0] = static_cast<char>(leaf ? kLeafType : kInternalType);
+    d[1] = 0;
+    StoreU16(d + 2, 0);
+    StoreU16(d + 4, static_cast<uint16_t>(kPageSize));
+    StoreU32(d + 6, kInvalidPageId);
+  }
+
+  bool is_leaf() const { return page_->data()[0] == kLeafType; }
+  uint16_t num_slots() const { return LoadU16(page_->data() + 2); }
+  uint32_t extra() const { return LoadU32(page_->data() + 6); }
+  void set_extra(uint32_t v) { StoreU32(page_->WritableData() + 6, v); }
+
+  size_t payload_size() const {
+    return is_leaf() ? kLeafPayload : kInternalPayload;
+  }
+
+  std::string_view key(uint16_t slot) const {
+    const char* cell = page_->data() + CellOffset(slot);
+    uint16_t klen = LoadU16(cell);
+    return std::string_view(cell + 2, klen);
+  }
+
+  Rid rid(uint16_t slot) const {
+    const char* cell = page_->data() + CellOffset(slot);
+    uint16_t klen = LoadU16(cell);
+    return Rid{LoadU32(cell + 2 + klen), LoadU32(cell + 2 + klen + 4)};
+  }
+
+  PageId child(uint16_t slot) const {
+    const char* cell = page_->data() + CellOffset(slot);
+    uint16_t klen = LoadU16(cell);
+    return LoadU32(cell + 2 + klen);
+  }
+
+  size_t FreeSpace() const {
+    size_t dir_end = kNodeHeader + 2 * num_slots();
+    size_t free_ptr = LoadU16(page_->data() + 4);
+    return free_ptr > dir_end ? free_ptr - dir_end : 0;
+  }
+
+  /// First slot whose key is >= `target`.
+  uint16_t LowerBound(std::string_view target) const {
+    uint16_t lo = 0;
+    uint16_t hi = num_slots();
+    while (lo < hi) {
+      uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+      if (key(mid) < target) {
+        lo = static_cast<uint16_t>(mid + 1);
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First slot whose key is > `target`.
+  uint16_t UpperBound(std::string_view target) const {
+    uint16_t lo = 0;
+    uint16_t hi = num_slots();
+    while (lo < hi) {
+      uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+      if (key(mid) <= target) {
+        lo = static_cast<uint16_t>(mid + 1);
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Inserts a cell at directory position `pos`. `payload` is the raw cell
+  /// tail (rid or child bytes). OutOfRange when the node lacks space.
+  Status InsertCell(uint16_t pos, std::string_view k,
+                    std::string_view payload) {
+    size_t cell_size = 2 + k.size() + payload.size();
+    if (FreeSpace() < cell_size + 2) {
+      return Status::OutOfRange("node full");
+    }
+    char* d = page_->WritableData();
+    uint16_t count = num_slots();
+    uint16_t free_ptr = LoadU16(d + 4);
+    uint16_t offset = static_cast<uint16_t>(free_ptr - cell_size);
+    StoreU16(d + offset, static_cast<uint16_t>(k.size()));
+    std::memcpy(d + offset + 2, k.data(), k.size());
+    std::memcpy(d + offset + 2 + k.size(), payload.data(), payload.size());
+    StoreU16(d + 4, offset);
+    // Shift directory entries [pos, count) one slot right.
+    char* dir = d + kNodeHeader;
+    std::memmove(dir + 2 * (pos + 1), dir + 2 * pos, 2 * (count - pos));
+    StoreU16(dir + 2 * pos, offset);
+    StoreU16(d + 2, static_cast<uint16_t>(count + 1));
+    return Status::OK();
+  }
+
+  /// Removes the directory entry at `pos`; the cell bytes stay orphaned
+  /// until the node is rebuilt (Compact / split).
+  void RemoveSlot(uint16_t pos) {
+    char* d = page_->WritableData();
+    uint16_t count = num_slots();
+    QATK_DCHECK(pos < count);
+    char* dir = d + kNodeHeader;
+    std::memmove(dir + 2 * pos, dir + 2 * (pos + 1),
+                 2 * (count - pos - 1));
+    StoreU16(d + 2, static_cast<uint16_t>(count - 1));
+  }
+
+  /// Reads all cells as (key, payload) pairs in directory order.
+  std::vector<std::pair<std::string, std::string>> ReadAllCells() const {
+    std::vector<std::pair<std::string, std::string>> cells;
+    cells.reserve(num_slots());
+    size_t psize = payload_size();
+    for (uint16_t i = 0; i < num_slots(); ++i) {
+      const char* cell = page_->data() + CellOffset(i);
+      uint16_t klen = LoadU16(cell);
+      cells.emplace_back(std::string(cell + 2, klen),
+                         std::string(cell + 2 + klen, psize));
+    }
+    return cells;
+  }
+
+  /// Rewrites the node from scratch with the given cells, preserving type
+  /// and the extra field. Reclaims orphaned cell space.
+  void Rebuild(const std::vector<std::pair<std::string, std::string>>& cells) {
+    bool leaf = is_leaf();
+    uint32_t saved_extra = extra();
+    Init(page_, leaf);
+    set_extra(saved_extra);
+    for (uint16_t i = 0; i < cells.size(); ++i) {
+      Status st = InsertCell(i, cells[i].first, cells[i].second);
+      QATK_CHECK(st.ok()) << "rebuild overflow: " << st.ToString();
+    }
+  }
+
+ private:
+  uint16_t CellOffset(uint16_t slot) const {
+    QATK_DCHECK(slot < num_slots());
+    return LoadU16(page_->data() + kNodeHeader + 2 * slot);
+  }
+
+  Page* page_;
+};
+
+std::string EncodeRidPayload(const Rid& rid) {
+  std::string out(kLeafPayload, '\0');
+  StoreU32(out.data(), rid.page_id);
+  StoreU32(out.data() + 4, rid.slot);
+  return out;
+}
+
+std::string EncodeChildPayload(PageId child) {
+  std::string out(kInternalPayload, '\0');
+  StoreU32(out.data(), child);
+  return out;
+}
+
+}  // namespace
+
+std::string PrefixSuccessor(std::string_view prefix) {
+  std::string upper(prefix);
+  while (!upper.empty()) {
+    if (static_cast<unsigned char>(upper.back()) != 0xFF) {
+      upper.back() = static_cast<char>(upper.back() + 1);
+      return upper;
+    }
+    upper.pop_back();
+  }
+  return upper;
+}
+
+Result<PageId> BPlusTree::Create(BufferPool* pool) {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
+  PageGuard guard(pool, page);
+  NodeView::Init(page, /*leaf=*/true);
+  return page->page_id();
+}
+
+BPlusTree::BPlusTree(BufferPool* pool, PageId root_page_id)
+    : pool_(pool), root_page_id_(root_page_id) {}
+
+Result<PageId> BPlusTree::FindLeaf(std::string_view key) const {
+  PageId current = root_page_id_;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_, page);
+    NodeView node(page);
+    if (node.is_leaf()) return current;
+    uint16_t pos = node.UpperBound(key);
+    current = (pos == 0) ? node.extra() : node.child(pos - 1);
+  }
+}
+
+Result<Rid> BPlusTree::Get(std::string_view key) const {
+  QATK_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(leaf_id));
+  PageGuard guard(pool_, page);
+  NodeView node(page);
+  uint16_t pos = node.LowerBound(key);
+  if (pos < node.num_slots() && node.key(pos) == key) {
+    return node.rid(pos);
+  }
+  return Status::KeyError("key not found in B+-tree");
+}
+
+Status BPlusTree::InsertRecursive(PageId node_id, std::string_view key,
+                                  const Rid& rid,
+                                  std::optional<SplitResult>* split) {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node_id));
+  PageGuard guard(pool_, page);
+  NodeView node(page);
+
+  if (node.is_leaf()) {
+    uint16_t pos = node.LowerBound(key);
+    if (pos < node.num_slots() && node.key(pos) == key) {
+      return Status::AlreadyExists("duplicate B+-tree key");
+    }
+    std::string payload = EncodeRidPayload(rid);
+    Status st = node.InsertCell(pos, key, payload);
+    if (st.ok()) return Status::OK();
+    if (!st.IsOutOfRange()) return st;
+    // Reclaim orphaned cell space from earlier deletions before splitting.
+    node.Rebuild(node.ReadAllCells());
+    st = node.InsertCell(pos, key, payload);
+    if (st.ok()) return Status::OK();
+
+    // Split the leaf.
+    auto cells = node.ReadAllCells();
+    cells.insert(cells.begin() + pos, {std::string(key), payload});
+    size_t mid = cells.size() / 2;
+    std::vector<std::pair<std::string, std::string>> left(
+        cells.begin(), cells.begin() + mid);
+    std::vector<std::pair<std::string, std::string>> right(
+        cells.begin() + mid, cells.end());
+
+    QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
+    PageGuard new_guard(pool_, new_page);
+    NodeView::Init(new_page, /*leaf=*/true);
+    NodeView new_node(new_page);
+    new_node.Rebuild(right);
+    new_node.set_extra(node.extra());  // Chain: new leaf inherits old next.
+    node.Rebuild(left);
+    node.set_extra(new_page->page_id());
+    *split = SplitResult{right.front().first, new_page->page_id()};
+    return Status::OK();
+  }
+
+  // Internal node: descend.
+  uint16_t pos = node.UpperBound(key);
+  PageId child_id = (pos == 0) ? node.extra() : node.child(pos - 1);
+  guard.Release();  // Avoid pinning the whole path during recursion.
+
+  std::optional<SplitResult> child_split;
+  QATK_RETURN_NOT_OK(InsertRecursive(child_id, key, rid, &child_split));
+  if (!child_split) return Status::OK();
+
+  QATK_ASSIGN_OR_RETURN(page, pool_->FetchPage(node_id));
+  PageGuard reguard(pool_, page);
+  NodeView inner(page);
+  std::string sep = child_split->separator;
+  std::string payload = EncodeChildPayload(child_split->new_page);
+  uint16_t insert_pos = inner.LowerBound(sep);
+  Status st = inner.InsertCell(insert_pos, sep, payload);
+  if (st.ok()) return Status::OK();
+  if (!st.IsOutOfRange()) return st;
+  inner.Rebuild(inner.ReadAllCells());
+  st = inner.InsertCell(insert_pos, sep, payload);
+  if (st.ok()) return Status::OK();
+
+  // Split the internal node: middle key moves up, not into either half.
+  auto cells = inner.ReadAllCells();
+  cells.insert(cells.begin() + insert_pos, {sep, payload});
+  size_t mid = cells.size() / 2;
+  std::string up_key = cells[mid].first;
+  PageId up_child = LoadU32(cells[mid].second.data());
+
+  std::vector<std::pair<std::string, std::string>> left(
+      cells.begin(), cells.begin() + mid);
+  std::vector<std::pair<std::string, std::string>> right(
+      cells.begin() + mid + 1, cells.end());
+
+  QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
+  PageGuard new_guard(pool_, new_page);
+  NodeView::Init(new_page, /*leaf=*/false);
+  NodeView new_node(new_page);
+  new_node.Rebuild(right);
+  new_node.set_extra(up_child);  // Leftmost child of the new node.
+  inner.Rebuild(left);
+  *split = SplitResult{std::move(up_key), new_page->page_id()};
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(std::string_view key, const Rid& rid) {
+  if (key.size() > kMaxBPTreeKey) {
+    return Status::Invalid("B+-tree key exceeds " +
+                           std::to_string(kMaxBPTreeKey) + " bytes");
+  }
+  std::optional<SplitResult> split;
+  QATK_RETURN_NOT_OK(InsertRecursive(root_page_id_, key, rid, &split));
+  if (!split) return Status::OK();
+
+  // Grow a new root above the split.
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+  PageGuard guard(pool_, page);
+  NodeView::Init(page, /*leaf=*/false);
+  NodeView root(page);
+  root.set_extra(root_page_id_);
+  QATK_RETURN_NOT_OK(root.InsertCell(0, split->separator,
+                                     EncodeChildPayload(split->new_page)));
+  root_page_id_ = page->page_id();
+  return Status::OK();
+}
+
+Status BPlusTree::Delete(std::string_view key) {
+  QATK_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(leaf_id));
+  PageGuard guard(pool_, page);
+  NodeView node(page);
+  uint16_t pos = node.LowerBound(key);
+  if (pos >= node.num_slots() || node.key(pos) != key) {
+    return Status::KeyError("delete of absent B+-tree key");
+  }
+  node.RemoveSlot(pos);
+  return Status::OK();
+}
+
+Status BPlusTree::ScanRange(
+    std::string_view lower, std::string_view upper,
+    const std::function<bool(std::string_view, const Rid&)>& fn) const {
+  QATK_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lower));
+  PageId current = leaf_id;
+  bool first = true;
+  while (current != kInvalidPageId) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_, page);
+    NodeView node(page);
+    uint16_t start = first ? node.LowerBound(lower) : 0;
+    first = false;
+    for (uint16_t i = start; i < node.num_slots(); ++i) {
+      std::string_view k = node.key(i);
+      if (!upper.empty() && k >= upper) return Status::OK();
+      if (!fn(k, node.rid(i))) return Status::OK();
+    }
+    current = node.extra();
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanPrefix(
+    std::string_view prefix,
+    const std::function<bool(std::string_view, const Rid&)>& fn) const {
+  return ScanRange(prefix, PrefixSuccessor(prefix), fn);
+}
+
+Result<size_t> BPlusTree::CountEntries() const {
+  size_t count = 0;
+  QATK_RETURN_NOT_OK(ScanRange("", "", [&](std::string_view, const Rid&) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+Status BPlusTree::CheckNode(PageId node_id, std::string_view lower,
+                            std::string_view upper, int depth,
+                            int* leaf_depth,
+                            std::vector<PageId>* leaves) const {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node_id));
+  PageGuard guard(pool_, page);
+  NodeView node(page);
+  uint16_t n = node.num_slots();
+  for (uint16_t i = 0; i + 1 < n; ++i) {
+    if (!(node.key(i) < node.key(i + 1))) {
+      return Status::Internal("keys out of order in node " +
+                              std::to_string(node_id));
+    }
+  }
+  for (uint16_t i = 0; i < n; ++i) {
+    std::string_view k = node.key(i);
+    if (k < lower || (!upper.empty() && k >= upper)) {
+      return Status::Internal("key outside separator bounds in node " +
+                              std::to_string(node_id));
+    }
+  }
+  if (node.is_leaf()) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Internal("leaves at differing depths");
+    }
+    leaves->push_back(node_id);
+    return Status::OK();
+  }
+  // Check children with narrowed bounds.
+  std::vector<std::pair<std::string, PageId>> children;
+  children.emplace_back(std::string(lower), node.extra());
+  for (uint16_t i = 0; i < n; ++i) {
+    children.emplace_back(std::string(node.key(i)), node.child(i));
+  }
+  guard.Release();
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::string child_upper = (i + 1 < children.size())
+                                  ? children[i + 1].first
+                                  : std::string(upper);
+    QATK_RETURN_NOT_OK(CheckNode(children[i].second, children[i].first,
+                                 child_upper, depth + 1, leaf_depth, leaves));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  std::vector<PageId> leaves;
+  QATK_RETURN_NOT_OK(
+      CheckNode(root_page_id_, "", "", 0, &leaf_depth, &leaves));
+  // The leaf chain must visit exactly the in-order leaves.
+  PageId current = leaves.empty() ? kInvalidPageId : leaves.front();
+  for (PageId expected : leaves) {
+    if (current != expected) {
+      return Status::Internal("leaf chain diverges from in-order leaves");
+    }
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_, page);
+    current = NodeView(page).extra();
+  }
+  return Status::OK();
+}
+
+}  // namespace qatk::db

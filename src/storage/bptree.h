@@ -1,0 +1,108 @@
+#ifndef QATK_STORAGE_BPTREE_H_
+#define QATK_STORAGE_BPTREE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace qatk::db {
+
+/// Largest key accepted by the B+-tree; guarantees every node holds at
+/// least three cells.
+inline constexpr size_t kMaxBPTreeKey = 1000;
+
+/// Smallest byte string strictly greater than every string with this
+/// prefix, or empty (= +infinity) when none exists. Used to turn prefix
+/// and inclusive-upper-bound queries into half-open ScanRange bounds.
+std::string PrefixSuccessor(std::string_view prefix);
+
+/// \brief Disk-resident B+-tree mapping binary keys to Rids.
+///
+/// Keys are arbitrary byte strings ordered by memcmp (use
+/// Value::EncodeOrdered to build keys that sort like typed values). Keys
+/// must be unique; secondary indexes achieve this by appending the Rid
+/// encoding to the column key (see Index in catalog.h).
+///
+/// Node layout (within one kPageSize page):
+///   [0]  node_type   u8   (1 = leaf, 2 = internal)
+///   [1]  reserved    u8
+///   [2]  num_slots   u16
+///   [4]  free_ptr    u16  (cells grow down from kPageSize)
+///   [6]  extra       u32  (leaf: next-leaf page; internal: leftmost child)
+///   [10] slot directory of u16 cell offsets, kept sorted by key
+/// Leaf cell:     {key_len u16, key bytes, rid_page u32, rid_slot u32}
+/// Internal cell: {key_len u16, key bytes, child u32}; the cell's child
+///                subtree holds keys >= its key; keys below the first
+///                separator live under the leftmost child.
+///
+/// Deletion removes cells from leaves without rebalancing: nodes may
+/// underflow but never violate ordering invariants (documented trade-off
+/// for the append-mostly knowledge-base workload).
+class BPlusTree {
+ public:
+  /// Creates an empty tree; returns the root page id (persistent identity).
+  static Result<PageId> Create(BufferPool* pool);
+
+  /// Attaches to an existing tree rooted at `root_page_id`.
+  BPlusTree(BufferPool* pool, PageId root_page_id);
+
+  /// Inserts a unique key. AlreadyExists if the key is present,
+  /// Invalid if the key exceeds kMaxBPTreeKey.
+  Status Insert(std::string_view key, const Rid& rid);
+
+  /// Point lookup. KeyError when absent.
+  Result<Rid> Get(std::string_view key) const;
+
+  /// Removes a key. KeyError when absent.
+  Status Delete(std::string_view key);
+
+  /// Calls `fn(key, rid)` for every entry with lower <= key < upper, in key
+  /// order; `fn` returns false to stop early. An empty `upper` means +inf.
+  Status ScanRange(
+      std::string_view lower, std::string_view upper,
+      const std::function<bool(std::string_view, const Rid&)>& fn) const;
+
+  /// Calls `fn` for every entry whose key starts with `prefix`.
+  Status ScanPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view, const Rid&)>& fn) const;
+
+  /// Total number of entries (walks the leaf chain).
+  Result<size_t> CountEntries() const;
+
+  /// The current root page id. This changes when the root splits; persist
+  /// it (the catalog does) after bulk inserts.
+  PageId root_page_id() const { return root_page_id_; }
+
+  /// Verifies ordering and structural invariants of the whole tree
+  /// (test/debug helper): keys sorted within nodes, separator bounds
+  /// respected, all leaves at the same depth, leaf chain consistent.
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    std::string separator;
+    PageId new_page;
+  };
+
+  Status InsertRecursive(PageId node, std::string_view key, const Rid& rid,
+                         std::optional<SplitResult>* split);
+  Status CheckNode(PageId node, std::string_view lower, std::string_view upper,
+                   int depth, int* leaf_depth,
+                   std::vector<PageId>* leaves) const;
+  Result<PageId> FindLeaf(std::string_view key) const;
+
+  BufferPool* pool_;
+  PageId root_page_id_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_BPTREE_H_

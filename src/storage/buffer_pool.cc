@@ -1,0 +1,132 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace qatk::db {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
+  QATK_CHECK(capacity >= 2) << "buffer pool needs at least two frames";
+  frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+void BufferPool::Touch(size_t frame_index) {
+  auto it = lru_pos_.find(frame_index);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_front(frame_index);
+  lru_pos_[frame_index] = lru_.begin();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t frame = *it;
+    Page* page = frames_[frame].get();
+    if (page->pin_count_ > 0) continue;
+    if (page->dirty_) {
+      if (write_observer_) {
+        QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
+      }
+      QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+    }
+    page_table_.erase(page->page_id_);
+    lru_.erase(lru_pos_[frame]);
+    lru_pos_.erase(frame);
+    page->Reset();
+    ++evictions_;
+    return frame;
+  }
+  return Status::OutOfRange(
+      "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+      " frames are pinned");
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    Touch(it->second);
+    return page;
+  }
+  ++misses_;
+  QATK_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  QATK_RETURN_NOT_OK(disk_->ReadPage(page_id, page->data_));
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->dirty_ = false;
+  page_table_[page_id] = frame;
+  Touch(frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  QATK_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  QATK_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  page->Reset();
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->dirty_ = true;  // New pages must reach disk even if never mutated.
+  page_table_[page_id] = frame;
+  Touch(frame);
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool is_dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::KeyError("unpin of uncached page " +
+                            std::to_string(page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page_id));
+  }
+  --page->pin_count_;
+  if (is_dirty) page->dirty_ = true;
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page* page = frames_[it->second].get();
+  if (page->dirty_) {
+    if (write_observer_) {
+      QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
+    }
+    QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+    page->dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->dirty_) {
+      if (write_observer_) {
+        QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
+      }
+      QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+      page->dirty_ = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace qatk::db

@@ -1,0 +1,126 @@
+#ifndef QATK_STORAGE_BUFFER_POOL_H_
+#define QATK_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace qatk::db {
+
+/// \brief Fixed-capacity page cache with LRU eviction and pin counting.
+///
+/// All page access in QDB goes through the pool; the paper's requirement of
+/// "on-the-fly access" to the knowledge base (kNN without holding all
+/// instances in memory) is realized by bounding the pool size.
+///
+/// Usage: FetchPage/NewPage pin the frame; callers must UnpinPage when done.
+/// Prefer PageGuard for exception-free RAII unpinning.
+class BufferPool {
+ public:
+  /// `capacity` is the number of frames; must be >= 2 so a split can hold
+  /// two pages pinned at once.
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the pinned frame holding `page_id`, reading it if not cached.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a new page on disk and returns its pinned, zeroed frame.
+  Result<Page*> NewPage();
+
+  /// Releases one pin. Pass is_dirty=true if the caller mutated the page
+  /// without going through Page::WritableData.
+  Status UnpinPage(PageId page_id, bool is_dirty);
+
+  /// Writes back one page if cached and dirty.
+  Status FlushPage(PageId page_id);
+
+  /// Writes back every dirty frame.
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+
+  /// Called with the page id immediately before any page is written back
+  /// to disk (eviction or flush). The database layer hooks the rollback
+  /// journal here so every overwrite preserves its before-image first.
+  using WriteObserver = std::function<Status(PageId)>;
+  void set_write_observer(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
+  /// Cache statistics (for the ablation benches).
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+  uint64_t eviction_count() const { return evictions_; }
+
+ private:
+  /// Finds a frame to (re)use: a free one, else evicts the LRU unpinned
+  /// frame. Fails with OutOfRange when every frame is pinned.
+  Result<size_t> GetVictimFrame();
+
+  void Touch(size_t frame_index);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // Front = most recent. Holds unpinned frames too.
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  WriteObserver write_observer_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// \brief RAII pin holder: unpins its page (with the recorded dirtiness) on
+/// destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  bool valid() const { return page_ != nullptr; }
+
+  /// Unpins early.
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      // Dirtiness already tracked on the Page via WritableData().
+      (void)pool_->UnpinPage(page_->page_id(), page_->is_dirty());
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_BUFFER_POOL_H_

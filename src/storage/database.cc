@@ -1,0 +1,623 @@
+#include "storage/database.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace qatk::db {
+
+namespace {
+
+constexpr size_t kCatalogCapacity = kPageSize - 6;  // next u32 + len u16
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Length-prefixed string framing for WAL payloads.
+void AppendLp(std::string* out, std::string_view piece) {
+  uint32_t len = static_cast<uint32_t>(piece.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((len >> shift) & 0xFF));
+  }
+  out->append(piece);
+}
+
+Result<std::string> ReadLp(std::string_view data, size_t* pos) {
+  if (*pos + 4 > data.size()) {
+    return Status::Invalid("truncated WAL payload (length)");
+  }
+  uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<unsigned char>(data[*pos + i]);
+  }
+  *pos += 4;
+  if (*pos + len > data.size()) {
+    return Status::Invalid("truncated WAL payload (body)");
+  }
+  std::string out(data.substr(*pos, len));
+  *pos += len;
+  return out;
+}
+
+Result<TypeId> ParseTypeId(const std::string& token) {
+  if (token == "INT") return TypeId::kInt64;
+  if (token == "DOUBLE") return TypeId::kDouble;
+  if (token == "STRING") return TypeId::kString;
+  return Status::Invalid("unknown type '" + token + "' in catalog");
+}
+
+}  // namespace
+
+Database::Database(std::unique_ptr<DiskManager> disk, size_t pool_pages,
+                   bool file_backed)
+    : disk_(std::move(disk)), file_backed_(file_backed) {
+  pool_ = std::make_unique<BufferPool>(disk_.get(), pool_pages);
+}
+
+Result<std::unique_ptr<Database>> Database::OpenInMemory(size_t pool_pages) {
+  auto db = std::unique_ptr<Database>(new Database(
+      std::make_unique<InMemoryDiskManager>(), pool_pages, false));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenFile(const std::string& path,
+                                                     size_t pool_pages) {
+  QATK_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Open(path));
+  bool existing = disk->num_pages() > 0;
+  auto db = std::unique_ptr<Database>(
+      new Database(std::move(disk), pool_pages, true));
+  QATK_ASSIGN_OR_RETURN(db->wal_, WalFile::Open(path + ".wal"));
+  QATK_ASSIGN_OR_RETURN(db->journal_, PageJournal::Open(path + ".journal"));
+
+  if (existing) {
+    // Crash recovery step 1: undo page writes since the last checkpoint.
+    // Must run before any page enters the buffer pool.
+    QATK_ASSIGN_OR_RETURN(bool clean, db->journal_->CleanAtOpen());
+    if (!clean) {
+      DiskManager* raw = db->disk_.get();
+      QATK_RETURN_NOT_OK(db->journal_->Rollback(
+          [raw](uint32_t page_id, const char* image) {
+            return raw->WritePage(page_id, image);
+          }));
+      QATK_RETURN_NOT_OK(raw->Sync());
+    }
+    QATK_RETURN_NOT_OK(db->LoadCatalog());
+    // Step 2: redo logged operations that postdate the checkpoint.
+    QATK_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                          db->wal_->ReadAll());
+    db->replaying_ = true;
+    for (const WalRecord& record : records) {
+      Status st = db->ApplyWalRecord(record);
+      if (!st.ok()) {
+        db->replaying_ = false;
+        return Status(st.code(),
+                      "WAL replay failed: " + st.message());
+      }
+    }
+    db->replaying_ = false;
+  } else {
+    // Reserve page 0 as the catalog root.
+    QATK_ASSIGN_OR_RETURN(Page * page, db->pool_->NewPage());
+    PageGuard guard(db->pool_.get(), page);
+    if (page->page_id() != 0) {
+      return Status::Internal("catalog page is not page 0");
+    }
+    char* d = page->WritableData();
+    StoreU32(d, kInvalidPageId);
+    StoreU16(d + 4, 0);
+  }
+
+  // Establish a fresh checkpoint-consistent base and arm the journal.
+  QATK_RETURN_NOT_OK(db->Checkpoint());
+  PageJournal* journal = db->journal_.get();
+  DiskManager* raw = db->disk_.get();
+  db->pool_->set_write_observer([journal, raw](PageId page_id) -> Status {
+    if (journal->Contains(page_id)) return Status::OK();
+    char image[kPageSize];
+    Status read = raw->ReadPage(page_id, image);
+    // Pages allocated after the checkpoint have no before-image to keep;
+    // RecordBeforeImage also skips them by id.
+    if (!read.ok()) return read;
+    return journal->RecordBeforeImage(page_id, image);
+  });
+  return db;
+}
+
+Status Database::LogWal(WalRecordType type, const std::string& payload) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  return wal_->Append(type, payload);
+}
+
+Status Database::ApplyWalRecord(const WalRecord& record) {
+  size_t pos = 0;
+  switch (record.type) {
+    case WalRecordType::kCreateTable: {
+      QATK_ASSIGN_OR_RETURN(std::string name,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string ncols_text,
+                            ReadLp(record.payload, &pos));
+      size_t ncols = std::stoul(ncols_text);
+      std::vector<Column> cols;
+      for (size_t i = 0; i < ncols; ++i) {
+        QATK_ASSIGN_OR_RETURN(std::string col,
+                              ReadLp(record.payload, &pos));
+        QATK_ASSIGN_OR_RETURN(std::string type_text,
+                              ReadLp(record.payload, &pos));
+        QATK_ASSIGN_OR_RETURN(TypeId type, ParseTypeId(type_text));
+        cols.push_back({col, type});
+      }
+      return CreateTable(name, Schema(std::move(cols)));
+    }
+    case WalRecordType::kCreateIndex: {
+      QATK_ASSIGN_OR_RETURN(std::string name,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string table,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string ncols_text,
+                            ReadLp(record.payload, &pos));
+      size_t ncols = std::stoul(ncols_text);
+      std::vector<std::string> cols;
+      for (size_t i = 0; i < ncols; ++i) {
+        QATK_ASSIGN_OR_RETURN(std::string col,
+                              ReadLp(record.payload, &pos));
+        cols.push_back(std::move(col));
+      }
+      return CreateIndex(name, table, cols);
+    }
+    case WalRecordType::kInsert: {
+      QATK_ASSIGN_OR_RETURN(std::string table,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string bytes,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(TableInfo * info, GetTable(table));
+      QATK_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(info->schema, bytes));
+      return Insert(table, tuple).status();
+    }
+    case WalRecordType::kUpdate: {
+      QATK_ASSIGN_OR_RETURN(std::string table,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string rid_text,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string bytes,
+                            ReadLp(record.payload, &pos));
+      size_t sep = rid_text.find(':');
+      if (sep == std::string::npos) {
+        return Status::Invalid("malformed WAL update rid");
+      }
+      Rid rid{static_cast<PageId>(std::stoul(rid_text.substr(0, sep))),
+              static_cast<uint32_t>(std::stoul(rid_text.substr(sep + 1)))};
+      QATK_ASSIGN_OR_RETURN(TableInfo * info, GetTable(table));
+      QATK_ASSIGN_OR_RETURN(Tuple tuple,
+                            Tuple::Deserialize(info->schema, bytes));
+      return Update(table, rid, tuple).status();
+    }
+    case WalRecordType::kDelete: {
+      QATK_ASSIGN_OR_RETURN(std::string table,
+                            ReadLp(record.payload, &pos));
+      QATK_ASSIGN_OR_RETURN(std::string rid_text,
+                            ReadLp(record.payload, &pos));
+      size_t sep = rid_text.find(':');
+      if (sep == std::string::npos) {
+        return Status::Invalid("malformed WAL delete rid");
+      }
+      Rid rid{static_cast<PageId>(std::stoul(rid_text.substr(0, sep))),
+              static_cast<uint32_t>(std::stoul(rid_text.substr(sep + 1)))};
+      return Delete(table, rid);
+    }
+  }
+  return Status::Invalid("unknown WAL record type");
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Status Database::CreateTable(const std::string& name, const Schema& schema) {
+  if (!ValidName(name)) {
+    return Status::Invalid("invalid table name '" + name + "'");
+  }
+  for (const Column& c : schema.columns()) {
+    if (!ValidName(c.name)) {
+      return Status::Invalid("invalid column name '" + c.name + "'");
+    }
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  std::string payload;
+  AppendLp(&payload, name);
+  AppendLp(&payload, std::to_string(schema.num_columns()));
+  for (const Column& c : schema.columns()) {
+    AppendLp(&payload, c.name);
+    AppendLp(&payload, TypeIdToString(c.type));
+  }
+  QATK_RETURN_NOT_OK(LogWal(WalRecordType::kCreateTable, payload));
+  QATK_ASSIGN_OR_RETURN(PageId first, HeapTable::Create(pool_.get()));
+  TableInfo info;
+  info.name = name;
+  info.schema = schema;
+  info.first_page_id = first;
+  info.heap = std::make_unique<HeapTable>(pool_.get(), first);
+  tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& name,
+                             const std::string& table,
+                             const std::vector<std::string>& key_columns) {
+  if (!ValidName(name)) {
+    return Status::Invalid("invalid index name '" + name + "'");
+  }
+  if (indexes_.count(name) > 0) {
+    return Status::AlreadyExists("index '" + name + "' already exists");
+  }
+  QATK_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  if (key_columns.empty()) {
+    return Status::Invalid("index needs at least one key column");
+  }
+  for (const std::string& col : key_columns) {
+    if (!tinfo->schema.HasColumn(col)) {
+      return Status::KeyError("table '" + table + "' has no column '" + col +
+                              "'");
+    }
+  }
+  std::string payload;
+  AppendLp(&payload, name);
+  AppendLp(&payload, table);
+  AppendLp(&payload, std::to_string(key_columns.size()));
+  for (const std::string& col : key_columns) AppendLp(&payload, col);
+  QATK_RETURN_NOT_OK(LogWal(WalRecordType::kCreateIndex, payload));
+  QATK_ASSIGN_OR_RETURN(PageId root, BPlusTree::Create(pool_.get()));
+  IndexInfo info;
+  info.name = name;
+  info.table = table;
+  info.key_columns = key_columns;
+  info.root_page_id = root;
+  info.tree = std::make_unique<BPlusTree>(pool_.get(), root);
+
+  // Backfill from existing rows.
+  HeapTable::Iterator it = tinfo->heap->Scan();
+  Rid rid;
+  std::string record;
+  while (it.Next(&rid, &record)) {
+    QATK_ASSIGN_OR_RETURN(Tuple tuple,
+                          Tuple::Deserialize(tinfo->schema, record));
+    QATK_ASSIGN_OR_RETURN(
+        std::string key, BuildIndexKey(info, tinfo->schema, tuple, rid));
+    QATK_RETURN_NOT_OK(info.tree->Insert(key, rid));
+  }
+  QATK_RETURN_NOT_OK(it.status());
+  info.root_page_id = info.tree->root_page_id();
+  indexes_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Result<TableInfo*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const TableInfo*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<IndexInfo*> Database::GetIndex(const std::string& name) {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::KeyError("no index named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : tables_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Database::ListIndexes() const {
+  std::vector<std::string> out;
+  for (const auto& [name, info] : indexes_) out.push_back(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<std::string> Database::BuildIndexKey(const IndexInfo& info,
+                                            const Schema& schema,
+                                            const Tuple& tuple,
+                                            const Rid& rid) {
+  std::string key;
+  for (const std::string& col : info.key_columns) {
+    QATK_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(col));
+    tuple.value(idx).EncodeOrdered(&key);
+  }
+  // Rid suffix makes duplicate column values distinct tree keys.
+  key.resize(key.size() + 8);
+  StoreU32(key.data() + key.size() - 8, rid.page_id);
+  StoreU32(key.data() + key.size() - 4, rid.slot);
+  return key;
+}
+
+Result<Rid> Database::Insert(const std::string& table, const Tuple& tuple) {
+  QATK_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  QATK_ASSIGN_OR_RETURN(std::string record, tuple.Serialize(tinfo->schema));
+  std::string payload;
+  AppendLp(&payload, table);
+  AppendLp(&payload, record);
+  QATK_RETURN_NOT_OK(LogWal(WalRecordType::kInsert, payload));
+  QATK_ASSIGN_OR_RETURN(Rid rid, tinfo->heap->Insert(record));
+  for (auto& [name, index] : indexes_) {
+    if (index.table != table) continue;
+    QATK_ASSIGN_OR_RETURN(
+        std::string key, BuildIndexKey(index, tinfo->schema, tuple, rid));
+    QATK_RETURN_NOT_OK(index.tree->Insert(key, rid));
+  }
+  return rid;
+}
+
+Status Database::Delete(const std::string& table, const Rid& rid) {
+  QATK_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  QATK_ASSIGN_OR_RETURN(Tuple tuple, Get(table, rid));
+  std::string payload;
+  AppendLp(&payload, table);
+  AppendLp(&payload, std::to_string(rid.page_id) + ":" +
+                         std::to_string(rid.slot));
+  QATK_RETURN_NOT_OK(LogWal(WalRecordType::kDelete, payload));
+  for (auto& [name, index] : indexes_) {
+    if (index.table != table) continue;
+    QATK_ASSIGN_OR_RETURN(
+        std::string key, BuildIndexKey(index, tinfo->schema, tuple, rid));
+    QATK_RETURN_NOT_OK(index.tree->Delete(key));
+  }
+  return tinfo->heap->Delete(rid);
+}
+
+Result<Rid> Database::Update(const std::string& table, const Rid& rid,
+                             const Tuple& tuple) {
+  QATK_ASSIGN_OR_RETURN(TableInfo * tinfo, GetTable(table));
+  QATK_ASSIGN_OR_RETURN(std::string record, tuple.Serialize(tinfo->schema));
+  QATK_ASSIGN_OR_RETURN(Tuple old_tuple, Get(table, rid));
+  std::string payload;
+  AppendLp(&payload, table);
+  AppendLp(&payload, std::to_string(rid.page_id) + ":" +
+                         std::to_string(rid.slot));
+  AppendLp(&payload, record);
+  QATK_RETURN_NOT_OK(LogWal(WalRecordType::kUpdate, payload));
+
+  for (auto& [name, index] : indexes_) {
+    if (index.table != table) continue;
+    QATK_ASSIGN_OR_RETURN(
+        std::string key, BuildIndexKey(index, tinfo->schema, old_tuple, rid));
+    QATK_RETURN_NOT_OK(index.tree->Delete(key));
+  }
+  QATK_ASSIGN_OR_RETURN(Rid new_rid, tinfo->heap->Update(rid, record));
+  for (auto& [name, index] : indexes_) {
+    if (index.table != table) continue;
+    QATK_ASSIGN_OR_RETURN(
+        std::string key,
+        BuildIndexKey(index, tinfo->schema, tuple, new_rid));
+    QATK_RETURN_NOT_OK(index.tree->Insert(key, new_rid));
+  }
+  return new_rid;
+}
+
+Result<Tuple> Database::Get(const std::string& table, const Rid& rid) const {
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, GetTable(table));
+  QATK_ASSIGN_OR_RETURN(std::string record, tinfo->heap->Get(rid));
+  return Tuple::Deserialize(tinfo->schema, record);
+}
+
+Status Database::ScanTable(
+    const std::string& table,
+    const std::function<bool(const Rid&, const Tuple&)>& fn) const {
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, GetTable(table));
+  HeapTable::Iterator it = tinfo->heap->Scan();
+  Rid rid;
+  std::string record;
+  while (it.Next(&rid, &record)) {
+    QATK_ASSIGN_OR_RETURN(Tuple tuple,
+                          Tuple::Deserialize(tinfo->schema, record));
+    if (!fn(rid, tuple)) return Status::OK();
+  }
+  return it.status();
+}
+
+Status Database::ScanIndexEquals(const std::string& index,
+                                 const std::vector<Value>& key,
+                                 const std::function<bool(const Rid&)>& fn) {
+  QATK_ASSIGN_OR_RETURN(IndexInfo * info, GetIndex(index));
+  if (key.size() > info->key_columns.size()) {
+    return Status::Invalid("equality key has more values than index columns");
+  }
+  std::string prefix;
+  for (const Value& v : key) v.EncodeOrdered(&prefix);
+  return info->tree->ScanPrefix(
+      prefix, [&](std::string_view, const Rid& rid) { return fn(rid); });
+}
+
+Status Database::ScanIndexRange(const std::string& index,
+                                const Value& lower, const Value& upper,
+                                bool upper_inclusive,
+                                const std::function<bool(const Rid&)>& fn) {
+  QATK_ASSIGN_OR_RETURN(IndexInfo * info, GetIndex(index));
+  std::string lower_key;
+  if (!lower.is_null()) lower.EncodeOrdered(&lower_key);
+  std::string upper_key;
+  if (!upper.is_null()) {
+    upper.EncodeOrdered(&upper_key);
+    // Inclusive upper: every stored key with this first-column value has
+    // the encoded value as a proper prefix, so the half-open bound is the
+    // prefix successor.
+    if (upper_inclusive) upper_key = PrefixSuccessor(upper_key);
+  }
+  return info->tree->ScanRange(
+      lower_key, upper_key,
+      [&](std::string_view, const Rid& rid) { return fn(rid); });
+}
+
+Result<size_t> Database::CountRows(const std::string& table) const {
+  size_t count = 0;
+  QATK_RETURN_NOT_OK(ScanTable(table, [&](const Rid&, const Tuple&) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog persistence
+// ---------------------------------------------------------------------------
+
+Result<std::string> Database::SerializeCatalog() const {
+  std::ostringstream out;
+  out << "qdbv1\n";
+  for (const auto& [name, t] : tables_) {
+    out << "T " << t.name << ' ' << t.first_page_id << ' '
+        << t.schema.num_columns();
+    for (const Column& c : t.schema.columns()) {
+      out << ' ' << c.name << ' ' << TypeIdToString(c.type);
+    }
+    out << '\n';
+  }
+  for (const auto& [name, i] : indexes_) {
+    out << "I " << i.name << ' ' << i.table << ' '
+        << i.tree->root_page_id() << ' ' << i.key_columns.size();
+    for (const std::string& col : i.key_columns) out << ' ' << col;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status Database::DeserializeCatalog(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "qdbv1") {
+    return Status::Invalid("bad catalog magic");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens[0] == "T") {
+      if (tokens.size() < 4) return Status::Invalid("short catalog T line");
+      size_t ncols = std::stoul(tokens[3]);
+      if (tokens.size() != 4 + 2 * ncols) {
+        return Status::Invalid("malformed catalog T line");
+      }
+      std::vector<Column> cols;
+      for (size_t i = 0; i < ncols; ++i) {
+        QATK_ASSIGN_OR_RETURN(TypeId type, ParseTypeId(tokens[5 + 2 * i]));
+        cols.push_back({tokens[4 + 2 * i], type});
+      }
+      TableInfo info;
+      info.name = tokens[1];
+      info.first_page_id = static_cast<PageId>(std::stoul(tokens[2]));
+      info.schema = Schema(std::move(cols));
+      info.heap = std::make_unique<HeapTable>(pool_.get(),
+                                              info.first_page_id);
+      tables_.emplace(info.name, std::move(info));
+    } else if (tokens[0] == "I") {
+      if (tokens.size() < 5) return Status::Invalid("short catalog I line");
+      size_t ncols = std::stoul(tokens[4]);
+      if (tokens.size() != 5 + ncols) {
+        return Status::Invalid("malformed catalog I line");
+      }
+      IndexInfo info;
+      info.name = tokens[1];
+      info.table = tokens[2];
+      info.root_page_id = static_cast<PageId>(std::stoul(tokens[3]));
+      for (size_t i = 0; i < ncols; ++i) {
+        info.key_columns.push_back(tokens[5 + i]);
+      }
+      info.tree = std::make_unique<BPlusTree>(pool_.get(),
+                                              info.root_page_id);
+      indexes_.emplace(info.name, std::move(info));
+    } else {
+      return Status::Invalid("unknown catalog record '" + tokens[0] + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::SaveCatalog() {
+  QATK_ASSIGN_OR_RETURN(std::string text, SerializeCatalog());
+  // Write the catalog into a chain of pages starting at page 0. Chain pages
+  // beyond the first are allocated on demand and reused across checkpoints
+  // (the chain only grows).
+  PageId current = 0;
+  size_t pos = 0;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_.get(), page);
+    size_t chunk = std::min(kCatalogCapacity, text.size() - pos);
+    char* d = page->WritableData();
+    StoreU16(d + 4, static_cast<uint16_t>(chunk));
+    std::memcpy(d + 6, text.data() + pos, chunk);
+    pos += chunk;
+    if (pos >= text.size()) {
+      StoreU32(d, kInvalidPageId);
+      break;
+    }
+    PageId next = LoadU32(d);
+    if (next == kInvalidPageId) {
+      QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
+      PageGuard new_guard(pool_.get(), new_page);
+      next = new_page->page_id();
+      char* nd = new_page->WritableData();
+      StoreU32(nd, kInvalidPageId);
+      StoreU16(nd + 4, 0);
+    }
+    StoreU32(d, next);
+    current = next;
+  }
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  std::string text;
+  PageId current = 0;
+  while (current != kInvalidPageId) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_.get(), page);
+    const char* d = page->data();
+    uint16_t len = LoadU16(d + 4);
+    text.append(d + 6, len);
+    current = LoadU32(d);
+  }
+  if (text.empty()) return Status::OK();  // Fresh database.
+  return DeserializeCatalog(text);
+}
+
+Status Database::Checkpoint() {
+  if (file_backed_) {
+    QATK_RETURN_NOT_OK(SaveCatalog());
+    QATK_RETURN_NOT_OK(pool_->FlushAll());
+    // The base state is durable: recovery logs restart empty.
+    if (wal_ != nullptr) QATK_RETURN_NOT_OK(wal_->Truncate());
+    if (journal_ != nullptr) {
+      QATK_RETURN_NOT_OK(journal_->Begin(disk_->num_pages()));
+    }
+    return Status::OK();
+  }
+  // Validate serialization round-trips even when transient.
+  QATK_RETURN_NOT_OK(SerializeCatalog().status());
+  return pool_->FlushAll();
+}
+
+}  // namespace qatk::db

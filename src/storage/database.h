@@ -1,0 +1,168 @@
+#ifndef QATK_STORAGE_DATABASE_H_
+#define QATK_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_table.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "storage/wal.h"
+
+namespace qatk::db {
+
+/// Catalog entry for one table.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  PageId first_page_id = kInvalidPageId;
+  std::unique_ptr<HeapTable> heap;
+};
+
+/// Catalog entry for one secondary index.
+///
+/// Index keys are the ordered-encoded key columns with the Rid appended,
+/// so duplicate column values coexist as distinct B+-tree keys and
+/// equality lookups become prefix scans.
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::vector<std::string> key_columns;
+  PageId root_page_id = kInvalidPageId;
+  std::unique_ptr<BPlusTree> tree;
+};
+
+/// \brief QDB: an embedded relational database.
+///
+/// Owns the disk manager, buffer pool, and catalog. All QATK persistence
+/// (raw reports, the knowledge base, recommendations) goes through this
+/// class, mirroring the paper's use of a relational store with on-the-fly
+/// access (§2.2, §4.5.1).
+///
+/// Single-threaded by design (the analytics pipeline is phase-oriented).
+///
+/// Durability (file-backed databases): checkpoint-consistent base state
+/// plus crash recovery via two logs next to the database file —
+///   <path>.journal  rollback journal of page before-images (undo), and
+///   <path>.wal      logical redo log of DDL/DML operations.
+/// Every mutation is WAL-logged before it touches pages; page overwrites
+/// preserve their before-image first. Opening a file after a crash rolls
+/// pages back to the last checkpoint, replays the redo log, and
+/// checkpoints. Checkpoint() truncates both logs. In-memory databases
+/// skip all of this.
+class Database {
+ public:
+  /// Creates a transient database backed by heap memory.
+  static Result<std::unique_ptr<Database>> OpenInMemory(
+      size_t pool_pages = 4096);
+
+  /// Opens (or creates) a file-backed database. An existing file's catalog
+  /// is loaded; page 0 is reserved for catalog storage.
+  static Result<std::unique_ptr<Database>> OpenFile(const std::string& path,
+                                                    size_t pool_pages = 4096);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- DDL -----------------------------------------------------------------
+
+  /// Creates an empty table. Name must be non-empty, without whitespace.
+  Status CreateTable(const std::string& name, const Schema& schema);
+
+  /// Creates an index over existing and future rows of `table`.
+  Status CreateIndex(const std::string& name, const std::string& table,
+                     const std::vector<std::string>& key_columns);
+
+  Result<TableInfo*> GetTable(const std::string& name);
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+  Result<IndexInfo*> GetIndex(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+  std::vector<std::string> ListIndexes() const;
+
+  // -- DML -----------------------------------------------------------------
+
+  /// Inserts a tuple, maintaining all indexes on the table.
+  Result<Rid> Insert(const std::string& table, const Tuple& tuple);
+
+  /// Deletes the tuple at `rid`, maintaining indexes.
+  Status Delete(const std::string& table, const Rid& rid);
+
+  /// Replaces the tuple at `rid`, maintaining indexes. The row may move;
+  /// the new location is returned.
+  Result<Rid> Update(const std::string& table, const Rid& rid,
+                     const Tuple& tuple);
+
+  /// Fetches the tuple at `rid`.
+  Result<Tuple> Get(const std::string& table, const Rid& rid) const;
+
+  /// Calls `fn(rid, tuple)` for every live row; `fn` returns false to stop.
+  Status ScanTable(
+      const std::string& table,
+      const std::function<bool(const Rid&, const Tuple&)>& fn) const;
+
+  /// Calls `fn(rid)` for every row whose index key columns equal `key`.
+  Status ScanIndexEquals(const std::string& index,
+                         const std::vector<Value>& key,
+                         const std::function<bool(const Rid&)>& fn);
+
+  /// Calls `fn(rid)` for every row whose FIRST index key column lies in
+  /// [lower, upper) — or [lower, upper] when `upper_inclusive` — with NULL
+  /// bounds meaning unbounded on that side. Rows come out in index-key
+  /// order. The lower bound is always inclusive (strict lower bounds are
+  /// handled by the caller's residual predicate).
+  Status ScanIndexRange(const std::string& index, const Value& lower,
+                        const Value& upper, bool upper_inclusive,
+                        const std::function<bool(const Rid&)>& fn);
+
+  /// Number of live rows (scan-based).
+  Result<size_t> CountRows(const std::string& table) const;
+
+  // -- Durability ----------------------------------------------------------
+
+  /// Persists the catalog, flushes all dirty pages, and truncates the
+  /// recovery logs. No-op effect for in-memory databases (still validates
+  /// catalog serialization).
+  Status Checkpoint();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+  /// Builds the composite index key for `tuple` under `info`.
+  static Result<std::string> BuildIndexKey(const IndexInfo& info,
+                                           const Schema& schema,
+                                           const Tuple& tuple,
+                                           const Rid& rid);
+
+ private:
+  Database(std::unique_ptr<DiskManager> disk, size_t pool_pages,
+           bool file_backed);
+
+  Status LoadCatalog();
+  Status SaveCatalog();
+  /// Replays one redo-log record (logging suppressed). Records whose
+  /// operation no longer applies are skipped.
+  Status ApplyWalRecord(const WalRecord& record);
+  Status LogWal(WalRecordType type, const std::string& payload);
+  Result<std::string> SerializeCatalog() const;
+  Status DeserializeCatalog(const std::string& text);
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  bool file_backed_;
+  std::unique_ptr<WalFile> wal_;
+  std::unique_ptr<PageJournal> journal_;
+  bool replaying_ = false;
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, IndexInfo> indexes_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_DATABASE_H_

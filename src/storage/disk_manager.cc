@@ -1,0 +1,111 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace qatk::db {
+
+Result<PageId> InMemoryDiskManager::AllocatePage() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) {
+    return Status::IOError("cannot open database file '" + path + "'");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IOError("cannot seek in database file '" + path + "'");
+  }
+  long size = std::ftell(file);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(file);
+    return Status::IOError("database file '" + path +
+                           "' is not a whole number of pages");
+  }
+  PageId pages = static_cast<PageId>(static_cast<size_t>(size) / kPageSize);
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(file, pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  PageId id = num_pages_;
+  QATK_RETURN_NOT_OK([&]() -> Status {
+    if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+      return Status::IOError("seek failed allocating page");
+    }
+    if (std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("write failed allocating page");
+    }
+    return Status::OK();
+  }());
+  ++num_pages_;
+  return id;
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading page " + std::to_string(id));
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed writing page " + std::to_string(id));
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write on page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace qatk::db

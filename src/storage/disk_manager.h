@@ -1,0 +1,84 @@
+#ifndef QATK_STORAGE_DISK_MANAGER_H_
+#define QATK_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace qatk::db {
+
+/// \brief Abstraction over the backing store of a paged database.
+///
+/// Implementations must give out monotonically increasing page ids and
+/// persist whole pages atomically at page granularity.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads page `id` into `out` (exactly kPageSize bytes).
+  virtual Status ReadPage(PageId id, char* out) = 0;
+
+  /// Writes kPageSize bytes from `data` to page `id`.
+  virtual Status WritePage(PageId id, const char* data) = 0;
+
+  /// Number of pages ever allocated.
+  virtual PageId num_pages() const = 0;
+
+  /// Flushes any OS-level buffering. Default: no-op.
+  virtual Status Sync() { return Status::OK(); }
+};
+
+/// \brief Heap-backed DiskManager for tests, benches, and transient runs.
+class InMemoryDiskManager final : public DiskManager {
+ public:
+  InMemoryDiskManager() = default;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId num_pages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// \brief File-backed DiskManager; the database file is a flat array of
+/// kPageSize pages.
+class FileDiskManager final : public DiskManager {
+ public:
+  /// Opens (or creates) the file at `path`.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  ~FileDiskManager() override;
+
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId num_pages() const override { return num_pages_; }
+  Status Sync() override;
+
+ private:
+  FileDiskManager(std::FILE* file, PageId num_pages)
+      : file_(file), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  PageId num_pages_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_DISK_MANAGER_H_

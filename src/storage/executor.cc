@@ -1,0 +1,495 @@
+#include "storage/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace qatk::db {
+
+// ---------------------------------------------------------------------------
+// SeqScanExecutor
+// ---------------------------------------------------------------------------
+
+SeqScanExecutor::SeqScanExecutor(Database* db, std::string table,
+                                 Predicate predicate)
+    : db_(db), table_(std::move(table)), predicate_(std::move(predicate)) {}
+
+Status SeqScanExecutor::Open() {
+  QATK_ASSIGN_OR_RETURN(const TableInfo* info, db_->GetTable(table_));
+  schema_ = info->schema;
+  QATK_RETURN_NOT_OK(predicate_.Bind(schema_));
+  rows_.clear();
+  cursor_ = 0;
+  return db_->ScanTable(table_, [&](const Rid&, const Tuple& tuple) {
+    if (predicate_.Matches(tuple)) rows_.push_back(tuple);
+    return true;
+  });
+}
+
+Result<bool> SeqScanExecutor::Next(Tuple* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// IndexScanExecutor
+// ---------------------------------------------------------------------------
+
+IndexScanExecutor::IndexScanExecutor(Database* db, std::string index,
+                                     std::vector<Value> equals,
+                                     Predicate residual)
+    : db_(db),
+      index_(std::move(index)),
+      equals_(std::move(equals)),
+      residual_(std::move(residual)) {}
+
+Status IndexScanExecutor::Open() {
+  QATK_ASSIGN_OR_RETURN(IndexInfo * iinfo, db_->GetIndex(index_));
+  table_ = iinfo->table;
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, db_->GetTable(table_));
+  schema_ = tinfo->schema;
+  QATK_RETURN_NOT_OK(residual_.Bind(schema_));
+  rids_.clear();
+  cursor_ = 0;
+  return db_->ScanIndexEquals(index_, equals_, [&](const Rid& rid) {
+    rids_.push_back(rid);
+    return true;
+  });
+}
+
+Result<bool> IndexScanExecutor::Next(Tuple* out) {
+  while (cursor_ < rids_.size()) {
+    QATK_ASSIGN_OR_RETURN(Tuple tuple, db_->Get(table_, rids_[cursor_++]));
+    if (residual_.Matches(tuple)) {
+      *out = std::move(tuple);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// IndexRangeScanExecutor
+// ---------------------------------------------------------------------------
+
+IndexRangeScanExecutor::IndexRangeScanExecutor(Database* db,
+                                               std::string index,
+                                               Value lower, Value upper,
+                                               bool upper_inclusive,
+                                               Predicate residual)
+    : db_(db),
+      index_(std::move(index)),
+      lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      upper_inclusive_(upper_inclusive),
+      residual_(std::move(residual)) {}
+
+Status IndexRangeScanExecutor::Open() {
+  QATK_ASSIGN_OR_RETURN(IndexInfo * iinfo, db_->GetIndex(index_));
+  table_ = iinfo->table;
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, db_->GetTable(table_));
+  schema_ = tinfo->schema;
+  QATK_RETURN_NOT_OK(residual_.Bind(schema_));
+  rids_.clear();
+  cursor_ = 0;
+  return db_->ScanIndexRange(index_, lower_, upper_, upper_inclusive_,
+                             [&](const Rid& rid) {
+                               rids_.push_back(rid);
+                               return true;
+                             });
+}
+
+Result<bool> IndexRangeScanExecutor::Next(Tuple* out) {
+  while (cursor_ < rids_.size()) {
+    QATK_ASSIGN_OR_RETURN(Tuple tuple, db_->Get(table_, rids_[cursor_++]));
+    if (residual_.Matches(tuple)) {
+      *out = std::move(tuple);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ProjectExecutor
+// ---------------------------------------------------------------------------
+
+ProjectExecutor::ProjectExecutor(std::unique_ptr<Executor> child,
+                                 std::vector<std::string> columns)
+    : child_(std::move(child)), columns_(std::move(columns)) {}
+
+Status ProjectExecutor::Open() {
+  QATK_RETURN_NOT_OK(child_->Open());
+  indices_.clear();
+  std::vector<Column> cols;
+  for (const std::string& name : columns_) {
+    QATK_ASSIGN_OR_RETURN(size_t idx,
+                          child_->output_schema().ColumnIndex(name));
+    indices_.push_back(idx);
+    cols.push_back(child_->output_schema().column(idx));
+  }
+  schema_ = Schema(std::move(cols));
+  return Status::OK();
+}
+
+Result<bool> ProjectExecutor::Next(Tuple* out) {
+  Tuple row;
+  QATK_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+  if (!has) return false;
+  std::vector<Value> values;
+  values.reserve(indices_.size());
+  for (size_t idx : indices_) values.push_back(row.value(idx));
+  *out = Tuple(std::move(values));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AggregateExecutor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum_double = 0.0;
+  int64_t sum_int = 0;
+  bool any = false;
+  Value min;
+  Value max;
+};
+
+}  // namespace
+
+AggregateExecutor::AggregateExecutor(std::unique_ptr<Executor> child,
+                                     std::vector<std::string> group_by,
+                                     std::vector<AggSpec> aggregates)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {}
+
+Status AggregateExecutor::Open() {
+  QATK_RETURN_NOT_OK(child_->Open());
+  const Schema& in = child_->output_schema();
+
+  std::vector<size_t> group_idx;
+  for (const std::string& col : group_by_) {
+    QATK_ASSIGN_OR_RETURN(size_t idx, in.ColumnIndex(col));
+    group_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx;
+  std::vector<TypeId> agg_types;
+  for (const AggSpec& spec : aggregates_) {
+    if (spec.kind == AggKind::kCountStar) {
+      agg_idx.push_back(0);
+      agg_types.push_back(TypeId::kInt64);
+      continue;
+    }
+    QATK_ASSIGN_OR_RETURN(size_t idx, in.ColumnIndex(spec.column));
+    agg_idx.push_back(idx);
+    TypeId ctype = in.column(idx).type;
+    switch (spec.kind) {
+      case AggKind::kCount:
+        agg_types.push_back(TypeId::kInt64);
+        break;
+      case AggKind::kSum:
+        if (ctype != TypeId::kInt64 && ctype != TypeId::kDouble) {
+          return Status::Invalid("SUM over non-numeric column '" +
+                                 spec.column + "'");
+        }
+        agg_types.push_back(ctype);
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        agg_types.push_back(ctype);
+        break;
+      case AggKind::kCountStar:
+        break;
+    }
+  }
+
+  // Build output schema: group-by columns then aggregates.
+  std::vector<Column> out_cols;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    out_cols.push_back(in.column(group_idx[i]));
+  }
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    out_cols.push_back({aggregates_[i].output_name, agg_types[i]});
+  }
+  schema_ = Schema(std::move(out_cols));
+
+  // std::map keeps groups deterministically ordered by key.
+  std::map<std::string, std::pair<Tuple, std::vector<AggState>>> groups;
+  Tuple row;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    std::string key;
+    std::vector<Value> key_values;
+    for (size_t idx : group_idx) {
+      row.value(idx).EncodeOrdered(&key);
+      key_values.push_back(row.value(idx));
+    }
+    auto [it, inserted] = groups.try_emplace(
+        key, Tuple(std::move(key_values)),
+        std::vector<AggState>(aggregates_.size()));
+    std::vector<AggState>& states = it->second.second;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggSpec& spec = aggregates_[i];
+      AggState& st = states[i];
+      if (spec.kind == AggKind::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      const Value& v = row.value(agg_idx[i]);
+      if (v.is_null()) continue;
+      switch (spec.kind) {
+        case AggKind::kCount:
+          ++st.count;
+          break;
+        case AggKind::kSum:
+          if (v.type() == TypeId::kInt64) st.sum_int += v.AsInt64();
+          else st.sum_double += v.AsDouble();
+          break;
+        case AggKind::kMin:
+          if (!st.any || v < st.min) st.min = v;
+          st.any = true;
+          break;
+        case AggKind::kMax:
+          if (!st.any || st.max < v) st.max = v;
+          st.any = true;
+          break;
+        case AggKind::kCountStar:
+          break;
+      }
+    }
+  }
+
+  results_.clear();
+  cursor_ = 0;
+  // A global aggregate over an empty input still yields one row of zeros.
+  if (groups.empty() && group_by_.empty()) {
+    std::vector<Value> values;
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].kind == AggKind::kCountStar ||
+          aggregates_[i].kind == AggKind::kCount) {
+        values.emplace_back(static_cast<int64_t>(0));
+      } else {
+        values.emplace_back();  // NULL
+      }
+    }
+    results_.emplace_back(std::move(values));
+    return Status::OK();
+  }
+  for (auto& [key, group] : groups) {
+    std::vector<Value> values = group.first.values();
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      const AggState& st = group.second[i];
+      switch (aggregates_[i].kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          values.emplace_back(st.count);
+          break;
+        case AggKind::kSum:
+          if (agg_types[i] == TypeId::kInt64) values.emplace_back(st.sum_int);
+          else values.emplace_back(st.sum_double);
+          break;
+        case AggKind::kMin:
+          values.push_back(st.any ? st.min : Value());
+          break;
+        case AggKind::kMax:
+          values.push_back(st.any ? st.max : Value());
+          break;
+      }
+    }
+    results_.emplace_back(std::move(values));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateExecutor::Next(Tuple* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = results_[cursor_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FilterExecutor
+// ---------------------------------------------------------------------------
+
+FilterExecutor::FilterExecutor(std::unique_ptr<Executor> child,
+                               Predicate predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Status FilterExecutor::Open() {
+  QATK_RETURN_NOT_OK(child_->Open());
+  return predicate_.Bind(child_->output_schema());
+}
+
+Result<bool> FilterExecutor::Next(Tuple* out) {
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    if (predicate_.Matches(*out)) return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinExecutor
+// ---------------------------------------------------------------------------
+
+HashJoinExecutor::HashJoinExecutor(std::unique_ptr<Executor> left,
+                                   std::unique_ptr<Executor> right,
+                                   std::string left_key,
+                                   std::string right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)) {}
+
+Status HashJoinExecutor::Open() {
+  QATK_RETURN_NOT_OK(left_->Open());
+  QATK_RETURN_NOT_OK(right_->Open());
+  QATK_ASSIGN_OR_RETURN(left_key_index_,
+                        left_->output_schema().ColumnIndex(left_key_));
+  QATK_ASSIGN_OR_RETURN(size_t right_key_index,
+                        right_->output_schema().ColumnIndex(right_key_));
+
+  // Output schema: left columns, then right columns with collision suffix.
+  std::vector<Column> columns = left_->output_schema().columns();
+  for (const Column& column : right_->output_schema().columns()) {
+    Column out = column;
+    if (left_->output_schema().HasColumn(out.name)) out.name += "_r";
+    columns.push_back(std::move(out));
+  }
+  schema_ = Schema(std::move(columns));
+
+  // Build phase over the (assumed smaller) right side.
+  build_side_.clear();
+  current_matches_ = nullptr;
+  match_cursor_ = 0;
+  Tuple row;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    const Value& key = row.value(right_key_index);
+    if (key.is_null()) continue;  // NULL never joins.
+    std::string encoded;
+    key.EncodeOrdered(&encoded);
+    build_side_[encoded].push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinExecutor::Next(Tuple* out) {
+  for (;;) {
+    if (current_matches_ != nullptr &&
+        match_cursor_ < current_matches_->size()) {
+      std::vector<Value> values = current_left_.values();
+      const Tuple& right_row = (*current_matches_)[match_cursor_++];
+      for (const Value& v : right_row.values()) values.push_back(v);
+      *out = Tuple(std::move(values));
+      return true;
+    }
+    // Advance the probe side.
+    QATK_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+    if (!has) return false;
+    const Value& key = current_left_.value(left_key_index_);
+    current_matches_ = nullptr;
+    match_cursor_ = 0;
+    if (key.is_null()) continue;
+    std::string encoded;
+    key.EncodeOrdered(&encoded);
+    auto it = build_side_.find(encoded);
+    if (it != build_side_.end()) current_matches_ = &it->second;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortExecutor
+// ---------------------------------------------------------------------------
+
+SortExecutor::SortExecutor(std::unique_ptr<Executor> child,
+                           std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortExecutor::Open() {
+  QATK_RETURN_NOT_OK(child_->Open());
+  std::vector<size_t> indices;
+  for (const SortKey& key : keys_) {
+    QATK_ASSIGN_OR_RETURN(size_t idx,
+                          child_->output_schema().ColumnIndex(key.column));
+    indices.push_back(idx);
+  }
+  rows_.clear();
+  cursor_ = 0;
+  Tuple row;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    rows_.push_back(row);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int cmp = a.value(indices[i])
+                                     .Compare(b.value(indices[i]));
+                       if (cmp != 0) {
+                         return keys_[i].descending ? cmp > 0 : cmp < 0;
+                       }
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortExecutor::Next(Tuple* out) {
+  if (cursor_ >= rows_.size()) return false;
+  *out = rows_[cursor_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LimitExecutor
+// ---------------------------------------------------------------------------
+
+LimitExecutor::LimitExecutor(std::unique_ptr<Executor> child, size_t limit,
+                             size_t offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {}
+
+Status LimitExecutor::Open() {
+  produced_ = 0;
+  skipped_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitExecutor::Next(Tuple* out) {
+  while (skipped_ < offset_) {
+    QATK_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++skipped_;
+  }
+  if (produced_ >= limit_) return false;
+  QATK_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+  if (!has) return false;
+  ++produced_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Tuple>> CollectAll(Executor* executor) {
+  QATK_RETURN_NOT_OK(executor->Open());
+  std::vector<Tuple> rows;
+  Tuple row;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(bool has, executor->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace qatk::db

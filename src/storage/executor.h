@@ -1,0 +1,240 @@
+#ifndef QATK_STORAGE_EXECUTOR_H_
+#define QATK_STORAGE_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/predicate.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace qatk::db {
+
+/// \brief Volcano-style iterator: Open once, Next until it yields false.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into `out`; returns false at end of stream.
+  virtual Result<bool> Next(Tuple* out) = 0;
+
+  virtual const Schema& output_schema() const = 0;
+};
+
+/// Full-table scan with an optional pushed-down filter.
+class SeqScanExecutor final : public Executor {
+ public:
+  SeqScanExecutor(Database* db, std::string table, Predicate predicate);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Database* db_;
+  std::string table_;
+  Predicate predicate_;
+  Schema schema_;
+  // Materialized matching rows (QDB scans are callback-based internally).
+  std::vector<Tuple> rows_;
+  size_t cursor_ = 0;
+};
+
+/// Index-assisted scan: equality on a prefix of the index key columns, with
+/// an optional residual predicate evaluated on fetched rows.
+class IndexScanExecutor final : public Executor {
+ public:
+  IndexScanExecutor(Database* db, std::string index,
+                    std::vector<Value> equals, Predicate residual);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Database* db_;
+  std::string index_;
+  std::vector<Value> equals_;
+  Predicate residual_;
+  Schema schema_;
+  std::string table_;
+  std::vector<Rid> rids_;
+  size_t cursor_ = 0;
+};
+
+/// Column projection.
+class ProjectExecutor final : public Executor {
+ public:
+  ProjectExecutor(std::unique_ptr<Executor> child,
+                  std::vector<std::string> columns);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<std::string> columns_;
+  std::vector<size_t> indices_;
+  Schema schema_;
+};
+
+/// Aggregate function kinds supported by AggregateExecutor.
+enum class AggKind { kCountStar, kCount, kSum, kMin, kMax };
+
+/// One aggregate in the output of AggregateExecutor.
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  std::string column;  // Ignored for kCountStar.
+  std::string output_name;
+};
+
+/// Hash aggregation with optional GROUP BY. Output schema: the group-by
+/// columns followed by one column per aggregate. SUM over INT yields INT;
+/// over DOUBLE yields DOUBLE. COUNT columns are INT.
+class AggregateExecutor final : public Executor {
+ public:
+  AggregateExecutor(std::unique_ptr<Executor> child,
+                    std::vector<std::string> group_by,
+                    std::vector<AggSpec> aggregates);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+  Schema schema_;
+  std::vector<Tuple> results_;
+  size_t cursor_ = 0;
+};
+
+/// Index-assisted range scan on the FIRST key column of an index:
+/// [lower, upper) or [lower, upper] bounds (NULL = unbounded), with the
+/// full original predicate re-checked as a residual filter.
+class IndexRangeScanExecutor final : public Executor {
+ public:
+  IndexRangeScanExecutor(Database* db, std::string index, Value lower,
+                         Value upper, bool upper_inclusive,
+                         Predicate residual);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  Database* db_;
+  std::string index_;
+  Value lower_;
+  Value upper_;
+  bool upper_inclusive_;
+  Predicate residual_;
+  Schema schema_;
+  std::string table_;
+  std::vector<Rid> rids_;
+  size_t cursor_ = 0;
+};
+
+/// Row filter over any child (used for post-join WHERE clauses; scans
+/// push their own predicates down instead).
+class FilterExecutor final : public Executor {
+ public:
+  FilterExecutor(std::unique_ptr<Executor> child, Predicate predicate);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  Predicate predicate_;
+};
+
+/// Inner equality join: builds a hash table over the right child's key
+/// column, then streams the left child and emits one concatenated row per
+/// match (duplicate keys yield the full cross product; NULL keys never
+/// join). Output schema is the left columns followed by the right columns;
+/// right-side names that collide with a left-side name get a "_r" suffix.
+class HashJoinExecutor final : public Executor {
+ public:
+  HashJoinExecutor(std::unique_ptr<Executor> left,
+                   std::unique_ptr<Executor> right, std::string left_key,
+                   std::string right_key);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Executor> left_;
+  std::unique_ptr<Executor> right_;
+  std::string left_key_;
+  std::string right_key_;
+  size_t left_key_index_ = 0;
+  Schema schema_;
+  std::unordered_map<std::string, std::vector<Tuple>> build_side_;
+  Tuple current_left_;
+  const std::vector<Tuple>* current_matches_ = nullptr;
+  size_t match_cursor_ = 0;
+};
+
+/// One ORDER BY key.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Full materializing sort.
+class SortExecutor final : public Executor {
+ public:
+  SortExecutor(std::unique_ptr<Executor> child, std::vector<SortKey> keys);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<SortKey> keys_;
+  std::vector<Tuple> rows_;
+  size_t cursor_ = 0;
+};
+
+/// LIMIT with optional OFFSET.
+class LimitExecutor final : public Executor {
+ public:
+  LimitExecutor(std::unique_ptr<Executor> child, size_t limit,
+                size_t offset = 0);
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  size_t limit_;
+  size_t offset_;
+  size_t produced_ = 0;
+  size_t skipped_ = 0;
+};
+
+/// Drains an executor into a vector (convenience for tests and tools).
+Result<std::vector<Tuple>> CollectAll(Executor* executor);
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_EXECUTOR_H_

@@ -1,0 +1,303 @@
+#include "storage/heap_table.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace qatk::db {
+
+// ---------------------------------------------------------------------------
+// SlottedPage
+// ---------------------------------------------------------------------------
+
+void SlottedPage::Initialize(Page* page) {
+  char* d = page->WritableData();
+  StoreU32(d, kInvalidPageId);                       // next_page_id
+  StoreU16(d + 4, 0);                                // slot_count
+  StoreU16(d + 6, static_cast<uint16_t>(kPageSize));  // free_ptr
+}
+
+PageId SlottedPage::next_page_id() const { return LoadU32(data()); }
+
+void SlottedPage::set_next_page_id(PageId id) {
+  StoreU32(mutable_data(), id);
+}
+
+uint16_t SlottedPage::slot_count() const { return LoadU16(data() + 4); }
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderSize + kSlotSize * slot_count();
+  size_t free_ptr = LoadU16(data() + 6);
+  QATK_DCHECK(free_ptr >= dir_end);
+  return free_ptr - dir_end;
+}
+
+Result<uint32_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kMaxInlineRecord + 1) {
+    return Status::Invalid("record too large for slotted page");
+  }
+  uint16_t count = slot_count();
+  // Prefer reusing a tombstoned slot id (keeps the directory compact), but
+  // the record bytes always come from the free region.
+  std::optional<uint32_t> reuse_slot;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (LoadU16(data() + kHeaderSize + kSlotSize * i) == kDeletedOffset) {
+      reuse_slot = i;
+      break;
+    }
+  }
+  size_t needed = record.size() + (reuse_slot ? 0 : kSlotSize);
+  if (FreeSpace() < needed) {
+    return Status::OutOfRange("slotted page full");
+  }
+  char* d = mutable_data();
+  uint16_t free_ptr = LoadU16(d + 6);
+  uint16_t new_offset = static_cast<uint16_t>(free_ptr - record.size());
+  std::memcpy(d + new_offset, record.data(), record.size());
+  StoreU16(d + 6, new_offset);
+
+  uint32_t slot;
+  if (reuse_slot) {
+    slot = *reuse_slot;
+  } else {
+    slot = count;
+    StoreU16(d + 4, static_cast<uint16_t>(count + 1));
+  }
+  char* entry = d + kHeaderSize + kSlotSize * slot;
+  StoreU16(entry, new_offset);
+  StoreU16(entry + 2, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint32_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::KeyError("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  const char* entry = data() + kHeaderSize + kSlotSize * slot;
+  uint16_t offset = LoadU16(entry);
+  if (offset == kDeletedOffset) {
+    return Status::KeyError("slot " + std::to_string(slot) + " deleted");
+  }
+  uint16_t len = LoadU16(entry + 2);
+  return std::string_view(data() + offset, len);
+}
+
+Status SlottedPage::Delete(uint32_t slot) {
+  if (slot >= slot_count()) {
+    return Status::KeyError("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  char* entry = mutable_data() + kHeaderSize + kSlotSize * slot;
+  if (LoadU16(entry) == kDeletedOffset) {
+    return Status::KeyError("slot " + std::to_string(slot) +
+                            " already deleted");
+  }
+  StoreU16(entry, kDeletedOffset);
+  return Status::OK();
+}
+
+Status SlottedPage::UpdateInPlace(uint32_t slot, std::string_view record) {
+  if (slot >= slot_count()) {
+    return Status::KeyError("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  char* entry = mutable_data() + kHeaderSize + kSlotSize * slot;
+  uint16_t offset = LoadU16(entry);
+  if (offset == kDeletedOffset) {
+    return Status::KeyError("update of deleted slot");
+  }
+  uint16_t old_len = LoadU16(entry + 2);
+  if (record.size() > old_len) {
+    return Status::OutOfRange("in-place update would grow record");
+  }
+  std::memcpy(mutable_data() + offset, record.data(), record.size());
+  StoreU16(entry + 2, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// HeapTable
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kTagInline = 0x00;
+constexpr char kTagOverflow = 0x01;
+constexpr size_t kOverflowHeader = 6;  // next u32 + len u16
+constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
+
+}  // namespace
+
+Result<PageId> HeapTable::Create(BufferPool* pool) {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
+  PageGuard guard(pool, page);
+  SlottedPage::Initialize(page);
+  return page->page_id();
+}
+
+HeapTable::HeapTable(BufferPool* pool, PageId first_page_id)
+    : pool_(pool),
+      first_page_id_(first_page_id),
+      tail_page_id_(first_page_id) {}
+
+Result<std::string> HeapTable::MakeStub(std::string_view record) {
+  // Spill the record to a chain of overflow pages; return the stub.
+  PageId first_overflow = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t pos = 0;
+  while (pos < record.size()) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+    PageGuard guard(pool_, page);
+    size_t chunk = std::min(kOverflowCapacity, record.size() - pos);
+    char* d = page->WritableData();
+    StoreU32(d, kInvalidPageId);
+    StoreU16(d + 4, static_cast<uint16_t>(chunk));
+    std::memcpy(d + kOverflowHeader, record.data() + pos, chunk);
+    if (first_overflow == kInvalidPageId) {
+      first_overflow = page->page_id();
+    } else {
+      QATK_ASSIGN_OR_RETURN(Page * prev_page, pool_->FetchPage(prev));
+      PageGuard prev_guard(pool_, prev_page);
+      StoreU32(prev_page->WritableData(), page->page_id());
+    }
+    prev = page->page_id();
+    pos += chunk;
+  }
+  std::string stub;
+  stub.push_back(kTagOverflow);
+  stub.resize(9);
+  StoreU32(stub.data() + 1, first_overflow);
+  StoreU32(stub.data() + 5, static_cast<uint32_t>(record.size()));
+  return stub;
+}
+
+Result<Rid> HeapTable::Insert(std::string_view record) {
+  std::string payload;
+  if (record.size() + 1 <= kMaxInlineRecord + 1 &&
+      record.size() + 1 <= 0xFFFE) {
+    payload.push_back(kTagInline);
+    payload.append(record);
+  } else {
+    QATK_ASSIGN_OR_RETURN(payload, MakeStub(record));
+  }
+
+  PageId current = tail_page_id_;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_, page);
+    SlottedPage view(page);
+    Result<uint32_t> slot = view.Insert(payload);
+    if (slot.ok()) {
+      tail_page_id_ = current;
+      return Rid{current, slot.ValueOrDie()};
+    }
+    if (!slot.status().IsOutOfRange()) return slot.status();
+    PageId next = view.next_page_id();
+    if (next == kInvalidPageId) {
+      QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
+      PageGuard new_guard(pool_, new_page);
+      SlottedPage::Initialize(new_page);
+      view.set_next_page_id(new_page->page_id());
+      next = new_page->page_id();
+    }
+    current = next;
+  }
+}
+
+Result<std::string> HeapTable::ReadOverflowChain(PageId first,
+                                                 uint32_t total_len) const {
+  std::string out;
+  out.reserve(total_len);
+  PageId current = first;
+  while (current != kInvalidPageId && out.size() < total_len) {
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
+    PageGuard guard(pool_, page);
+    const char* d = page->data();
+    uint16_t len = LoadU16(d + 4);
+    out.append(d + kOverflowHeader, len);
+    current = LoadU32(d);
+  }
+  if (out.size() != total_len) {
+    return Status::Internal("overflow chain shorter than recorded length");
+  }
+  return out;
+}
+
+Result<std::string> HeapTable::Get(const Rid& rid) const {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  PageGuard guard(pool_, page);
+  SlottedPage view(page);
+  QATK_ASSIGN_OR_RETURN(std::string_view payload, view.Get(rid.slot));
+  if (payload.empty()) {
+    return Status::Internal("empty record payload");
+  }
+  if (payload[0] == kTagInline) {
+    return std::string(payload.substr(1));
+  }
+  if (payload.size() != 9) {
+    return Status::Internal("malformed overflow stub");
+  }
+  PageId first = LoadU32(payload.data() + 1);
+  uint32_t total_len = LoadU32(payload.data() + 5);
+  guard.Release();
+  return ReadOverflowChain(first, total_len);
+}
+
+Status HeapTable::Delete(const Rid& rid) {
+  QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  PageGuard guard(pool_, page);
+  SlottedPage view(page);
+  // Overflow pages of a deleted record are leaked until the file is
+  // rebuilt; QDB's workloads are append-mostly (documented trade-off).
+  return view.Delete(rid.slot);
+}
+
+Result<Rid> HeapTable::Update(const Rid& rid, std::string_view record) {
+  if (record.size() + 1 <= kMaxInlineRecord + 1 &&
+      record.size() + 1 <= 0xFFFE) {
+    std::string payload;
+    payload.push_back(kTagInline);
+    payload.append(record);
+    QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+    PageGuard guard(pool_, page);
+    SlottedPage view(page);
+    Status in_place = view.UpdateInPlace(rid.slot, payload);
+    if (in_place.ok()) return rid;
+    if (!in_place.IsOutOfRange()) return in_place;
+  }
+  QATK_RETURN_NOT_OK(Delete(rid));
+  return Insert(record);
+}
+
+bool HeapTable::Iterator::Next(Rid* rid, std::string* record) {
+  while (page_id_ != kInvalidPageId) {
+    Result<Page*> page_result = table_->pool_->FetchPage(page_id_);
+    if (!page_result.ok()) {
+      status_ = page_result.status();
+      return false;
+    }
+    PageGuard guard(table_->pool_, page_result.ValueOrDie());
+    SlottedPage view(guard.get());
+    uint16_t count = view.slot_count();
+    while (slot_ < count) {
+      uint32_t slot = slot_++;
+      Result<std::string_view> payload = view.Get(slot);
+      if (!payload.ok()) continue;  // Tombstoned slot.
+      *rid = Rid{page_id_, slot};
+      guard.Release();
+      Result<std::string> value = table_->Get(*rid);
+      if (!value.ok()) {
+        status_ = value.status();
+        return false;
+      }
+      *record = value.MoveValueUnsafe();
+      return true;
+    }
+    page_id_ = view.next_page_id();
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace qatk::db

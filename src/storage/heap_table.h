@@ -1,0 +1,131 @@
+#ifndef QATK_STORAGE_HEAP_TABLE_H_
+#define QATK_STORAGE_HEAP_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace qatk::db {
+
+/// \brief View over one slotted heap page.
+///
+/// Layout:
+///   [0]  next_page_id  u32   (chain of table pages)
+///   [4]  slot_count    u16
+///   [6]  free_ptr      u16   (records grow down from kPageSize)
+///   [8]  slot directory: per slot {offset u16, len u16}; offset 0xFFFF
+///        marks a deleted slot whose id may be reused.
+///
+/// The view does not own the page; callers hold the pin.
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  static void Initialize(Page* page);
+
+  PageId next_page_id() const;
+  void set_next_page_id(PageId id);
+
+  uint16_t slot_count() const;
+
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// Inserts a record; returns its slot. Fails with OutOfRange if it does
+  /// not fit (caller moves to another page).
+  Result<uint32_t> Insert(std::string_view record);
+
+  /// Reads the record in `slot`. KeyError for deleted/absent slots.
+  Result<std::string_view> Get(uint32_t slot) const;
+
+  /// Tombstones `slot`. The record bytes are not reclaimed until the page is
+  /// rewritten (append-mostly workload; documented trade-off).
+  Status Delete(uint32_t slot);
+
+  /// Overwrites in place when the new record is not longer than the old.
+  /// Fails with OutOfRange otherwise.
+  Status UpdateInPlace(uint32_t slot, std::string_view record);
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kSlotSize = 4;
+  static constexpr uint16_t kDeletedOffset = 0xFFFF;
+
+  const char* data() const { return page_->data(); }
+  char* mutable_data() { return page_->WritableData(); }
+
+  Page* page_;
+};
+
+/// Largest record storable inline in a heap page.
+inline constexpr size_t kMaxInlineRecord =
+    kPageSize - 8 /*header*/ - 4 /*slot*/ - 1 /*tag*/;
+
+/// \brief Unordered collection of variable-length records in a chain of
+/// slotted pages, with overflow chains for records longer than one page.
+///
+/// Records carry a one-byte tag: 0x00 inline, 0x01 overflow stub
+/// {first_overflow_page u32, total_len u32}. Overflow pages:
+/// {next u32, len u16, data...}.
+class HeapTable {
+ public:
+  /// Creates an empty table and returns its first page id (the table's
+  /// persistent identity, stored in the catalog).
+  static Result<PageId> Create(BufferPool* pool);
+
+  /// Attaches to an existing table.
+  HeapTable(BufferPool* pool, PageId first_page_id);
+
+  /// Appends a record; returns its physical location.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Fetches the record at `rid` (follows overflow chains).
+  Result<std::string> Get(const Rid& rid) const;
+
+  /// Tombstones the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  /// Replaces the record; in place when possible, else delete + re-insert.
+  /// Returns the (possibly new) location.
+  Result<Rid> Update(const Rid& rid, std::string_view record);
+
+  PageId first_page_id() const { return first_page_id_; }
+
+  /// \brief Forward cursor over all live records in physical order.
+  class Iterator {
+   public:
+    Iterator(const HeapTable* table, PageId page_id)
+        : table_(table), page_id_(page_id) {}
+
+    /// Advances to the next live record; returns false at the end. I/O
+    /// errors also end the scan and are exposed via status().
+    bool Next(Rid* rid, std::string* record);
+
+    const Status& status() const { return status_; }
+
+   private:
+    const HeapTable* table_;
+    PageId page_id_;
+    uint32_t slot_ = 0;
+    Status status_;
+  };
+
+  Iterator Scan() const { return Iterator(this, first_page_id_); }
+
+ private:
+  Result<std::string> ReadOverflowChain(PageId first, uint32_t total_len) const;
+  Result<std::string> MakeStub(std::string_view record);
+
+  BufferPool* pool_;
+  PageId first_page_id_;
+  // Cached tail page for O(1) appends; lazily discovered.
+  mutable PageId tail_page_id_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_HEAP_TABLE_H_

@@ -1,0 +1,87 @@
+#ifndef QATK_STORAGE_PAGE_H_
+#define QATK_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace qatk::db {
+
+/// Fixed page size of the QDB storage layer.
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a database file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// \brief Record identifier: physical location of a tuple.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+  bool operator<(const Rid& other) const {
+    if (page_id != other.page_id) return page_id < other.page_id;
+    return slot < other.slot;
+  }
+};
+
+/// \brief A buffer-pool frame: raw page bytes plus bookkeeping.
+///
+/// Mutation must go through WritableData() so the dirty flag is kept
+/// accurate by the buffer pool's flush logic.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  PageId page_id() const { return page_id_; }
+  const char* data() const { return data_; }
+
+  /// Returns mutable bytes and marks the page dirty.
+  char* WritableData() {
+    dirty_ = true;
+    return data_;
+  }
+
+  bool is_dirty() const { return dirty_; }
+  int pin_count() const { return pin_count_; }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+/// Unaligned little-endian load/store helpers for in-page structures.
+inline uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_PAGE_H_

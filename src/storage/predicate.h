@@ -1,0 +1,63 @@
+#ifndef QATK_STORAGE_PREDICATE_H_
+#define QATK_STORAGE_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace qatk::db {
+
+/// Comparison operator of a predicate term.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kLike };
+
+/// SQL LIKE matching: '%' matches any run (incl. empty), '_' matches one
+/// character; everything else is literal. Case-sensitive.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief Conjunction of column-vs-constant comparisons.
+///
+/// NULL semantics: any comparison involving a NULL stored value is false
+/// (SQL-like), except kEq against an explicit NULL constant, which tests
+/// for null.
+class Predicate {
+ public:
+  struct Term {
+    std::string column;
+    CompareOp op = CompareOp::kEq;
+    Value value;
+  };
+
+  Predicate() = default;
+  explicit Predicate(std::vector<Term> terms) : terms_(std::move(terms)) {}
+
+  void AddTerm(std::string column, CompareOp op, Value value) {
+    terms_.push_back({std::move(column), op, std::move(value)});
+  }
+
+  const std::vector<Term>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// Resolves column names against `schema`; fails fast on unknown columns.
+  Status Bind(const Schema& schema);
+
+  /// Evaluates the bound predicate. Requires a prior successful Bind.
+  bool Matches(const Tuple& tuple) const;
+
+  /// Renders "a = 1 AND b < 'x'" for plans and error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::vector<size_t> column_indices_;
+  bool bound_ = false;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_PREDICATE_H_

@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+namespace qatk::db {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::KeyError("no column named '" + name + "' in schema (" +
+                          ToString() + ")");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const Column& c : columns_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += TypeIdToString(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qatk::db

@@ -1,0 +1,46 @@
+#ifndef QATK_STORAGE_SCHEMA_H_
+#define QATK_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace qatk::db {
+
+/// One column of a table schema.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kString;
+};
+
+/// \brief Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the index of the named column or KeyError.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Renders "name TYPE, name TYPE, ..." for catalogs and error messages.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_SCHEMA_H_

@@ -1,0 +1,745 @@
+#include "storage/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <sstream>
+
+#include "common/strutil.h"
+#include "storage/executor.h"
+#include "storage/predicate.h"
+
+namespace qatk::db {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keywords/identifiers upper-cased except strings.
+  std::string raw;   // Original spelling (for identifiers kept as written).
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        std::string value;
+        ++i;
+        bool closed = false;
+        while (i < input_.size()) {
+          if (input_[i] == '\'') {
+            if (i + 1 < input_.size() && input_[i + 1] == '\'') {
+              value += '\'';
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          value += input_[i++];
+        }
+        if (!closed) return Status::Invalid("unterminated string literal");
+        tokens.push_back({TokenType::kString, value, value});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        while (i < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[i])) ||
+                input_[i] == '.')) {
+          ++i;
+        }
+        std::string text = input_.substr(start, i - start);
+        tokens.push_back({TokenType::kNumber, text, text});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[i])) ||
+                input_[i] == '_')) {
+          ++i;
+        }
+        std::string raw = input_.substr(start, i - start);
+        std::string upper = raw;
+        std::transform(upper.begin(), upper.end(), upper.begin(),
+                       [](unsigned char ch) {
+                         return static_cast<char>(std::toupper(ch));
+                       });
+        tokens.push_back({TokenType::kIdent, upper, raw});
+        continue;
+      }
+      // Multi-char operators first.
+      if ((c == '<' || c == '>' || c == '!') && i + 1 < input_.size() &&
+          input_[i + 1] == '=') {
+        tokens.push_back({TokenType::kSymbol, input_.substr(i, 2),
+                          input_.substr(i, 2)});
+        i += 2;
+        continue;
+      }
+      if (c == '<' && i + 1 < input_.size() && input_[i + 1] == '>') {
+        tokens.push_back({TokenType::kSymbol, "<>", "<>"});
+        i += 2;
+        continue;
+      }
+      static const std::string kSingles = "(),*=<>;.";
+      if (kSingles.find(c) != std::string::npos) {
+        tokens.push_back({TokenType::kSymbol, std::string(1, c),
+                          std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::Invalid(std::string("unexpected character '") + c +
+                             "' in SQL");
+    }
+    tokens.push_back({TokenType::kEnd, "", ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser + direct execution
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggKind agg_kind = AggKind::kCountStar;
+  std::string column;  // For plain columns and non-star aggregates.
+  std::string alias;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::Invalid("expected " + kw + " near '" + Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::Invalid("expected '" + sym + "' near '" + Peek().raw +
+                             "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::Invalid("expected identifier near '" + Peek().raw + "'");
+    }
+    return Advance().raw;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kString) {
+      Advance();
+      return Value(t.text);
+    }
+    if (t.type == TokenType::kNumber) {
+      Advance();
+      if (t.text.find('.') != std::string::npos) {
+        return Value(std::stod(t.text));
+      }
+      return Value(static_cast<int64_t>(std::stoll(t.text)));
+    }
+    if (t.type == TokenType::kIdent && t.text == "NULL") {
+      Advance();
+      return Value();
+    }
+    return Status::Invalid("expected literal near '" + t.raw + "'");
+  }
+
+  Result<Predicate> ParseWhere() {
+    Predicate pred;
+    for (;;) {
+      QATK_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+      CompareOp op;
+      if (MatchSymbol("=")) op = CompareOp::kEq;
+      else if (MatchSymbol("!=") || MatchSymbol("<>")) op = CompareOp::kNe;
+      else if (MatchSymbol("<=")) op = CompareOp::kLe;
+      else if (MatchSymbol(">=")) op = CompareOp::kGe;
+      else if (MatchSymbol("<")) op = CompareOp::kLt;
+      else if (MatchSymbol(">")) op = CompareOp::kGt;
+      else if (MatchKeyword("LIKE")) op = CompareOp::kLike;
+      else if (MatchKeyword("BETWEEN")) {
+        // col BETWEEN a AND b  ==  col >= a AND col <= b.
+        QATK_ASSIGN_OR_RETURN(Value low, ParseLiteral());
+        QATK_RETURN_NOT_OK(ExpectKeyword("AND"));
+        QATK_ASSIGN_OR_RETURN(Value high, ParseLiteral());
+        pred.AddTerm(column, CompareOp::kGe, std::move(low));
+        pred.AddTerm(std::move(column), CompareOp::kLe, std::move(high));
+        if (!MatchKeyword("AND")) break;
+        continue;
+      }
+      else {
+        return Status::Invalid("expected comparison operator near '" +
+                               Peek().raw + "'");
+      }
+      QATK_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+      pred.AddTerm(std::move(column), op, std::move(value));
+      if (!MatchKeyword("AND")) break;
+    }
+    return pred;
+  }
+
+  size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+Result<TypeId> ParseColumnType(const std::string& upper) {
+  if (upper == "INT" || upper == "INTEGER" || upper == "BIGINT") {
+    return TypeId::kInt64;
+  }
+  if (upper == "DOUBLE" || upper == "REAL" || upper == "FLOAT") {
+    return TypeId::kDouble;
+  }
+  if (upper == "STRING" || upper == "TEXT" || upper == "VARCHAR") {
+    return TypeId::kString;
+  }
+  return Status::Invalid("unknown column type '" + upper + "'");
+}
+
+Result<ResultSet> ExecuteCreate(Parser* p, Database* db) {
+  if (p->MatchKeyword("TABLE")) {
+    QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+    QATK_RETURN_NOT_OK(p->ExpectSymbol("("));
+    std::vector<Column> cols;
+    for (;;) {
+      QATK_ASSIGN_OR_RETURN(std::string col, p->ExpectIdent());
+      if (p->Peek().type != TokenType::kIdent) {
+        return Status::Invalid("expected column type near '" + p->Peek().raw +
+                               "'");
+      }
+      QATK_ASSIGN_OR_RETURN(TypeId type, ParseColumnType(p->Advance().text));
+      cols.push_back({col, type});
+      if (p->MatchSymbol(")")) break;
+      QATK_RETURN_NOT_OK(p->ExpectSymbol(","));
+    }
+    QATK_RETURN_NOT_OK(db->CreateTable(table, Schema(std::move(cols))));
+    return ResultSet{};
+  }
+  if (p->MatchKeyword("INDEX")) {
+    QATK_ASSIGN_OR_RETURN(std::string index, p->ExpectIdent());
+    QATK_RETURN_NOT_OK(p->ExpectKeyword("ON"));
+    QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+    QATK_RETURN_NOT_OK(p->ExpectSymbol("("));
+    std::vector<std::string> cols;
+    for (;;) {
+      QATK_ASSIGN_OR_RETURN(std::string col, p->ExpectIdent());
+      cols.push_back(col);
+      if (p->MatchSymbol(")")) break;
+      QATK_RETURN_NOT_OK(p->ExpectSymbol(","));
+    }
+    QATK_RETURN_NOT_OK(db->CreateIndex(index, table, cols));
+    return ResultSet{};
+  }
+  return Status::Invalid("expected TABLE or INDEX after CREATE");
+}
+
+Result<ResultSet> ExecuteInsert(Parser* p, Database* db) {
+  QATK_RETURN_NOT_OK(p->ExpectKeyword("INTO"));
+  QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+  QATK_RETURN_NOT_OK(p->ExpectKeyword("VALUES"));
+  ResultSet rs;
+  for (;;) {
+    QATK_RETURN_NOT_OK(p->ExpectSymbol("("));
+    std::vector<Value> values;
+    for (;;) {
+      QATK_ASSIGN_OR_RETURN(Value v, p->ParseLiteral());
+      values.push_back(std::move(v));
+      if (p->MatchSymbol(")")) break;
+      QATK_RETURN_NOT_OK(p->ExpectSymbol(","));
+    }
+    QATK_RETURN_NOT_OK(db->Insert(table, Tuple(std::move(values))).status());
+    ++rs.rows_affected;
+    if (!p->MatchSymbol(",")) break;
+  }
+  return rs;
+}
+
+Result<ResultSet> ExecuteUpdate(Parser* p, Database* db) {
+  QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+  QATK_RETURN_NOT_OK(p->ExpectKeyword("SET"));
+  std::vector<std::pair<std::string, Value>> assignments;
+  for (;;) {
+    QATK_ASSIGN_OR_RETURN(std::string column, p->ExpectIdent());
+    QATK_RETURN_NOT_OK(p->ExpectSymbol("="));
+    QATK_ASSIGN_OR_RETURN(Value value, p->ParseLiteral());
+    assignments.emplace_back(std::move(column), std::move(value));
+    if (!p->MatchSymbol(",")) break;
+  }
+  Predicate pred;
+  if (p->MatchKeyword("WHERE")) {
+    QATK_ASSIGN_OR_RETURN(pred, p->ParseWhere());
+  }
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, db->GetTable(table));
+  QATK_RETURN_NOT_OK(pred.Bind(tinfo->schema));
+  std::vector<size_t> indices;
+  for (const auto& [column, value] : assignments) {
+    QATK_ASSIGN_OR_RETURN(size_t idx, tinfo->schema.ColumnIndex(column));
+    indices.push_back(idx);
+  }
+  std::vector<std::pair<Rid, Tuple>> victims;
+  QATK_RETURN_NOT_OK(
+      db->ScanTable(table, [&](const Rid& rid, const Tuple& tuple) {
+        if (pred.Matches(tuple)) victims.emplace_back(rid, tuple);
+        return true;
+      }));
+  ResultSet rs;
+  for (auto& [rid, tuple] : victims) {
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      tuple.set_value(indices[i], assignments[i].second);
+    }
+    QATK_RETURN_NOT_OK(db->Update(table, rid, tuple).status());
+    ++rs.rows_affected;
+  }
+  return rs;
+}
+
+Result<ResultSet> ExecuteDelete(Parser* p, Database* db) {
+  QATK_RETURN_NOT_OK(p->ExpectKeyword("FROM"));
+  QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+  Predicate pred;
+  if (p->MatchKeyword("WHERE")) {
+    QATK_ASSIGN_OR_RETURN(pred, p->ParseWhere());
+  }
+  QATK_ASSIGN_OR_RETURN(const TableInfo* tinfo, db->GetTable(table));
+  QATK_RETURN_NOT_OK(pred.Bind(tinfo->schema));
+  std::vector<Rid> victims;
+  QATK_RETURN_NOT_OK(db->ScanTable(table, [&](const Rid& rid,
+                                              const Tuple& tuple) {
+    if (pred.Matches(tuple)) victims.push_back(rid);
+    return true;
+  }));
+  for (const Rid& rid : victims) {
+    QATK_RETURN_NOT_OK(db->Delete(table, rid));
+  }
+  ResultSet rs;
+  rs.rows_affected = victims.size();
+  return rs;
+}
+
+/// Picks a single-column-prefix index range when the WHERE clause bounds
+/// an indexed column with <, <=, >, >=, or =. The full predicate stays as
+/// the residual filter, so the bounds only need to be a sound
+/// over-approximation (strict lower bounds widen to inclusive ones).
+bool TryPlanRangeScan(Database* db, const std::string& table,
+                      const Predicate& pred, std::string* index_name,
+                      Value* lower, Value* upper, bool* upper_inclusive) {
+  for (const std::string& name : db->ListIndexes()) {
+    IndexInfo* info = db->GetIndex(name).ValueOrDie();
+    if (info->table != table) continue;
+    const std::string& column = info->key_columns.front();
+    Value lo;
+    Value hi;
+    bool hi_inclusive = false;
+    bool any = false;
+    for (const Predicate::Term& term : pred.terms()) {
+      if (term.column != column || term.value.is_null()) continue;
+      switch (term.op) {
+        case CompareOp::kEq:
+          lo = term.value;
+          hi = term.value;
+          hi_inclusive = true;
+          any = true;
+          break;
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          if (lo.is_null() || lo < term.value) lo = term.value;
+          any = true;
+          break;
+        case CompareOp::kLt:
+          if (hi.is_null() || term.value < hi) {
+            hi = term.value;
+            hi_inclusive = false;
+          }
+          any = true;
+          break;
+        case CompareOp::kLe:
+          if (hi.is_null() || term.value < hi) {
+            hi = term.value;
+            hi_inclusive = true;
+          }
+          any = true;
+          break;
+        case CompareOp::kNe:
+        case CompareOp::kLike:
+          break;
+      }
+    }
+    if (!any) continue;
+    *index_name = name;
+    *lower = lo;
+    *upper = hi;
+    *upper_inclusive = hi_inclusive;
+    return true;
+  }
+  return false;
+}
+
+/// Picks an index whose key columns' prefix is fully covered by equality
+/// terms; splits the predicate into index key values + residual.
+bool TryPlanIndexScan(Database* db, const std::string& table,
+                      const Predicate& pred, std::string* index_name,
+                      std::vector<Value>* equals, Predicate* residual) {
+  size_t best_covered = 0;
+  for (const std::string& name : db->ListIndexes()) {
+    IndexInfo* info = db->GetIndex(name).ValueOrDie();
+    if (info->table != table) continue;
+    std::vector<Value> values;
+    std::vector<bool> used(pred.terms().size(), false);
+    for (const std::string& col : info->key_columns) {
+      bool found = false;
+      for (size_t i = 0; i < pred.terms().size(); ++i) {
+        if (!used[i] && pred.terms()[i].op == CompareOp::kEq &&
+            pred.terms()[i].column == col) {
+          values.push_back(pred.terms()[i].value);
+          used[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+    }
+    if (values.empty() || values.size() <= best_covered) continue;
+    best_covered = values.size();
+    *index_name = name;
+    *equals = values;
+    Predicate res;
+    for (size_t i = 0; i < pred.terms().size(); ++i) {
+      if (!used[i]) {
+        res.AddTerm(pred.terms()[i].column, pred.terms()[i].op,
+                    pred.terms()[i].value);
+      }
+    }
+    *residual = std::move(res);
+  }
+  return best_covered > 0;
+}
+
+Result<ResultSet> ExecuteSelect(Parser* p, Database* db) {
+  // Select list.
+  bool star = false;
+  std::vector<SelectItem> items;
+  if (p->MatchSymbol("*")) {
+    star = true;
+  } else {
+    for (;;) {
+      SelectItem item;
+      if (p->Peek().type != TokenType::kIdent) {
+        return Status::Invalid("expected select item near '" + p->Peek().raw +
+                               "'");
+      }
+      Token head = p->Advance();
+      static const std::pair<const char*, AggKind> kAggs[] = {
+          {"COUNT", AggKind::kCount},
+          {"SUM", AggKind::kSum},
+          {"MIN", AggKind::kMin},
+          {"MAX", AggKind::kMax},
+      };
+      bool is_agg = false;
+      for (const auto& [kw, kind] : kAggs) {
+        if (head.text == kw && p->MatchSymbol("(")) {
+          item.is_aggregate = true;
+          if (kind == AggKind::kCount && p->MatchSymbol("*")) {
+            item.agg_kind = AggKind::kCountStar;
+          } else {
+            QATK_ASSIGN_OR_RETURN(item.column, p->ExpectIdent());
+            item.agg_kind = kind;
+          }
+          QATK_RETURN_NOT_OK(p->ExpectSymbol(")"));
+          is_agg = true;
+          break;
+        }
+      }
+      if (!is_agg) item.column = head.raw;
+      if (p->MatchKeyword("AS")) {
+        QATK_ASSIGN_OR_RETURN(item.alias, p->ExpectIdent());
+      }
+      items.push_back(std::move(item));
+      if (!p->MatchSymbol(",")) break;
+    }
+  }
+
+  QATK_RETURN_NOT_OK(p->ExpectKeyword("FROM"));
+  QATK_ASSIGN_OR_RETURN(std::string table, p->ExpectIdent());
+
+  // Optional single inner join: FROM a JOIN b ON a.x = b.y.
+  bool joined = false;
+  std::string right_table;
+  std::string left_key;
+  std::string right_key;
+  if (p->MatchKeyword("JOIN")) {
+    joined = true;
+    QATK_ASSIGN_OR_RETURN(right_table, p->ExpectIdent());
+    QATK_RETURN_NOT_OK(p->ExpectKeyword("ON"));
+    auto parse_qualified =
+        [&]() -> Result<std::pair<std::string, std::string>> {
+      QATK_ASSIGN_OR_RETURN(std::string qualifier, p->ExpectIdent());
+      QATK_RETURN_NOT_OK(p->ExpectSymbol("."));
+      QATK_ASSIGN_OR_RETURN(std::string column, p->ExpectIdent());
+      return std::make_pair(qualifier, column);
+    };
+    QATK_ASSIGN_OR_RETURN(auto lhs, parse_qualified());
+    QATK_RETURN_NOT_OK(p->ExpectSymbol("="));
+    QATK_ASSIGN_OR_RETURN(auto rhs, parse_qualified());
+    // Accept the condition in either order.
+    if (lhs.first == table && rhs.first == right_table) {
+      left_key = lhs.second;
+      right_key = rhs.second;
+    } else if (lhs.first == right_table && rhs.first == table) {
+      left_key = rhs.second;
+      right_key = lhs.second;
+    } else {
+      return Status::Invalid("JOIN condition must reference both '" + table +
+                             "' and '" + right_table + "'");
+    }
+  }
+
+  Predicate pred;
+  if (p->MatchKeyword("WHERE")) {
+    QATK_ASSIGN_OR_RETURN(pred, p->ParseWhere());
+  }
+
+  std::vector<std::string> group_by;
+  if (p->MatchKeyword("GROUP")) {
+    QATK_RETURN_NOT_OK(p->ExpectKeyword("BY"));
+    for (;;) {
+      QATK_ASSIGN_OR_RETURN(std::string col, p->ExpectIdent());
+      group_by.push_back(col);
+      if (!p->MatchSymbol(",")) break;
+    }
+  }
+
+  std::vector<SortKey> order_by;
+  if (p->MatchKeyword("ORDER")) {
+    QATK_RETURN_NOT_OK(p->ExpectKeyword("BY"));
+    for (;;) {
+      SortKey key;
+      QATK_ASSIGN_OR_RETURN(key.column, p->ExpectIdent());
+      if (p->MatchKeyword("DESC")) key.descending = true;
+      else p->MatchKeyword("ASC");
+      order_by.push_back(std::move(key));
+      if (!p->MatchSymbol(",")) break;
+    }
+  }
+
+  std::optional<size_t> limit;
+  size_t offset = 0;
+  if (p->MatchKeyword("LIMIT")) {
+    QATK_ASSIGN_OR_RETURN(Value v, p->ParseLiteral());
+    if (v.type() != TypeId::kInt64 || v.AsInt64() < 0) {
+      return Status::Invalid("LIMIT must be a non-negative integer");
+    }
+    limit = static_cast<size_t>(v.AsInt64());
+    if (p->MatchKeyword("OFFSET")) {
+      QATK_ASSIGN_OR_RETURN(Value o, p->ParseLiteral());
+      if (o.type() != TypeId::kInt64 || o.AsInt64() < 0) {
+        return Status::Invalid("OFFSET must be a non-negative integer");
+      }
+      offset = static_cast<size_t>(o.AsInt64());
+    }
+  }
+
+  // Plan: base scan (or join with a post-join filter).
+  std::unique_ptr<Executor> exec;
+  if (joined) {
+    exec = std::make_unique<HashJoinExecutor>(
+        std::make_unique<SeqScanExecutor>(db, table, Predicate()),
+        std::make_unique<SeqScanExecutor>(db, right_table, Predicate()),
+        left_key, right_key);
+    if (!pred.empty()) {
+      exec = std::make_unique<FilterExecutor>(std::move(exec),
+                                              std::move(pred));
+    }
+  } else {
+    std::string index_name;
+    std::vector<Value> equals;
+    Predicate residual;
+    Value lower;
+    Value upper;
+    bool upper_inclusive = false;
+    if (!pred.empty() &&
+        TryPlanIndexScan(db, table, pred, &index_name, &equals, &residual)) {
+      exec = std::make_unique<IndexScanExecutor>(db, index_name,
+                                                 std::move(equals),
+                                                 std::move(residual));
+    } else if (!pred.empty() &&
+               TryPlanRangeScan(db, table, pred, &index_name, &lower,
+                                &upper, &upper_inclusive)) {
+      exec = std::make_unique<IndexRangeScanExecutor>(
+          db, index_name, std::move(lower), std::move(upper),
+          upper_inclusive, std::move(pred));
+    } else {
+      exec = std::make_unique<SeqScanExecutor>(db, table, std::move(pred));
+    }
+  }
+
+  bool any_agg = std::any_of(items.begin(), items.end(),
+                             [](const SelectItem& i) { return i.is_aggregate; });
+  if (any_agg || !group_by.empty()) {
+    if (star) {
+      return Status::Invalid("SELECT * cannot be combined with aggregation");
+    }
+    std::vector<AggSpec> aggs;
+    std::vector<std::string> plain;
+    for (const SelectItem& item : items) {
+      if (item.is_aggregate) {
+        AggSpec spec;
+        spec.kind = item.agg_kind;
+        spec.column = item.column;
+        spec.output_name =
+            !item.alias.empty()
+                ? item.alias
+                : (item.agg_kind == AggKind::kCountStar
+                       ? "count"
+                       : AsciiLower(item.column) + "_agg");
+        aggs.push_back(std::move(spec));
+      } else {
+        plain.push_back(item.column);
+      }
+    }
+    // Every plain select item must be a group-by column.
+    for (const std::string& col : plain) {
+      if (std::find(group_by.begin(), group_by.end(), col) ==
+          group_by.end()) {
+        return Status::Invalid("column '" + col +
+                               "' must appear in GROUP BY");
+      }
+    }
+    exec = std::make_unique<AggregateExecutor>(std::move(exec), group_by,
+                                               std::move(aggs));
+  } else if (!star) {
+    std::vector<std::string> cols;
+    for (const SelectItem& item : items) cols.push_back(item.column);
+    exec = std::make_unique<ProjectExecutor>(std::move(exec),
+                                             std::move(cols));
+  }
+
+  if (!order_by.empty()) {
+    exec = std::make_unique<SortExecutor>(std::move(exec),
+                                          std::move(order_by));
+  }
+  if (limit) {
+    exec = std::make_unique<LimitExecutor>(std::move(exec), *limit, offset);
+  }
+
+  QATK_ASSIGN_OR_RETURN(std::vector<Tuple> rows, CollectAll(exec.get()));
+  ResultSet rs;
+  rs.schema = exec->output_schema();
+  rs.rows = std::move(rows);
+  return rs;
+}
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  std::ostringstream out;
+  std::vector<size_t> widths(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    widths[i] = schema.column(i).name.size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  for (const Tuple& row : rows) {
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < row.size(); ++i) {
+      cells.push_back(row.value(i).ToString());
+      widths[i] = std::max(widths[i], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << ' ' << cells[i] << std::string(widths[i] - cells[i].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  std::vector<std::string> header;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    header.push_back(schema.column(i).name);
+  }
+  if (!header.empty()) {
+    write_row(header);
+    out << '|';
+    for (size_t w : widths) out << std::string(w + 2, '-') << '|';
+    out << '\n';
+    for (const auto& cells : rendered) write_row(cells);
+  }
+  out << rows.size() << " row(s)";
+  if (rows_affected > 0) out << ", " << rows_affected << " affected";
+  out << '\n';
+  return out.str();
+}
+
+Result<ResultSet> SqlSession::Execute(const std::string& sql) {
+  Lexer lexer(sql);
+  QATK_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  Result<ResultSet> result = [&]() -> Result<ResultSet> {
+    if (parser.MatchKeyword("CREATE")) return ExecuteCreate(&parser, db_);
+    if (parser.MatchKeyword("INSERT")) return ExecuteInsert(&parser, db_);
+    if (parser.MatchKeyword("SELECT")) return ExecuteSelect(&parser, db_);
+    if (parser.MatchKeyword("UPDATE")) return ExecuteUpdate(&parser, db_);
+    if (parser.MatchKeyword("DELETE")) return ExecuteDelete(&parser, db_);
+    return Status::Invalid("unsupported statement near '" +
+                           parser.Peek().raw + "'");
+  }();
+  if (!result.ok()) return result.status();
+  parser.MatchSymbol(";");
+  if (parser.Peek().type != TokenType::kEnd) {
+    return Status::Invalid("trailing tokens near '" + parser.Peek().raw +
+                           "'");
+  }
+  return result;
+}
+
+}  // namespace qatk::db

@@ -1,0 +1,58 @@
+#ifndef QATK_STORAGE_SQL_H_
+#define QATK_STORAGE_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace qatk::db {
+
+/// Rows returned by a SQL statement.
+struct ResultSet {
+  Schema schema;
+  std::vector<Tuple> rows;
+  /// Rows inserted/deleted for DML; 0 for queries and DDL.
+  size_t rows_affected = 0;
+
+  /// Renders an ASCII table (for the examples and the QUEST CLI).
+  std::string ToString() const;
+};
+
+/// \brief Executes a practical SQL subset against a Database.
+///
+/// Supported statements:
+///   CREATE TABLE t (col TYPE, ...)           TYPE in {INT, DOUBLE, STRING}
+///   CREATE INDEX i ON t (col, ...)
+///   INSERT INTO t VALUES (lit, ...), (...)
+///   SELECT * | items FROM t [JOIN u ON t.a = u.b] [WHERE conj]
+///       [GROUP BY cols]
+///       [ORDER BY col [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+///     items: col | COUNT(*) | COUNT(col) | SUM(col) | MIN(col) | MAX(col)
+///            each optionally AS alias
+///   UPDATE t SET col = lit [, col = lit]* [WHERE conj]
+///   DELETE FROM t [WHERE conj]
+///   conj: (col op literal | col BETWEEN lit AND lit) [AND ...];
+///         op in {=, !=, <>, <, <=, >, >=, LIKE}  (LIKE: % and _ wildcards)
+///
+/// The planner uses an index scan when the WHERE clause has equality terms
+/// covering a prefix of some index on the table; remaining terms become a
+/// residual filter.
+class SqlSession {
+ public:
+  /// The session borrows `db`; the database must outlive it.
+  explicit SqlSession(Database* db) : db_(db) {}
+
+  /// Parses, plans, and executes one statement.
+  Result<ResultSet> Execute(const std::string& sql);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_SQL_H_

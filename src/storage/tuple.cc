@@ -1,0 +1,145 @@
+#include "storage/tuple.h"
+
+#include <cstring>
+
+namespace qatk::db {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+Result<uint32_t> ReadU32(std::string_view data, size_t* pos) {
+  if (*pos + 4 > data.size()) {
+    return Status::Invalid("tuple payload truncated reading u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(data[*pos + i]);
+  }
+  *pos += 4;
+  return v;
+}
+
+Result<uint64_t> ReadU64(std::string_view data, size_t* pos) {
+  if (*pos + 8 > data.size()) {
+    return Status::Invalid("tuple payload truncated reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(data[*pos + i]);
+  }
+  *pos += 8;
+  return v;
+}
+
+}  // namespace
+
+Result<std::string> Tuple::Serialize(const Schema& schema) const {
+  if (values_.size() != schema.num_columns()) {
+    return Status::Invalid("tuple arity " + std::to_string(values_.size()) +
+                           " does not match schema arity " +
+                           std::to_string(schema.num_columns()));
+  }
+  std::string out;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Value& v = values_[i];
+    if (!v.is_null() && v.type() != schema.column(i).type) {
+      return Status::Invalid("value type " + std::string(TypeIdToString(
+                                 v.type())) +
+                             " does not match column '" +
+                             schema.column(i).name + "' type " +
+                             TypeIdToString(schema.column(i).type));
+    }
+    out.push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case TypeId::kNull:
+        break;
+      case TypeId::kInt64:
+        AppendU64(&out, static_cast<uint64_t>(v.AsInt64()));
+        break;
+      case TypeId::kDouble: {
+        double d = v.AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        AppendU64(&out, bits);
+        break;
+      }
+      case TypeId::kString:
+        AppendU32(&out, static_cast<uint32_t>(v.AsString().size()));
+        out.append(v.AsString());
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Tuple> Tuple::Deserialize(const Schema& schema,
+                                 std::string_view data) {
+  std::vector<Value> values;
+  values.reserve(schema.num_columns());
+  size_t pos = 0;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (pos >= data.size()) {
+      return Status::Invalid("tuple payload truncated reading type tag");
+    }
+    TypeId type = static_cast<TypeId>(data[pos++]);
+    if (type != TypeId::kNull && type != schema.column(i).type) {
+      return Status::Invalid("stored type does not match schema for column '" +
+                             schema.column(i).name + "'");
+    }
+    switch (type) {
+      case TypeId::kNull:
+        values.emplace_back();
+        break;
+      case TypeId::kInt64: {
+        QATK_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(data, &pos));
+        values.emplace_back(static_cast<int64_t>(bits));
+        break;
+      }
+      case TypeId::kDouble: {
+        QATK_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(data, &pos));
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        values.emplace_back(d);
+        break;
+      }
+      case TypeId::kString: {
+        QATK_ASSIGN_OR_RETURN(uint32_t len, ReadU32(data, &pos));
+        if (pos + len > data.size()) {
+          return Status::Invalid("tuple payload truncated reading string");
+        }
+        values.emplace_back(std::string(data.substr(pos, len)));
+        pos += len;
+        break;
+      }
+      default:
+        return Status::Invalid("unknown type tag in tuple payload");
+    }
+  }
+  if (pos != data.size()) {
+    return Status::Invalid("trailing bytes after tuple payload");
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qatk::db

@@ -1,0 +1,44 @@
+#ifndef QATK_STORAGE_TUPLE_H_
+#define QATK_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace qatk::db {
+
+/// \brief A row: one Value per schema column.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  void set_value(size_t i, Value v) { values_[i] = std::move(v); }
+
+  /// Serializes against `schema` into a length-prefixed byte string:
+  /// for each column a type tag, then the payload (varint-free fixed int64 /
+  /// double, or u32-length + bytes for strings).
+  Result<std::string> Serialize(const Schema& schema) const;
+
+  /// Inverse of Serialize. Fails with Invalid on truncated or mistyped data.
+  static Result<Tuple> Deserialize(const Schema& schema,
+                                   std::string_view data);
+
+  /// Renders "(v1, v2, ...)" for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_TUPLE_H_

@@ -1,0 +1,119 @@
+#include "storage/value.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace qatk::db {
+
+const char* TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kInt64: return "INT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "STRING";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt64() const {
+  QATK_DCHECK(type() == TypeId::kInt64);
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  QATK_DCHECK(type() == TypeId::kDouble);
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  QATK_DCHECK(type() == TypeId::kString);
+  return std::get<std::string>(repr_);
+}
+
+int Value::Compare(const Value& other) const {
+  TypeId a = type();
+  TypeId b = other.type();
+  if (a != b) return a < b ? -1 : 1;
+  switch (a) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kInt64: {
+      int64_t x = AsInt64();
+      int64_t y = other.AsInt64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double x = AsDouble();
+      double y = other.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kInt64: return std::to_string(AsInt64());
+    case TypeId::kDouble: return FormatDouble(AsDouble(), 6);
+    case TypeId::kString: return AsString();
+  }
+  return "?";
+}
+
+void Value::EncodeOrdered(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case TypeId::kNull:
+      return;
+    case TypeId::kInt64: {
+      uint64_t bits = static_cast<uint64_t>(AsInt64());
+      bits ^= 0x8000000000000000ULL;  // Flip sign: negatives sort first.
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+      }
+      return;
+    }
+    case TypeId::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      // IEEE-754 total-order trick: flip all bits of negatives, flip just
+      // the sign bit of non-negatives.
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits ^= 0x8000000000000000ULL;
+      }
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        out->push_back(static_cast<char>((bits >> shift) & 0xFF));
+      }
+      return;
+    }
+    case TypeId::kString: {
+      for (char c : AsString()) {
+        if (c == '\0') {
+          out->push_back('\0');
+          out->push_back('\xFF');
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\0');
+      out->push_back('\x01');
+      return;
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace qatk::db

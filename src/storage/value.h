@@ -1,0 +1,79 @@
+#ifndef QATK_STORAGE_VALUE_H_
+#define QATK_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace qatk::db {
+
+/// Column type of a QDB value.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* TypeIdToString(TypeId type);
+
+/// \brief A dynamically typed scalar stored in a QDB tuple.
+///
+/// Values are ordered NULL-first, then by their native ordering; comparing
+/// values of different non-null types orders by TypeId (so heterogeneous
+/// comparisons are total but only homogeneous comparisons are meaningful).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(const char* v) : repr_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  TypeId type() const {
+    switch (repr_.index()) {
+      case 0: return TypeId::kNull;
+      case 1: return TypeId::kInt64;
+      case 2: return TypeId::kDouble;
+      default: return TypeId::kString;
+    }
+  }
+
+  bool is_null() const { return type() == TypeId::kNull; }
+
+  /// Accessors require the matching type (checked in debug builds).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Three-way comparison usable as a sort key. NULL < everything.
+  int Compare(const Value& other) const;
+
+  /// Renders the value for debugging and CSV export ("NULL" for nulls).
+  std::string ToString() const;
+
+  /// Appends a memcmp-orderable encoding of this value to `out`. Encoded
+  /// composite keys compare byte-wise exactly as the tuple of Values would:
+  ///  - type tag byte (NULL=0 sorts first),
+  ///  - int64: big-endian with the sign bit flipped,
+  ///  - double: IEEE-754 bits, sign-folded, big-endian,
+  ///  - string: bytes with 0x00 escaped as {0x00,0xFF}, terminated {0x00,0x01}.
+  void EncodeOrdered(std::string* out) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_VALUE_H_

@@ -1,0 +1,223 @@
+#include "storage/wal.h"
+
+#include <array>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace qatk::db {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr char kJournalMagic[] = "qjrn1\n";
+constexpr size_t kJournalMagicLen = 6;
+
+Result<std::FILE*> OpenAppendable(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open log file '" + path + "'");
+  }
+  return file;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+uint32_t ReadU32Le(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256>& table =
+      *new std::array<uint32_t, 256>(BuildCrcTable());
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// WalFile
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<WalFile>> WalFile::Open(const std::string& path) {
+  QATK_ASSIGN_OR_RETURN(std::FILE * file, OpenAppendable(path));
+  return std::unique_ptr<WalFile>(new WalFile(file, path));
+}
+
+WalFile::~WalFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalFile::Append(WalRecordType type, std::string_view payload) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string frame;
+  AppendU32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  AppendU32(&frame, Crc32(body));
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed appending to WAL");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("short write appending to WAL");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed appending to WAL");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> WalFile::ReadAll() {
+  std::vector<WalRecord> records;
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading WAL");
+  }
+  for (;;) {
+    unsigned char header[4];
+    size_t got = std::fread(header, 1, 4, file_);
+    if (got < 4) break;  // Clean end or torn length: stop.
+    uint32_t len = ReadU32Le(header);
+    if (len == 0 || len > 64u * 1024 * 1024) break;  // Corrupt length.
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, file_) != len) break;  // Torn.
+    unsigned char crc_bytes[4];
+    if (std::fread(crc_bytes, 1, 4, file_) != 4) break;  // Torn.
+    if (ReadU32Le(crc_bytes) != Crc32(body)) break;      // Corrupt.
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(body[0]);
+    record.payload = body.substr(1);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status WalFile::Truncate() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot truncate WAL '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<bool> WalFile::Empty() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed sizing WAL");
+  }
+  return std::ftell(file_) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// PageJournal
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<PageJournal>> PageJournal::Open(
+    const std::string& path) {
+  QATK_ASSIGN_OR_RETURN(std::FILE * file, OpenAppendable(path));
+  return std::unique_ptr<PageJournal>(new PageJournal(file, path));
+}
+
+PageJournal::~PageJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PageJournal::Begin(uint32_t checkpoint_num_pages) {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot reset journal '" + path_ + "'");
+  }
+  std::string header(kJournalMagic, kJournalMagicLen);
+  AppendU32(&header, checkpoint_num_pages);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("cannot write journal header");
+  }
+  checkpoint_num_pages_ = checkpoint_num_pages;
+  journaled_.assign(checkpoint_num_pages, false);
+  return Status::OK();
+}
+
+Status PageJournal::RecordBeforeImage(uint32_t page_id, const char* image) {
+  if (page_id >= checkpoint_num_pages_) {
+    // Allocated after the checkpoint: rollback target does not contain it.
+    return Status::OK();
+  }
+  if (journaled_[page_id]) return Status::OK();
+  std::string frame;
+  AppendU32(&frame, page_id);
+  frame.append(image, kPageSize);
+  AppendU32(&frame, Crc32(std::string_view(image, kPageSize)));
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed appending to journal");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IOError("write failed appending to journal");
+  }
+  journaled_[page_id] = true;
+  return Status::OK();
+}
+
+Result<bool> PageJournal::CleanAtOpen() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed sizing journal");
+  }
+  long size = std::ftell(file_);
+  return size <= static_cast<long>(kJournalMagicLen + 4);
+}
+
+Status PageJournal::Rollback(
+    const std::function<Status(uint32_t, const char*)>& write_page) {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading journal");
+  }
+  char magic[kJournalMagicLen];
+  if (std::fread(magic, 1, kJournalMagicLen, file_) != kJournalMagicLen ||
+      std::memcmp(magic, kJournalMagic, kJournalMagicLen) != 0) {
+    return Status::Invalid("bad journal magic in '" + path_ + "'");
+  }
+  unsigned char count_bytes[4];
+  if (std::fread(count_bytes, 1, 4, file_) != 4) {
+    return Status::Invalid("truncated journal header");
+  }
+  checkpoint_num_pages_ = ReadU32Le(count_bytes);
+  for (;;) {
+    unsigned char id_bytes[4];
+    if (std::fread(id_bytes, 1, 4, file_) != 4) break;  // Clean end/torn.
+    uint32_t page_id = ReadU32Le(id_bytes);
+    std::string image(kPageSize, '\0');
+    if (std::fread(image.data(), 1, kPageSize, file_) != kPageSize) break;
+    unsigned char crc_bytes[4];
+    if (std::fread(crc_bytes, 1, 4, file_) != 4) break;
+    if (ReadU32Le(crc_bytes) != Crc32(image)) break;  // Torn tail.
+    if (page_id >= checkpoint_num_pages_) continue;
+    QATK_RETURN_NOT_OK(write_page(page_id, image.data()));
+  }
+  return Status::OK();
+}
+
+}  // namespace qatk::db

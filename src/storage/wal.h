@@ -1,0 +1,120 @@
+#ifndef QATK_STORAGE_WAL_H_
+#define QATK_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::db {
+
+/// CRC-32 (IEEE polynomial, reflected) over `data`; used to detect torn
+/// log-record tails after a crash.
+uint32_t Crc32(std::string_view data);
+
+/// Logical operation kinds recorded in the redo log.
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,
+  kCreateIndex = 2,
+  kInsert = 3,
+  kDelete = 4,
+  kUpdate = 5,
+};
+
+/// One decoded redo-log record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  std::string payload;
+};
+
+/// \brief Append-only record log with per-record CRC framing:
+///   [len u32][type u8][payload bytes][crc32 u32]
+/// where the CRC covers type + payload. Reading stops silently at the
+/// first torn or corrupt record (the standard crash-tail contract).
+class WalFile {
+ public:
+  /// Opens (or creates) the log at `path`.
+  static Result<std::unique_ptr<WalFile>> Open(const std::string& path);
+
+  ~WalFile();
+
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(WalRecordType type, std::string_view payload);
+
+  /// Decodes every intact record from the start of the log.
+  Result<std::vector<WalRecord>> ReadAll();
+
+  /// Empties the log (after a successful checkpoint).
+  Status Truncate();
+
+  /// True when the log holds no bytes.
+  Result<bool> Empty();
+
+ private:
+  WalFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+/// \brief Rollback journal holding the before-image of every page that is
+/// written back to the database file between checkpoints.
+///
+/// Format: [magic "qjrn1\n"][checkpoint_num_pages u32] then records of
+/// [page_id u32][kPageSize bytes][crc32 u32]. Rolling back restores each
+/// journaled image whose page existed at checkpoint time, returning the
+/// database file to its exact checkpoint state; pages allocated afterwards
+/// become unreferenced garbage (reclaimed by the next file rebuild).
+class PageJournal {
+ public:
+  static Result<std::unique_ptr<PageJournal>> Open(const std::string& path);
+
+  ~PageJournal();
+
+  PageJournal(const PageJournal&) = delete;
+  PageJournal& operator=(const PageJournal&) = delete;
+
+  /// Starts a journal generation: records how many pages the database file
+  /// has at this (checkpoint-consistent) moment. Clears previous content.
+  Status Begin(uint32_t checkpoint_num_pages);
+
+  /// Saves the before-image of `page_id` (content currently on disk) if it
+  /// existed at checkpoint time and has not been journaled yet this
+  /// generation. Call before the first overwrite of the page.
+  Status RecordBeforeImage(uint32_t page_id, const char* image);
+
+  bool Contains(uint32_t page_id) const {
+    return journaled_.size() > page_id && journaled_[page_id];
+  }
+
+  /// True when no before-images are recorded (nothing to roll back).
+  Result<bool> CleanAtOpen();
+
+  /// Restores all intact journaled before-images into `write_page` (a
+  /// callback writing one page to the database file). Torn tails are
+  /// ignored. Does not clear the journal; call Begin afterwards.
+  Status Rollback(
+      const std::function<Status(uint32_t, const char*)>& write_page);
+
+ private:
+  PageJournal(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+  uint32_t checkpoint_num_pages_ = 0;
+  std::vector<bool> journaled_;
+};
+
+}  // namespace qatk::db
+
+#endif  // QATK_STORAGE_WAL_H_

@@ -1,0 +1,105 @@
+#include "taxonomy/extender.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace qatk::tax {
+
+TaxonomyExtender::TaxonomyExtender(const Taxonomy& taxonomy, Options options)
+    : options_(options) {
+  for (const Concept* concept_ptr : taxonomy.All()) {
+    for (const auto& [lang, surfaces] : concept_ptr->synonyms) {
+      for (const std::string& surface : surfaces) {
+        for (const std::string& token :
+             tokenizer_.WordsNormalized(surface)) {
+          known_tokens_.insert(token);
+        }
+      }
+    }
+  }
+}
+
+void TaxonomyExtender::AddDocument(const std::string& document,
+                                   const std::string& error_code) {
+  for (const std::string& token : tokenizer_.WordsNormalized(document)) {
+    if (token.size() < options_.min_token_length) continue;
+    if (known_tokens_.count(token) > 0) continue;
+    if (stopwords_.IsStopword(token)) continue;
+    // Pure digit strings (reference numbers, test ids) carry no concept.
+    if (std::all_of(token.begin(), token.end(), [](unsigned char c) {
+          return std::isdigit(c);
+        })) {
+      continue;
+    }
+    ++counts_[token][error_code];
+  }
+}
+
+std::vector<SynonymProposal> TaxonomyExtender::Propose() const {
+  std::vector<SynonymProposal> proposals;
+  for (const auto& [token, per_code] : counts_) {
+    size_t total = 0;
+    for (const auto& [code, count] : per_code) total += count;
+    if (total < options_.min_frequency) continue;
+
+    std::vector<std::pair<std::string, size_t>> ranked(per_code.begin(),
+                                                       per_code.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    double concentration =
+        static_cast<double>(ranked.front().second) /
+        static_cast<double>(total);
+    if (concentration < options_.min_concentration) continue;
+
+    SynonymProposal proposal;
+    proposal.surface = token;
+    proposal.frequency = total;
+    proposal.concentration = concentration;
+    for (size_t i = 0; i < ranked.size() && i < 3; ++i) {
+      proposal.top_codes.push_back(ranked[i].first);
+    }
+    proposals.push_back(std::move(proposal));
+  }
+  std::sort(proposals.begin(), proposals.end(),
+            [](const SynonymProposal& a, const SynonymProposal& b) {
+              if (a.concentration != b.concentration) {
+                return a.concentration > b.concentration;
+              }
+              if (a.frequency != b.frequency) {
+                return a.frequency > b.frequency;
+              }
+              return a.surface < b.surface;
+            });
+  if (proposals.size() > options_.max_proposals) {
+    proposals.resize(options_.max_proposals);
+  }
+  return proposals;
+}
+
+Result<size_t> TaxonomyExtender::Apply(
+    const std::vector<SynonymProposal>& proposals, Taxonomy* taxonomy,
+    int64_t first_new_id, int64_t parent_id) const {
+  int64_t next_id = first_new_id;
+  size_t added = 0;
+  for (const SynonymProposal& proposal : proposals) {
+    while (taxonomy->Contains(next_id)) ++next_id;
+    Concept leaf;
+    leaf.id = next_id++;
+    leaf.category = Category::kSymptom;
+    leaf.label = "Mined_" + proposal.surface;
+    leaf.parent_id = parent_id;
+    // The mined surface is language-ambiguous; register it for both
+    // languages so the multilingual annotator matches it everywhere.
+    leaf.synonyms[text::Language::kGerman] = {proposal.surface};
+    leaf.synonyms[text::Language::kEnglish] = {proposal.surface};
+    QATK_RETURN_NOT_OK(taxonomy->Add(std::move(leaf)));
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace qatk::tax

@@ -1,0 +1,85 @@
+#ifndef QATK_TAXONOMY_EXTENDER_H_
+#define QATK_TAXONOMY_EXTENDER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "taxonomy/taxonomy.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace qatk::tax {
+
+/// One proposed taxonomy extension.
+struct SynonymProposal {
+  /// The folded report token the taxonomy currently misses.
+  std::string surface;
+  /// How often it occurred in the mined corpus.
+  size_t frequency = 0;
+  /// Error codes it concentrates on (evidence of being a symptom/cause
+  /// term rather than filler).
+  std::vector<std::string> top_codes;
+  /// Concentration in [0,1]: share of the token's occurrences that fall on
+  /// its top error code. Filler spreads evenly (low); domain terms
+  /// concentrate (high).
+  double concentration = 0;
+};
+
+/// \brief Corpus-driven taxonomy extension (§6: "enhancing the
+/// domain-specific taxonomy"; "Investigations into methods to automate the
+/// extension of a domain-specific semantic resource are on-going", §5.2.2).
+///
+/// Mines tokens that (a) the current taxonomy does not know, (b) are not
+/// stopwords, (c) occur frequently, and (d) concentrate on few error codes
+/// — the signature of missed symptom/cause vocabulary. Proposals can be
+/// reviewed and applied as new symptom concepts, closing part of the
+/// coverage gap that makes bag-of-concepts trail bag-of-words (§5.2.2).
+class TaxonomyExtender {
+ public:
+  struct Options {
+    /// Minimum corpus frequency for a proposal.
+    size_t min_frequency = 8;
+    /// Minimum concentration on the top error code.
+    double min_concentration = 0.5;
+    /// Tokens shorter than this are skipped (abbreviation debris).
+    size_t min_token_length = 4;
+    /// Maximum proposals returned, best first.
+    size_t max_proposals = 200;
+  };
+
+  /// Snapshots the folded token vocabulary of `taxonomy`; later additions
+  /// to the taxonomy are not reflected.
+  TaxonomyExtender(const Taxonomy& taxonomy, Options options);
+  explicit TaxonomyExtender(const Taxonomy& taxonomy)
+      : TaxonomyExtender(taxonomy, Options()) {}
+
+  /// Feeds one labeled training document (raw report text + error code).
+  void AddDocument(const std::string& document,
+                   const std::string& error_code);
+
+  /// Returns proposals ranked by (concentration, frequency) descending.
+  std::vector<SynonymProposal> Propose() const;
+
+  /// Applies proposals to `taxonomy` as new single-synonym leaf symptom
+  /// concepts (ids allocated from `first_new_id` upward, parented under
+  /// `parent_id`). Returns the number of concepts added.
+  Result<size_t> Apply(const std::vector<SynonymProposal>& proposals,
+                       Taxonomy* taxonomy, int64_t first_new_id,
+                       int64_t parent_id) const;
+
+ private:
+  Options options_;
+  std::set<std::string> known_tokens_;
+  text::StopwordFilter stopwords_;
+  text::Tokenizer tokenizer_;
+  /// token -> (error code -> count).
+  std::map<std::string, std::map<std::string, size_t>> counts_;
+};
+
+}  // namespace qatk::tax
+
+#endif  // QATK_TAXONOMY_EXTENDER_H_

@@ -1,0 +1,118 @@
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::tax {
+
+const char* CategoryToString(Category category) {
+  switch (category) {
+    case Category::kComponent: return "component";
+    case Category::kSymptom: return "symptom";
+    case Category::kLocation: return "location";
+    case Category::kSolution: return "solution";
+  }
+  return "?";
+}
+
+Result<Category> CategoryFromString(const std::string& text) {
+  if (text == "component") return Category::kComponent;
+  if (text == "symptom") return Category::kSymptom;
+  if (text == "location") return Category::kLocation;
+  if (text == "solution") return Category::kSolution;
+  return Status::Invalid("unknown taxonomy category '" + text + "'");
+}
+
+Status Taxonomy::Add(Concept cpt) {
+  if (cpt.id == 0) {
+    return Status::Invalid("concept id must be non-zero");
+  }
+  if (concepts_.count(cpt.id) > 0) {
+    return Status::AlreadyExists("concept id " + std::to_string(cpt.id) +
+                                 " already present");
+  }
+  concepts_.emplace(cpt.id, std::move(cpt));
+  return Status::OK();
+}
+
+Result<const Concept*> Taxonomy::Find(int64_t id) const {
+  auto it = concepts_.find(id);
+  if (it == concepts_.end()) {
+    return Status::KeyError("no concept with id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::vector<const Concept*> Taxonomy::All() const {
+  std::vector<const Concept*> out;
+  out.reserve(concepts_.size());
+  for (const auto& [id, c] : concepts_) out.push_back(&c);
+  return out;
+}
+
+std::vector<const Concept*> Taxonomy::ByCategory(Category category) const {
+  std::vector<const Concept*> out;
+  for (const auto& [id, c] : concepts_) {
+    if (c.category == category) out.push_back(&c);
+  }
+  return out;
+}
+
+size_t Taxonomy::CountWithLanguage(text::Language lang) const {
+  size_t count = 0;
+  for (const auto& [id, c] : concepts_) {
+    auto it = c.synonyms.find(lang);
+    if (it != c.synonyms.end() && !it->second.empty()) ++count;
+  }
+  return count;
+}
+
+size_t Taxonomy::CountSynonyms(text::Language lang) const {
+  size_t count = 0;
+  for (const auto& [id, c] : concepts_) {
+    auto it = c.synonyms.find(lang);
+    if (it != c.synonyms.end()) count += it->second.size();
+  }
+  return count;
+}
+
+Status Taxonomy::AddSynonym(int64_t id, text::Language lang,
+                            std::string surface) {
+  auto it = concepts_.find(id);
+  if (it == concepts_.end()) {
+    return Status::KeyError("no concept with id " + std::to_string(id));
+  }
+  it->second.synonyms[lang].push_back(std::move(surface));
+  return Status::OK();
+}
+
+Status Taxonomy::Validate() const {
+  for (const auto& [id, c] : concepts_) {
+    if (c.parent_id != 0 && concepts_.count(c.parent_id) == 0) {
+      return Status::Invalid("concept " + std::to_string(id) +
+                             " has missing parent " +
+                             std::to_string(c.parent_id));
+    }
+    // Walk the parent chain; with N concepts, more than N hops is a cycle.
+    int64_t current = c.parent_id;
+    size_t hops = 0;
+    while (current != 0) {
+      if (current == id) {
+        return Status::Invalid("concept " + std::to_string(id) +
+                               " is its own ancestor");
+      }
+      auto it = concepts_.find(current);
+      if (it == concepts_.end()) break;  // Reported above for that node.
+      current = it->second.parent_id;
+      if (++hops > concepts_.size()) {
+        return Status::Invalid("parent cycle reachable from concept " +
+                               std::to_string(id));
+      }
+    }
+    bool is_root = c.parent_id == 0;
+    if (!is_root && c.synonyms.empty()) {
+      return Status::Invalid("leaf concept " + std::to_string(id) +
+                             " has no synonyms");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qatk::tax

@@ -1,0 +1,82 @@
+#ifndef QATK_TAXONOMY_TAXONOMY_H_
+#define QATK_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "text/language.h"
+
+namespace qatk::tax {
+
+/// Upper, language-independent level of the automotive taxonomy
+/// (paper §4.5.3 / Fig. 10): it "distinguishes components, symptoms,
+/// location and solutions".
+enum class Category { kComponent, kSymptom, kLocation, kSolution };
+
+const char* CategoryToString(Category category);
+Result<Category> CategoryFromString(const std::string& text);
+
+/// \brief One taxonomy concept: a language-independent node whose leaf
+/// synonyms are language-specific surface forms (Fig. 10).
+///
+/// Synonyms are stored as written in the resource; annotators normalize
+/// them (FoldGerman) when building match structures.
+struct Concept {
+  int64_t id = 0;
+  Category category = Category::kComponent;
+  /// Language-independent label, e.g. "HighNoise".
+  std::string label;
+  /// Parent concept id for the shallow hierarchy; 0 = top-level.
+  int64_t parent_id = 0;
+  /// Surface forms per language.
+  std::map<text::Language, std::vector<std::string>> synonyms;
+};
+
+/// \brief The multilingual automotive part-and-error taxonomy.
+///
+/// A legacy semantic resource in the paper (built for information
+/// extraction on social-media data, re-used here for classification); in
+/// this reproduction it is generated synthetically by datagen with the
+/// same shape: ~1.8k/1.9k concepts per language, synonym-rich, shallow.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Adds a concept; ids must be unique and non-zero.
+  Status Add(Concept cpt);
+
+  Result<const Concept*> Find(int64_t id) const;
+  bool Contains(int64_t id) const { return concepts_.count(id) > 0; }
+
+  /// All concepts ordered by id.
+  std::vector<const Concept*> All() const;
+
+  /// Concepts of one category, ordered by id.
+  std::vector<const Concept*> ByCategory(Category category) const;
+
+  size_t size() const { return concepts_.size(); }
+
+  /// Number of distinct concepts that have at least one synonym in `lang`.
+  size_t CountWithLanguage(text::Language lang) const;
+
+  /// Total number of synonym surface forms in `lang`.
+  size_t CountSynonyms(text::Language lang) const;
+
+  /// Appends a synonym to an existing concept (used by TaxonomyExtender).
+  Status AddSynonym(int64_t id, text::Language lang, std::string surface);
+
+  /// Structural validation: every non-zero parent_id resolves to an
+  /// existing concept, no concept is its own ancestor, and every
+  /// non-root concept has at least one synonym in some language.
+  Status Validate() const;
+
+ private:
+  std::map<int64_t, Concept> concepts_;
+};
+
+}  // namespace qatk::tax
+
+#endif  // QATK_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,55 @@
+#include "taxonomy/trie.h"
+
+#include <algorithm>
+
+namespace qatk::tax {
+
+void TokenTrie::Insert(const std::vector<std::string>& tokens,
+                       int64_t concept_id) {
+  if (tokens.empty()) return;
+  Node* node = &root_;
+  for (const std::string& token : tokens) {
+    auto it = node->children.find(token);
+    if (it == node->children.end()) {
+      it = node->children.emplace(token, std::make_unique<Node>()).first;
+      ++node_count_;
+    }
+    node = it->second.get();
+  }
+  if (std::find(node->concepts.begin(), node->concepts.end(), concept_id) ==
+      node->concepts.end()) {
+    node->concepts.push_back(concept_id);
+    std::sort(node->concepts.begin(), node->concepts.end());
+    ++entry_count_;
+  }
+}
+
+std::optional<TokenTrie::Match> TokenTrie::LongestMatch(
+    const std::vector<std::string>& tokens, size_t pos) const {
+  const Node* node = &root_;
+  std::optional<Match> best;
+  size_t length = 0;
+  while (pos + length < tokens.size()) {
+    auto it = node->children.find(tokens[pos + length]);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    ++length;
+    if (!node->concepts.empty()) {
+      best = Match{length, node->concepts};
+    }
+  }
+  return best;
+}
+
+bool TokenTrie::ContainsSequence(
+    const std::vector<std::string>& tokens) const {
+  const Node* node = &root_;
+  for (const std::string& token : tokens) {
+    auto it = node->children.find(token);
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return !node->concepts.empty();
+}
+
+}  // namespace qatk::tax

@@ -1,0 +1,63 @@
+#ifndef QATK_TAXONOMY_TRIE_H_
+#define QATK_TAXONOMY_TRIE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qatk::tax {
+
+/// \brief Token-sequence trie used by the optimized concept annotator
+/// (paper §4.5.3: "We represent the taxonomy as a trie data structure, a
+/// tree structure which allows for fast search and retrieval").
+///
+/// Keys are sequences of normalized tokens (one trie edge per token), so
+/// multiword synonyms ("brake hose") become two-edge paths and the
+/// left-bounded greedy longest-match scan is a single descent per start
+/// position.
+class TokenTrie {
+ public:
+  TokenTrie() = default;
+
+  TokenTrie(const TokenTrie&) = delete;
+  TokenTrie& operator=(const TokenTrie&) = delete;
+  TokenTrie(TokenTrie&&) = default;
+  TokenTrie& operator=(TokenTrie&&) = default;
+
+  /// Associates the token sequence with a concept id. Duplicate
+  /// (sequence, id) pairs are deduplicated.
+  void Insert(const std::vector<std::string>& tokens, int64_t concept_id);
+
+  /// Longest match of `tokens[pos..]` against the trie.
+  struct Match {
+    size_t length = 0;                ///< Number of tokens consumed.
+    std::vector<int64_t> concepts;    ///< Concepts of the longest match.
+  };
+
+  /// Returns the longest match starting exactly at `pos`, or nullopt.
+  std::optional<Match> LongestMatch(const std::vector<std::string>& tokens,
+                                    size_t pos) const;
+
+  /// True if the exact sequence is a key.
+  bool ContainsSequence(const std::vector<std::string>& tokens) const;
+
+  size_t node_count() const { return node_count_; }
+  size_t entry_count() const { return entry_count_; }
+
+ private:
+  struct Node {
+    std::map<std::string, std::unique_ptr<Node>> children;
+    std::vector<int64_t> concepts;  // Non-empty = end of a synonym.
+  };
+
+  Node root_;
+  size_t node_count_ = 1;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace qatk::tax
+
+#endif  // QATK_TAXONOMY_TRIE_H_

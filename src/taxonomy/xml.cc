@@ -1,0 +1,104 @@
+#include "taxonomy/xml.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.h"
+
+namespace qatk::tax {
+
+namespace {
+
+Result<text::Language> LanguageFromCode(const std::string& code) {
+  if (code == "de") return text::Language::kGerman;
+  if (code == "en") return text::Language::kEnglish;
+  return Status::Invalid("unknown language code '" + code + "'");
+}
+
+}  // namespace
+
+Result<Taxonomy> TaxonomyFromXml(const std::string& input) {
+  QATK_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseXml(input));
+  if (root->tag != "taxonomy") {
+    return Status::Invalid("expected <taxonomy> root, got <" + root->tag +
+                           ">");
+  }
+  Taxonomy taxonomy;
+  for (const auto& child : root->children) {
+    if (child->tag != "cpt") {
+      return Status::Invalid("unexpected <" + child->tag +
+                             "> inside <taxonomy>");
+    }
+    Concept cpt;
+    QATK_ASSIGN_OR_RETURN(std::string id_text,
+                          child->RequiredAttribute("id"));
+    cpt.id = std::stoll(id_text);
+    QATK_ASSIGN_OR_RETURN(std::string category_text,
+                          child->RequiredAttribute("category"));
+    QATK_ASSIGN_OR_RETURN(cpt.category,
+                          CategoryFromString(category_text));
+    QATK_ASSIGN_OR_RETURN(cpt.label, child->RequiredAttribute("label"));
+    auto parent_it = child->attributes.find("parent");
+    if (parent_it != child->attributes.end()) {
+      cpt.parent_id = std::stoll(parent_it->second);
+    }
+    for (const auto& syn : child->children) {
+      if (syn->tag != "syn") {
+        return Status::Invalid("unexpected <" + syn->tag +
+                               "> inside <cpt>");
+      }
+      QATK_ASSIGN_OR_RETURN(std::string lang_code,
+                            syn->RequiredAttribute("lang"));
+      QATK_ASSIGN_OR_RETURN(text::Language lang,
+                            LanguageFromCode(lang_code));
+      cpt.synonyms[lang].push_back(std::string(Trim(syn->text)));
+    }
+    QATK_RETURN_NOT_OK(taxonomy.Add(std::move(cpt)));
+  }
+  return taxonomy;
+}
+
+std::string TaxonomyToXml(const Taxonomy& taxonomy) {
+  XmlElement root;
+  root.tag = "taxonomy";
+  for (const Concept* cpt : taxonomy.All()) {
+    auto element = std::make_unique<XmlElement>();
+    element->tag = "cpt";
+    element->attributes["id"] = std::to_string(cpt->id);
+    element->attributes["category"] = CategoryToString(cpt->category);
+    element->attributes["label"] = cpt->label;
+    if (cpt->parent_id != 0) {
+      element->attributes["parent"] = std::to_string(cpt->parent_id);
+    }
+    for (const auto& [lang, surfaces] : cpt->synonyms) {
+      for (const std::string& surface : surfaces) {
+        auto syn = std::make_unique<XmlElement>();
+        syn->tag = "syn";
+        syn->attributes["lang"] = text::LanguageToString(lang);
+        syn->text = surface;
+        element->children.push_back(std::move(syn));
+      }
+    }
+    root.children.push_back(std::move(element));
+  }
+  return WriteXml(root);
+}
+
+Result<Taxonomy> LoadTaxonomyFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open taxonomy file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TaxonomyFromXml(buffer.str());
+}
+
+Status SaveTaxonomyFile(const Taxonomy& taxonomy, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write taxonomy file '" + path +
+                                   "'");
+  out << TaxonomyToXml(taxonomy);
+  if (!out) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace qatk::tax

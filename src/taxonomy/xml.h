@@ -1,0 +1,36 @@
+#ifndef QATK_TAXONOMY_XML_H_
+#define QATK_TAXONOMY_XML_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/xml.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::tax {
+
+/// Generic XML machinery lives in common/xml.h; re-exported here for the
+/// existing call sites.
+using qatk::ParseXml;
+using qatk::WriteXml;
+using qatk::XmlElement;
+
+/// \brief Taxonomy <-> XML in the repository's custom format
+/// (paper §4.5.3: the resource "is stored in a custom XML format"):
+///
+///   <taxonomy>
+///     <concept id="1001" category="symptom" label="HighNoise" parent="7">
+///       <syn lang="de">quietschen</syn>
+///       <syn lang="en">squeak</syn>
+///     </concept>
+///   </taxonomy>
+Result<Taxonomy> TaxonomyFromXml(const std::string& input);
+std::string TaxonomyToXml(const Taxonomy& taxonomy);
+
+/// File convenience wrappers.
+Result<Taxonomy> LoadTaxonomyFile(const std::string& path);
+Status SaveTaxonomyFile(const Taxonomy& taxonomy, const std::string& path);
+
+}  // namespace qatk::tax
+
+#endif  // QATK_TAXONOMY_XML_H_

@@ -1,0 +1,139 @@
+#include "text/language.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strutil.h"
+#include "text/tokenizer.h"
+
+namespace qatk::text {
+
+namespace {
+
+// Seed corpora: generic + automotive-register text. The detector only needs
+// coarse trigram statistics, not coverage of the whole language.
+constexpr std::string_view kGermanSeed =
+    "der kunde meldet dass das fahrzeug beim bremsen ein lautes geraeusch "
+    "macht die werkstatt hat den schlauch geprueft und einen riss im "
+    "gehaeuse gefunden das steuergeraet wurde getauscht und die leitung "
+    "erneuert der fehler tritt nicht mehr auf die pumpe foerdert kein "
+    "wasser mehr und der luefter funktioniert nicht kontakt defekt "
+    "durchgeschmort bitte pruefen ob die dichtung undicht ist das teil "
+    "wurde zur untersuchung an den lieferanten geschickt keine eindeutige "
+    "ursache feststellbar weitere pruefung erforderlich mit freundlichen "
+    "gruessen die elektrik faellt sporadisch aus wackelkontakt am stecker "
+    "vermutet das radio schaltet sich von selbst ein und aus es riecht "
+    "verbrannt und knistert beim einschalten der scheibenwischer bleibt "
+    "stehen wenn es regnet der motor ruckelt im leerlauf und geht aus "
+    "oelverlust am ventildeckel festgestellt dichtung ersetzt probefahrt "
+    "ohne befund kunde beanstandet klappern von hinten rechts daempfer "
+    "ausgeschlagen ersetzt funktion wieder in ordnung";
+
+constexpr std::string_view kEnglishSeed =
+    "the customer states that the vehicle makes a loud noise when braking "
+    "the workshop inspected the hose and found a crack in the housing the "
+    "control unit was replaced and the wiring repaired the fault does not "
+    "occur any more the pump does not deliver water and the fan is not "
+    "working contact defective burned through please check whether the "
+    "seal is leaking the part was sent to the supplier for investigation "
+    "no clear root cause found further testing required best regards the "
+    "electrical system fails intermittently loose contact at the connector "
+    "suspected the radio turns itself on and off there is a burning smell "
+    "and a crackling sound when switching on the wiper stops when it rains "
+    "the engine stumbles at idle and stalls oil leak found at the valve "
+    "cover gasket replaced test drive without findings customer complains "
+    "about rattling from the rear right shock absorber worn out replaced "
+    "function restored to normal";
+
+constexpr size_t kMaxProfileNgrams = 400;
+
+}  // namespace
+
+const char* LanguageToString(Language lang) {
+  switch (lang) {
+    case Language::kGerman: return "de";
+    case Language::kEnglish: return "en";
+    case Language::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::vector<std::string> LanguageDetector::ExtractNgrams(
+    std::string_view input) {
+  // Word-internal trigrams over folded text, with boundary markers.
+  Tokenizer tokenizer;
+  std::vector<std::string> ngrams;
+  for (const std::string& word : tokenizer.WordsNormalized(input)) {
+    std::string padded = "_" + word + "_";
+    if (padded.size() < 3) continue;
+    for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+      ngrams.push_back(padded.substr(i, 3));
+    }
+  }
+  return ngrams;
+}
+
+LanguageDetector::Profile LanguageDetector::BuildProfile(
+    std::string_view corpus, size_t max_ngrams) {
+  std::map<std::string, size_t> counts;
+  for (const std::string& ngram : ExtractNgrams(corpus)) {
+    ++counts[ngram];
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  // Sort by count desc, then lexicographically for determinism.
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Profile profile;
+  for (size_t rank = 0; rank < sorted.size() && rank < max_ngrams; ++rank) {
+    profile[sorted[rank].first] = rank;
+  }
+  return profile;
+}
+
+LanguageDetector::LanguageDetector()
+    : LanguageDetector(kGermanSeed, kEnglishSeed) {}
+
+LanguageDetector::LanguageDetector(std::string_view german_corpus,
+                                   std::string_view english_corpus)
+    : german_(BuildProfile(german_corpus, kMaxProfileNgrams)),
+      english_(BuildProfile(english_corpus, kMaxProfileNgrams)),
+      profile_size_(kMaxProfileNgrams) {}
+
+double LanguageDetector::Distance(const std::vector<std::string>& ngrams,
+                                  const Profile& profile,
+                                  size_t profile_size) {
+  // Cavnar–Trenkle out-of-place measure, normalized per n-gram.
+  double total = 0;
+  for (const std::string& ngram : ngrams) {
+    auto it = profile.find(ngram);
+    total += (it == profile.end()) ? static_cast<double>(profile_size)
+                                   : static_cast<double>(it->second);
+  }
+  return ngrams.empty() ? static_cast<double>(profile_size)
+                        : total / static_cast<double>(ngrams.size());
+}
+
+LanguageDetector::Scores LanguageDetector::Score(
+    std::string_view input) const {
+  std::vector<std::string> ngrams = ExtractNgrams(input);
+  Scores scores;
+  scores.german = Distance(ngrams, german_, profile_size_);
+  scores.english = Distance(ngrams, english_, profile_size_);
+  return scores;
+}
+
+Language LanguageDetector::Detect(std::string_view input) const {
+  std::vector<std::string> ngrams = ExtractNgrams(input);
+  if (ngrams.size() < 3) return Language::kUnknown;
+  double de = Distance(ngrams, german_, profile_size_);
+  double en = Distance(ngrams, english_, profile_size_);
+  // Both profiles far away: likely a third language or code/IDs.
+  double floor = 0.9 * static_cast<double>(profile_size_);
+  if (de >= floor && en >= floor) return Language::kUnknown;
+  return de <= en ? Language::kGerman : Language::kEnglish;
+}
+
+}  // namespace qatk::text

@@ -1,0 +1,65 @@
+#include "text/stemmer.h"
+
+#include "common/strutil.h"
+
+namespace qatk::text {
+
+namespace {
+
+constexpr size_t kMinStem = 4;
+
+/// Strips the longest matching suffix from `word` if the remaining stem
+/// keeps at least kMinStem characters. Suffixes must be ordered longest
+/// first.
+template <size_t N>
+std::string StripSuffix(std::string_view word,
+                        const std::string_view (&suffixes)[N]) {
+  for (std::string_view suffix : suffixes) {
+    if (word.size() >= suffix.size() + kMinStem &&
+        word.substr(word.size() - suffix.size()) == suffix) {
+      return std::string(word.substr(0, word.size() - suffix.size()));
+    }
+  }
+  return std::string(word);
+}
+
+}  // namespace
+
+std::string Stemmer::StemGerman(std::string_view word) {
+  // Inflectional endings of nouns/verbs/adjectives, longest first.
+  static constexpr std::string_view kSuffixes[] = {
+      "ungen", "erung", "keit", "heit", "ung", "en", "er",
+      "es",    "em",    "e",    "n",    "s"};
+  return StripSuffix(word, kSuffixes);
+}
+
+std::string Stemmer::StemEnglish(std::string_view word) {
+  // Porter step-1-like endings, longest first.
+  static constexpr std::string_view kSuffixes[] = {
+      "ations", "ation", "ness", "ing", "ers", "ies",
+      "ed",     "er",    "es",   "ly",  "s",   "e"};
+  std::string stem = StripSuffix(word, kSuffixes);
+  // "crackling" -> "crackl" -> restore a trailing e heuristically? Keep
+  // conservative: collapse doubled final consonants ("stopped"->"stopp"
+  // -> "stop").
+  if (stem.size() > kMinStem && stem.size() >= 2 &&
+      stem[stem.size() - 1] == stem[stem.size() - 2]) {
+    stem.pop_back();
+  }
+  return stem;
+}
+
+std::string Stemmer::Stem(std::string_view folded_word,
+                          Language lang) const {
+  switch (lang) {
+    case Language::kGerman:
+      return StemGerman(folded_word);
+    case Language::kEnglish:
+      return StemEnglish(folded_word);
+    case Language::kUnknown:
+      return std::string(folded_word);
+  }
+  return std::string(folded_word);
+}
+
+}  // namespace qatk::text

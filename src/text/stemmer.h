@@ -1,0 +1,36 @@
+#ifndef QATK_TEXT_STEMMER_H_
+#define QATK_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+#include "text/language.h"
+
+namespace qatk::text {
+
+/// \brief Light suffix stemmer for German and English.
+///
+/// Implements the "more linguistic preprocessing" extension of paper §6 and
+/// the §3.2 outlook on "how to incorporate language-specific tools": the
+/// stemming rules are language-specific and selected by the language the
+/// detector assigned to the document. Deliberately conservative (strip one
+/// inflectional suffix, keep a minimum stem) — messy data punish aggressive
+/// stemming harder than under-stemming.
+///
+/// Input must already be folded (FoldGerman): lowercase, no umlauts.
+class Stemmer {
+ public:
+  Stemmer() = default;
+
+  /// Stems one folded word according to the rules of `lang`. Unknown
+  /// language: returned unchanged.
+  std::string Stem(std::string_view folded_word, Language lang) const;
+
+ private:
+  static std::string StemGerman(std::string_view word);
+  static std::string StemEnglish(std::string_view word);
+};
+
+}  // namespace qatk::text
+
+#endif  // QATK_TEXT_STEMMER_H_

@@ -1,0 +1,58 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace qatk::text {
+
+namespace {
+
+enum class CharClass { kSpace, kWord, kPunct };
+
+CharClass Classify(unsigned char c) {
+  if (c >= 0x80) return CharClass::kWord;  // UTF-8 continuation/lead bytes.
+  if (std::isspace(c)) return CharClass::kSpace;
+  if (std::isalnum(c)) return CharClass::kWord;
+  return CharClass::kPunct;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    CharClass cls = Classify(static_cast<unsigned char>(input[i]));
+    if (cls == CharClass::kSpace) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < input.size() &&
+           Classify(static_cast<unsigned char>(input[i])) == cls) {
+      ++i;
+    }
+    Token token;
+    token.text = std::string(input.substr(start, i - start));
+    token.begin = start;
+    token.end = i;
+    token.kind =
+        cls == CharClass::kWord ? TokenKind::kWord : TokenKind::kPunctuation;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenizer::WordsNormalized(
+    std::string_view input) const {
+  std::vector<std::string> words;
+  for (const Token& token : Tokenize(input)) {
+    if (token.kind == TokenKind::kWord) {
+      words.push_back(FoldGerman(token.text));
+    }
+  }
+  return words;
+}
+
+}  // namespace qatk::text

@@ -1,0 +1,51 @@
+#ifndef QATK_TEXT_TOKENIZER_H_
+#define QATK_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qatk::text {
+
+/// Kind of a surface token.
+enum class TokenKind {
+  kWord,         ///< Letters/digits (incl. UTF-8 multibyte characters).
+  kPunctuation,  ///< A run of punctuation characters.
+};
+
+/// \brief One token with byte offsets into the source text.
+struct Token {
+  std::string text;
+  size_t begin = 0;  ///< Byte offset of the first character.
+  size_t end = 0;    ///< Byte offset one past the last character.
+  TokenKind kind = TokenKind::kWord;
+
+  bool operator==(const Token& other) const {
+    return text == other.text && begin == other.begin && end == other.end &&
+           kind == other.kind;
+  }
+};
+
+/// \brief The paper's "simple custom whitespace-/punctuation-tokenizer"
+/// (§4.5.2): splits on whitespace and on punctuation boundaries, emitting
+/// punctuation runs as separate tokens so downstream stages can skip them.
+///
+/// Multibyte UTF-8 sequences (umlauts etc.) are treated as word characters.
+/// Intra-word hyphens and periods split ("Bremsen-Schlauch" → 3 tokens,
+/// "z.B." → 4), matching the messy-data reality that compound separators
+/// are inconsistent.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+
+  /// Tokenizes `input`; offsets refer to bytes of `input`.
+  std::vector<Token> Tokenize(std::string_view input) const;
+
+  /// Convenience: word tokens only, as lower-cased/German-folded strings.
+  std::vector<std::string> WordsNormalized(std::string_view input) const;
+};
+
+}  // namespace qatk::text
+
+#endif  // QATK_TEXT_TOKENIZER_H_

@@ -1,0 +1,98 @@
+// Component test suites in the style the paper cites ([14], Ogren &
+// Bethard): each Analysis Engine exercised in isolation through the
+// AnnotatorTester harness, upstream dependencies declared explicitly.
+
+#include <gtest/gtest.h>
+
+#include "cas/annotators.h"
+#include "cas/testing.h"
+#include "taxonomy/concept_annotator.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::cas {
+namespace {
+
+using testing::AnnotatorTester;
+using testing::CoveredTexts;
+using testing::IntFeatures;
+using testing::Spans;
+using testing::StringFeatures;
+
+TEST(AnnotatorTesterTest, TokenizerComponentSuite) {
+  AnnotatorTester tester;
+  auto cas = tester.Process(std::make_unique<TokenizerAnnotator>(),
+                            "Lüfter defekt, durchgeschmort.");
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(CoveredTexts(*cas, types::kToken),
+            (std::vector<std::string>{"Lüfter", "defekt", ",",
+                                      "durchgeschmort", "."}));
+  EXPECT_EQ(StringFeatures(*cas, types::kToken, types::kFeatureKind),
+            (std::vector<std::string>{"word", "word", "punct", "word",
+                                      "punct"}));
+}
+
+TEST(AnnotatorTesterTest, StopwordComponentSuite) {
+  AnnotatorTester tester;
+  tester.Before(std::make_unique<TokenizerAnnotator>());
+  auto cas = tester.Process(std::make_unique<StopwordAnnotator>(),
+                            "the fan is broken");
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(IntFeatures(*cas, types::kToken, types::kFeatureStopword),
+            (std::vector<int64_t>{1, 0, 1, 0}));
+}
+
+TEST(AnnotatorTesterTest, StemmerNeedsLanguageUpstream) {
+  AnnotatorTester tester;
+  tester.Before(std::make_unique<TokenizerAnnotator>())
+      .Before(std::make_unique<LanguageAnnotator>());
+  auto cas = tester.Process(std::make_unique<StemmerAnnotator>(),
+                            "die undichten Leitungen wurden geprueft");
+  ASSERT_TRUE(cas.ok());
+  auto stems = StringFeatures(*cas, types::kToken, types::kFeatureStem);
+  ASSERT_EQ(stems.size(), 5u);
+  EXPECT_EQ(stems[2], "leit");
+}
+
+TEST(AnnotatorTesterTest, ConceptAnnotatorComponentSuite) {
+  tax::Taxonomy taxonomy;
+  tax::Concept hose;
+  hose.id = 7;
+  hose.category = tax::Category::kComponent;
+  hose.label = "BrakeHose";
+  hose.synonyms[text::Language::kEnglish] = {"brake hose"};
+  QATK_CHECK_OK(taxonomy.Add(std::move(hose)));
+
+  AnnotatorTester tester;
+  tester.Before(std::make_unique<TokenizerAnnotator>());
+  auto cas = tester.Process(
+      std::make_unique<tax::TrieConceptAnnotator>(taxonomy),
+      "left brake hose leaking");
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(CoveredTexts(*cas, types::kConcept),
+            std::vector<std::string>{"brake hose"});
+  EXPECT_EQ(Spans(*cas, types::kConcept),
+            (std::vector<std::pair<size_t, size_t>>{{5, 15}}));
+}
+
+TEST(AnnotatorTesterTest, FailurePropagates) {
+  // An annotator that rejects its input: the harness surfaces the status.
+  class FailingAnnotator final : public Annotator {
+   public:
+    std::string name() const override { return "Failing"; }
+    Status Process(Cas*) override { return Status::Invalid("nope"); }
+  };
+  AnnotatorTester tester;
+  auto cas = tester.Process(std::make_unique<FailingAnnotator>(), "x");
+  EXPECT_TRUE(cas.status().IsInvalid());
+}
+
+TEST(AnnotatorTesterTest, HelpersOnEmptyCas) {
+  AnnotatorTester tester;
+  auto cas = tester.Process(std::make_unique<TokenizerAnnotator>(), "");
+  ASSERT_TRUE(cas.ok());
+  EXPECT_TRUE(CoveredTexts(*cas, types::kToken).empty());
+  EXPECT_TRUE(Spans(*cas, types::kToken).empty());
+}
+
+}  // namespace
+}  // namespace qatk::cas

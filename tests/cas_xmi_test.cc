@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "cas/annotators.h"
+#include "cas/cas.h"
+#include "cas/xmi.h"
+#include "taxonomy/concept_annotator.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::cas {
+namespace {
+
+Cas AnnotatedSample() {
+  Cas cas("Lüfter defekt, fan broken.");
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<TokenizerAnnotator>())
+      .Add(std::make_unique<LanguageAnnotator>())
+      .Add(std::make_unique<StopwordAnnotator>());
+  QATK_CHECK_OK(pipeline.Process(&cas));
+  return cas;
+}
+
+TEST(CasXmiTest, RoundTripPreservesEverything) {
+  Cas original = AnnotatedSample();
+  std::string xml = CasToXml(original);
+  auto loaded = CasFromXml(xml);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->document(), original.document());
+  EXPECT_EQ(loaded->GetMeta(types::kMetaLanguage),
+            original.GetMeta(types::kMetaLanguage));
+  auto original_tokens = original.Select(types::kToken);
+  auto loaded_tokens = loaded->Select(types::kToken);
+  ASSERT_EQ(loaded_tokens.size(), original_tokens.size());
+  for (size_t i = 0; i < original_tokens.size(); ++i) {
+    EXPECT_EQ(loaded_tokens[i]->begin, original_tokens[i]->begin);
+    EXPECT_EQ(loaded_tokens[i]->end, original_tokens[i]->end);
+    EXPECT_EQ(loaded_tokens[i]->string_features,
+              original_tokens[i]->string_features);
+    EXPECT_EQ(loaded_tokens[i]->int_features,
+              original_tokens[i]->int_features);
+  }
+}
+
+TEST(CasXmiTest, RoundTripIsCanonical) {
+  Cas original = AnnotatedSample();
+  std::string once = CasToXml(original);
+  auto loaded = CasFromXml(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(CasToXml(*loaded), once);
+}
+
+TEST(CasXmiTest, ConceptAnnotationsSurvive) {
+  tax::Taxonomy taxonomy;
+  tax::Concept fan;
+  fan.id = 42;
+  fan.category = tax::Category::kComponent;
+  fan.label = "Fan";
+  fan.synonyms[text::Language::kEnglish] = {"fan"};
+  QATK_CHECK_OK(taxonomy.Add(std::move(fan)));
+
+  Cas cas("the fan is broken");
+  TokenizerAnnotator tokenizer;
+  QATK_CHECK_OK(tokenizer.Process(&cas));
+  tax::TrieConceptAnnotator annotator(taxonomy);
+  QATK_CHECK_OK(annotator.Process(&cas));
+
+  auto loaded = CasFromXml(CasToXml(cas));
+  ASSERT_TRUE(loaded.ok());
+  auto concepts = loaded->Select(types::kConcept);
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0]->GetInt(types::kFeatureConceptId), 42);
+  EXPECT_EQ(loaded->CoveredText(*concepts[0]), "fan");
+}
+
+TEST(CasXmiTest, WhitespaceEdgesPreserved) {
+  Cas cas("  padded document  ");
+  auto loaded = CasFromXml(CasToXml(cas));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->document(), "  padded document  ");
+}
+
+TEST(CasXmiTest, EmptyCas) {
+  Cas cas("");
+  auto loaded = CasFromXml(CasToXml(cas));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->document(), "");
+  EXPECT_EQ(loaded->CountType(types::kToken), 0u);
+}
+
+TEST(CasXmiTest, RejectsMalformedInput) {
+  EXPECT_TRUE(CasFromXml("<notcas/>").status().IsInvalid());
+  EXPECT_TRUE(CasFromXml("<cas/>").status().IsInvalid());  // No sofa.
+  EXPECT_TRUE(CasFromXml("<cas><sofa text='ab'/>"
+                         "<annotation type='T' begin='0' end='99'/></cas>")
+                  .status()
+                  .IsInvalid())
+      << "spans outside the sofa must be rejected";
+  EXPECT_TRUE(CasFromXml("<cas><sofa text='ab'/><bogus/></cas>")
+                  .status()
+                  .IsInvalid());
+}
+
+TEST(CasXmiTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/cas_xmi_test.xml";
+  Cas original = AnnotatedSample();
+  ASSERT_TRUE(SaveCasFile(original, path).ok());
+  auto loaded = LoadCasFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->document(), original.document());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qatk::cas

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <fstream>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/corpus_io.h"
+
+namespace qatk::kb {
+namespace {
+
+std::string MakeDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void Cleanup(const std::string& dir) {
+  for (const char* file : {"/bundles.csv", "/part_desc.csv",
+                           "/error_desc.csv"}) {
+    std::remove((dir + file).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+Corpus SmallCorpus() {
+  Corpus corpus;
+  DataBundle a;
+  a.reference_number = "REF1";
+  a.article_code = "A1";
+  a.part_id = "P1";
+  a.error_code = "E1";
+  a.responsibility_code = "R1";
+  a.mechanic_report = "messy text, with commas and \"quotes\"";
+  a.supplier_report = "multi\nline supplier report";
+  a.final_oem_report = "done";
+  corpus.bundles.push_back(a);
+  DataBundle b;
+  b.reference_number = "REF2";
+  b.part_id = "P2";
+  // Uncoded bundle: empty error code and no optional reports.
+  b.mechanic_report = "kaputt";
+  b.supplier_report = "NTF";
+  corpus.bundles.push_back(b);
+  corpus.part_descriptions["P1"] = "radio / head unit";
+  corpus.error_descriptions["E1"] = "burnt contact";
+  return corpus;
+}
+
+TEST(CorpusIoTest, RoundTripPreservesEverything) {
+  std::string dir = MakeDir("corpus_io_roundtrip");
+  Corpus original = SmallCorpus();
+  ASSERT_TRUE(SaveCorpusCsv(original, dir).ok());
+  auto loaded = LoadCorpusCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->bundles.size(), 2u);
+  EXPECT_EQ(loaded->bundles[0].mechanic_report,
+            "messy text, with commas and \"quotes\"");
+  EXPECT_EQ(loaded->bundles[0].supplier_report,
+            "multi\nline supplier report");
+  EXPECT_EQ(loaded->bundles[1].error_code, "");
+  EXPECT_EQ(loaded->part_descriptions.at("P1"), "radio / head unit");
+  EXPECT_EQ(loaded->error_descriptions.at("E1"), "burnt contact");
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, GeneratedCorpusRoundTrips) {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 20;
+  config.small_parts = 2;
+  config.num_components = 80;
+  config.num_symptoms = 70;
+  config.num_locations = 20;
+  config.num_solutions = 20;
+  config.components_per_part = 6;
+  datagen::DomainWorld world(config);
+  datagen::OemConfig oem;
+  oem.num_bundles = 300;
+  datagen::OemCorpusGenerator generator(&world, oem);
+  Corpus original = generator.Generate();
+
+  std::string dir = MakeDir("corpus_io_generated");
+  ASSERT_TRUE(SaveCorpusCsv(original, dir).ok());
+  auto loaded = LoadCorpusCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->bundles.size(), original.bundles.size());
+  for (size_t i = 0; i < original.bundles.size(); i += 31) {
+    EXPECT_EQ(loaded->bundles[i].reference_number,
+              original.bundles[i].reference_number);
+    EXPECT_EQ(loaded->bundles[i].supplier_report,
+              original.bundles[i].supplier_report);
+  }
+  EXPECT_EQ(loaded->part_descriptions, original.part_descriptions);
+  EXPECT_EQ(loaded->error_descriptions, original.error_descriptions);
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, MissingDescriptionFilesAreOptional) {
+  std::string dir = MakeDir("corpus_io_optional");
+  ASSERT_TRUE(SaveCorpusCsv(SmallCorpus(), dir).ok());
+  std::remove((dir + "/part_desc.csv").c_str());
+  std::remove((dir + "/error_desc.csv").c_str());
+  auto loaded = LoadCorpusCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->part_descriptions.empty());
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, MissingBundlesFileIsIOError) {
+  std::string dir = MakeDir("corpus_io_missing");
+  EXPECT_TRUE(LoadCorpusCsv(dir).status().IsIOError());
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, MalformedRowsRejected) {
+  std::string dir = MakeDir("corpus_io_malformed");
+  {
+    std::ofstream out(dir + "/bundles.csv");
+    out << "wrong,header\n";
+  }
+  EXPECT_TRUE(LoadCorpusCsv(dir).status().IsInvalid());
+  {
+    std::ofstream out(dir + "/bundles.csv");
+    out << "ref,article_code,part_id,error_code,resp_code,mechanic,"
+           "initial,supplier,final\n";
+    out << "only,three,fields\n";
+  }
+  EXPECT_TRUE(LoadCorpusCsv(dir).status().IsInvalid());
+  {
+    std::ofstream out(dir + "/bundles.csv");
+    out << "ref,article_code,part_id,error_code,resp_code,mechanic,"
+           "initial,supplier,final\n";
+    out << ",A1,P1,E1,R1,m,i,s,f\n";  // Empty reference number.
+  }
+  EXPECT_TRUE(LoadCorpusCsv(dir).status().IsInvalid());
+  Cleanup(dir);
+}
+
+}  // namespace
+}  // namespace qatk::kb

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/nhtsa.h"
+#include "datagen/noise.h"
+#include "datagen/oem.h"
+#include "datagen/wordgen.h"
+#include "datagen/world.h"
+#include "text/language.h"
+#include "text/tokenizer.h"
+
+namespace qatk::datagen {
+namespace {
+
+using text::Language;
+
+/// A smaller world so tests stay fast; same invariants as the default.
+WorldConfig TestWorldConfig() {
+  WorldConfig config;
+  config.num_parts = 8;
+  config.num_article_codes = 60;
+  config.num_error_codes = 140;
+  config.max_codes_largest_part = 40;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 30;
+  config.small_parts = 2;
+  config.num_components = 120;
+  config.num_symptoms = 100;
+  config.num_locations = 30;
+  config.num_solutions = 30;
+  config.components_per_part = 6;
+  return config;
+}
+
+OemConfig TestOemConfig() {
+  OemConfig config;
+  config.num_bundles = 700;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// WordGenerator / NoiseChannel
+// ---------------------------------------------------------------------------
+
+TEST(WordGeneratorTest, FreshWordsNeverRepeat) {
+  Rng rng(5);
+  WordGenerator words(&rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::string word = words.FreshWord(
+        i % 2 == 0 ? Language::kGerman : Language::kEnglish, 2);
+    EXPECT_TRUE(seen.insert(word).second) << "duplicate: " << word;
+  }
+}
+
+TEST(WordGeneratorTest, WordsAreLowercaseAlpha) {
+  Rng rng(6);
+  WordGenerator words(&rng);
+  for (int i = 0; i < 200; ++i) {
+    std::string word = words.Word(Language::kEnglish, 2);
+    for (char c : word) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word;
+    }
+    EXPECT_GE(word.size(), 2u);
+  }
+}
+
+TEST(NoiseChannelTest, TypoChangesWord) {
+  Rng rng(7);
+  NoiseChannel noise(&rng);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (noise.Typo("schlauch") != "schlauch") ++changed;
+  }
+  EXPECT_GT(changed, 70) << "typos should nearly always alter the word";
+}
+
+TEST(NoiseChannelTest, ShortWordsPassThrough) {
+  Rng rng(8);
+  NoiseChannel noise(&rng);
+  EXPECT_EQ(noise.Typo("ab"), "ab");
+  EXPECT_EQ(noise.Typo(""), "");
+}
+
+TEST(NoiseChannelTest, MaybeTypoRespectsRate) {
+  Rng rng(9);
+  NoiseChannel noise(&rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(noise.MaybeTypo("bremse", 0.0), "bremse");
+  }
+}
+
+TEST(NoiseChannelTest, AbbreviationKeepsPrefix) {
+  Rng rng(10);
+  NoiseChannel noise(&rng);
+  for (int i = 0; i < 50; ++i) {
+    std::string abbr = noise.MaybeAbbreviate("batterie", 1.0);
+    ASSERT_GE(abbr.size(), 4u);
+    EXPECT_EQ(abbr.back(), '.');
+    EXPECT_EQ(abbr.substr(0, 3), "bat");
+  }
+  EXPECT_EQ(noise.MaybeAbbreviate("kurz", 1.0), "kurz") << "short words stay";
+}
+
+// ---------------------------------------------------------------------------
+// DomainWorld
+// ---------------------------------------------------------------------------
+
+class DomainWorldTest : public ::testing::Test {
+ protected:
+  DomainWorldTest() : world_(TestWorldConfig()) {}
+  DomainWorld world_;
+};
+
+TEST_F(DomainWorldTest, PartAndCodeCountsMatchConfig) {
+  EXPECT_EQ(world_.parts().size(), 8u);
+  EXPECT_EQ(world_.TotalErrorCodes(), 140u);
+  EXPECT_EQ(world_.parts()[0].codes.size(), 40u);
+}
+
+TEST_F(DomainWorldTest, ArticleCodeBudgetFullyAssigned) {
+  size_t total = 0;
+  std::set<std::string> all;
+  for (const PartSpec& part : world_.parts()) {
+    total += part.article_codes.size();
+    all.insert(part.article_codes.begin(), part.article_codes.end());
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_EQ(all.size(), 60u) << "article codes must be globally unique";
+}
+
+TEST_F(DomainWorldTest, ErrorCodesGloballyUnique) {
+  std::set<std::string> codes;
+  for (const PartSpec& part : world_.parts()) {
+    for (const ErrorCodeSpec& spec : part.codes) {
+      EXPECT_TRUE(codes.insert(spec.code).second);
+      EXPECT_EQ(spec.part_id, part.part_id);
+    }
+  }
+  EXPECT_EQ(codes.size(), 140u);
+}
+
+TEST_F(DomainWorldTest, CodeSemanticsWellFormed) {
+  for (const PartSpec& part : world_.parts()) {
+    for (const ErrorCodeSpec& spec : part.codes) {
+      EXPECT_FALSE(spec.symptoms.empty());
+      EXPECT_FALSE(spec.components.empty());
+      EXPECT_FALSE(spec.cause_de.empty());
+      EXPECT_FALSE(spec.cause_en.empty());
+      EXPECT_FALSE(spec.defect_token.empty());
+      EXPECT_FALSE(spec.description.empty());
+      for (size_t si : spec.symptoms) {
+        EXPECT_LT(si, world_.symptoms().size());
+      }
+      for (size_t ci : spec.components) {
+        EXPECT_LT(ci, world_.components().size());
+        // Components come from the owning part's slice.
+        EXPECT_NE(std::find(part.components.begin(), part.components.end(),
+                            ci),
+                  part.components.end());
+      }
+    }
+  }
+}
+
+TEST_F(DomainWorldTest, TaxonomyCoverageGapExists) {
+  size_t covered = 0;
+  size_t uncovered = 0;
+  for (const LexEntry& entry : world_.symptoms()) {
+    if (entry.concept_id == 0) {
+      ++uncovered;
+      EXPECT_FALSE(world_.taxonomy().Contains(entry.concept_id));
+    } else {
+      ++covered;
+      EXPECT_TRUE(world_.taxonomy().Contains(entry.concept_id));
+    }
+  }
+  EXPECT_GT(covered, 0u);
+  EXPECT_GT(uncovered, 0u) << "the coverage gap drives the BoC deficit";
+}
+
+TEST_F(DomainWorldTest, TaxonomyHasFourRootsAndLeaves) {
+  const tax::Taxonomy& taxonomy = world_.taxonomy();
+  EXPECT_GT(taxonomy.size(), 100u);
+  for (int64_t root = 1; root <= 4; ++root) {
+    EXPECT_TRUE(taxonomy.Contains(root));
+  }
+  // Leaves reference a category root as parent.
+  for (const tax::Concept* leaf : taxonomy.All()) {
+    if (leaf->id <= 4) continue;
+    EXPECT_GE(leaf->parent_id, 1);
+    EXPECT_LE(leaf->parent_id, 4);
+  }
+}
+
+TEST_F(DomainWorldTest, FindCode) {
+  const std::string& code = world_.parts()[1].codes[2].code;
+  auto spec = world_.FindCode(code);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->code, code);
+  EXPECT_TRUE(world_.FindCode("E99999").status().IsKeyError());
+}
+
+TEST(DomainWorldDeterminismTest, SameSeedSameWorld) {
+  DomainWorld a(TestWorldConfig());
+  DomainWorld b(TestWorldConfig());
+  ASSERT_EQ(a.parts().size(), b.parts().size());
+  for (size_t p = 0; p < a.parts().size(); ++p) {
+    ASSERT_EQ(a.parts()[p].codes.size(), b.parts()[p].codes.size());
+    for (size_t c = 0; c < a.parts()[p].codes.size(); ++c) {
+      EXPECT_EQ(a.parts()[p].codes[c].cause_de,
+                b.parts()[p].codes[c].cause_de);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OemCorpusGenerator
+// ---------------------------------------------------------------------------
+
+class OemCorpusTest : public ::testing::Test {
+ protected:
+  OemCorpusTest() : world_(TestWorldConfig()) {
+    OemCorpusGenerator generator(&world_, TestOemConfig());
+    corpus_ = generator.Generate();
+  }
+  DomainWorld world_;
+  kb::Corpus corpus_;
+};
+
+TEST_F(OemCorpusTest, EveryCodeOccursAtLeastOnce) {
+  std::set<std::string> seen;
+  for (const kb::DataBundle& bundle : corpus_.bundles) {
+    seen.insert(bundle.error_code);
+  }
+  EXPECT_EQ(seen.size(), world_.TotalErrorCodes());
+}
+
+TEST_F(OemCorpusTest, BundleFieldsWellFormed) {
+  std::set<std::string> refs;
+  size_t with_initial = 0;
+  for (const kb::DataBundle& bundle : corpus_.bundles) {
+    EXPECT_TRUE(refs.insert(bundle.reference_number).second);
+    EXPECT_FALSE(bundle.part_id.empty());
+    EXPECT_FALSE(bundle.article_code.empty());
+    EXPECT_FALSE(bundle.mechanic_report.empty());
+    EXPECT_FALSE(bundle.supplier_report.empty());
+    EXPECT_FALSE(bundle.final_oem_report.empty());
+    EXPECT_FALSE(bundle.responsibility_code.empty());
+    if (!bundle.initial_oem_report.empty()) ++with_initial;
+    // The code belongs to the bundle's part.
+    auto spec = world_.FindCode(bundle.error_code);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ((*spec)->part_id, bundle.part_id);
+  }
+  EXPECT_EQ(corpus_.bundles.size(), 700u);
+  // Initial report is optional (~40%).
+  double initial_rate =
+      static_cast<double>(with_initial) / corpus_.bundles.size();
+  EXPECT_GT(initial_rate, 0.25);
+  EXPECT_LT(initial_rate, 0.55);
+}
+
+TEST_F(OemCorpusTest, DescriptionsCoverAllPartsAndCodes) {
+  for (const PartSpec& part : world_.parts()) {
+    EXPECT_TRUE(corpus_.part_descriptions.count(part.part_id) > 0);
+    for (const ErrorCodeSpec& spec : part.codes) {
+      EXPECT_TRUE(corpus_.error_descriptions.count(spec.code) > 0);
+    }
+  }
+}
+
+TEST_F(OemCorpusTest, Deterministic) {
+  OemCorpusGenerator generator(&world_, TestOemConfig());
+  kb::Corpus again = generator.Generate();
+  ASSERT_EQ(again.bundles.size(), corpus_.bundles.size());
+  for (size_t i = 0; i < again.bundles.size(); i += 37) {
+    EXPECT_EQ(again.bundles[i].mechanic_report,
+              corpus_.bundles[i].mechanic_report);
+    EXPECT_EQ(again.bundles[i].error_code, corpus_.bundles[i].error_code);
+  }
+}
+
+TEST_F(OemCorpusTest, ReportsAreMessy) {
+  // Some reports must contain jargon tokens and some must be terse.
+  size_t with_jargon = 0;
+  size_t terse_mechanic = 0;
+  text::Tokenizer tokenizer;
+  for (const kb::DataBundle& bundle : corpus_.bundles) {
+    for (const std::string& jargon : world_.jargon()) {
+      if (bundle.supplier_report.find(jargon) != std::string::npos ||
+          bundle.mechanic_report.find(jargon) != std::string::npos) {
+        ++with_jargon;
+        break;
+      }
+    }
+    if (tokenizer.WordsNormalized(bundle.mechanic_report).size() <= 3) {
+      ++terse_mechanic;
+    }
+  }
+  EXPECT_GT(with_jargon, corpus_.bundles.size() / 5);
+  EXPECT_GT(terse_mechanic, corpus_.bundles.size() / 25);
+}
+
+TEST_F(OemCorpusTest, ZipfSkewInErrorCodes) {
+  std::map<std::string, size_t> counts;
+  for (const kb::DataBundle& bundle : corpus_.bundles) {
+    ++counts[bundle.error_code];
+  }
+  size_t max_count = 0;
+  for (const auto& [code, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  double mean = static_cast<double>(corpus_.bundles.size()) / counts.size();
+  EXPECT_GT(static_cast<double>(max_count), 5.0 * mean)
+      << "frequency distribution must be heavily skewed";
+}
+
+TEST(OemCorpusSmallTest, RejectsTooFewBundles) {
+  DomainWorld world(TestWorldConfig());
+  OemConfig config;
+  config.num_bundles = 10;  // Fewer than error codes.
+  OemCorpusGenerator generator(&world, config);
+  EXPECT_DEATH(generator.Generate(), "at least one bundle per error code");
+}
+
+// ---------------------------------------------------------------------------
+// NHTSA generator
+// ---------------------------------------------------------------------------
+
+TEST(NhtsaTest, ComplaintsWellFormed) {
+  DomainWorld world(TestWorldConfig());
+  NhtsaConfig config;
+  config.num_complaints = 300;
+  NhtsaComplaintGenerator generator(&world, config);
+  auto complaints = generator.Generate();
+  ASSERT_EQ(complaints.size(), 300u);
+  std::set<std::string> odi_numbers;
+  std::set<std::string> makes;
+  for (const NhtsaComplaint& complaint : complaints) {
+    EXPECT_TRUE(odi_numbers.insert(complaint.odi_number).second);
+    makes.insert(complaint.make);
+    EXPECT_FALSE(complaint.narrative.empty());
+    EXPECT_FALSE(complaint.component_text.empty());
+    auto spec = world.FindCode(complaint.latent_error_code);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ((*spec)->part_id, complaint.part_id);
+  }
+  EXPECT_GT(makes.size(), 2u) << "multiple manufacturers";
+}
+
+TEST(NhtsaTest, NarrativesAreEnglishRegister) {
+  DomainWorld world(TestWorldConfig());
+  NhtsaConfig config;
+  config.num_complaints = 100;
+  NhtsaComplaintGenerator generator(&world, config);
+  text::LanguageDetector detector;
+  size_t english = 0;
+  for (const NhtsaComplaint& complaint : generator.Generate()) {
+    if (detector.Detect(complaint.narrative) == Language::kEnglish) {
+      ++english;
+    }
+  }
+  EXPECT_GT(english, 85u) << "consumer complaints are English";
+}
+
+TEST(NhtsaTest, Deterministic) {
+  DomainWorld world(TestWorldConfig());
+  NhtsaConfig config;
+  config.num_complaints = 50;
+  NhtsaComplaintGenerator a(&world, config);
+  NhtsaComplaintGenerator b(&world, config);
+  auto ca = a.Generate();
+  auto cb = b.Generate();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].narrative, cb[i].narrative);
+  }
+}
+
+}  // namespace
+}  // namespace qatk::datagen

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "eval/evaluator.h"
+#include "eval/folds.h"
+#include "eval/metrics.h"
+
+namespace qatk::eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(AccuracyAccumulatorTest, CountsHitsAtThresholds) {
+  AccuracyAccumulator acc({1, 5, 10});
+  acc.Observe(1);   // Hits @1, @5, @10.
+  acc.Observe(3);   // Hits @5, @10.
+  acc.Observe(7);   // Hits @10.
+  acc.Observe(0);   // Not found.
+  acc.Observe(15);  // Beyond all ks.
+  EXPECT_EQ(acc.total(), 5u);
+  EXPECT_DOUBLE_EQ(acc.At(0), 1.0 / 5);
+  EXPECT_DOUBLE_EQ(acc.At(1), 2.0 / 5);
+  EXPECT_DOUBLE_EQ(acc.At(2), 3.0 / 5);
+}
+
+TEST(AccuracyAccumulatorTest, EmptyIsZero) {
+  AccuracyAccumulator acc({1});
+  EXPECT_DOUBLE_EQ(acc.At(0), 0.0);
+}
+
+TEST(AccuracyAccumulatorTest, MergeRequiresSameKs) {
+  AccuracyAccumulator a({1, 5});
+  AccuracyAccumulator b({1, 5});
+  AccuracyAccumulator c({1, 10});
+  a.Observe(1);
+  b.Observe(0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.At(0), 0.5);
+  EXPECT_TRUE(a.Merge(c).IsInvalid());
+}
+
+TEST(AccuracyAccumulatorTest, MeanReciprocalRank) {
+  AccuracyAccumulator acc({1});
+  acc.Observe(1);   // 1.0
+  acc.Observe(2);   // 0.5
+  acc.Observe(4);   // 0.25
+  acc.Observe(0);   // 0 (not found)
+  EXPECT_DOUBLE_EQ(acc.MeanReciprocalRank(), (1.0 + 0.5 + 0.25) / 4.0);
+  AccuracyAccumulator empty({1});
+  EXPECT_DOUBLE_EQ(empty.MeanReciprocalRank(), 0.0);
+}
+
+TEST(FoldedAccuracyTest, MrrAveragedOverFolds) {
+  FoldedAccuracy folded({1}, 2);
+  folded.Observe(0, 1);  // Fold 0 MRR = 1.0.
+  folded.Observe(1, 2);  // Fold 1 MRR = 0.5.
+  EXPECT_DOUBLE_EQ(folded.MeanReciprocalRank(), 0.75);
+}
+
+TEST(FoldedAccuracyTest, AveragesAcrossFolds) {
+  FoldedAccuracy folded({1}, 2);
+  // Fold 0: 100% @1 of 2 observations; fold 1: 0% of 2.
+  folded.Observe(0, 1);
+  folded.Observe(0, 1);
+  folded.Observe(1, 0);
+  folded.Observe(1, 5);
+  EXPECT_DOUBLE_EQ(folded.MeanAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(folded.MeanFoldSize(), 2.0);
+}
+
+TEST(FoldedAccuracyTest, EmptyFoldsIgnoredInMean) {
+  FoldedAccuracy folded({1}, 3);
+  folded.Observe(0, 1);  // Fold 0 only.
+  EXPECT_DOUBLE_EQ(folded.MeanAt(0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stratified folds
+// ---------------------------------------------------------------------------
+
+TEST(StratifiedKFoldTest, EveryLabelSpreadAcrossFolds) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < 50; ++i) labels.push_back("A");
+  for (int i = 0; i < 25; ++i) labels.push_back("B");
+  for (int i = 0; i < 5; ++i) labels.push_back("C");
+  auto folds = StratifiedKFold(labels, 5, 7);
+  ASSERT_TRUE(folds.ok());
+  std::map<std::string, std::map<size_t, size_t>> per_label;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++per_label[labels[i]][(*folds)[i]];
+  }
+  // 50 As -> exactly 10 per fold; 25 Bs -> exactly 5; 5 Cs -> 1 each.
+  for (const auto& [fold, count] : per_label["A"]) EXPECT_EQ(count, 10u);
+  for (const auto& [fold, count] : per_label["B"]) EXPECT_EQ(count, 5u);
+  EXPECT_EQ(per_label["C"].size(), 5u);
+}
+
+TEST(StratifiedKFoldTest, TwoInstanceLabelLandsInTwoFolds) {
+  std::vector<std::string> labels = {"X", "X", "pad1", "pad2", "pad3"};
+  auto folds = StratifiedKFold(labels, 5, 11);
+  ASSERT_TRUE(folds.ok());
+  EXPECT_NE((*folds)[0], (*folds)[1])
+      << "both instances in one fold would leave no training instance";
+}
+
+TEST(StratifiedKFoldTest, Deterministic) {
+  std::vector<std::string> labels(100, "L");
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = "L" + std::to_string(i % 7);
+  }
+  auto a = StratifiedKFold(labels, 5, 42);
+  auto b = StratifiedKFold(labels, 5, 42);
+  auto c = StratifiedKFold(labels, 5, 43);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(StratifiedKFoldTest, RejectsBadInput) {
+  EXPECT_TRUE(StratifiedKFold({"a"}, 1, 0).status().IsInvalid());
+  EXPECT_TRUE(StratifiedKFold({}, 5, 0).status().IsInvalid());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end evaluator on a small world
+// ---------------------------------------------------------------------------
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static datagen::WorldConfig SmallWorld() {
+    datagen::WorldConfig config;
+    config.num_parts = 6;
+    config.num_article_codes = 40;
+    config.num_error_codes = 80;
+    config.max_codes_largest_part = 25;
+    config.mid_part_min_codes = 8;
+    config.mid_part_max_codes = 20;
+    config.small_parts = 2;
+    config.num_components = 80;
+    config.num_symptoms = 70;
+    config.num_locations = 20;
+    config.num_solutions = 20;
+    config.components_per_part = 6;
+    return config;
+  }
+
+  EvaluatorTest() : world_(SmallWorld()) {
+    datagen::OemConfig oem;
+    oem.num_bundles = 600;
+    datagen::OemCorpusGenerator generator(&world_, oem);
+    corpus_ = generator.Generate();
+  }
+
+  datagen::DomainWorld world_;
+  kb::Corpus corpus_;
+};
+
+TEST_F(EvaluatorTest, ProducesAllRequestedCurves) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // 4 variants + frequency baseline + 2 candidate baselines.
+  EXPECT_EQ(report->CurvesFor(kb::kTestSources).size(), 7u);
+  EXPECT_GT(report->learnable_bundles, 300u);
+  EXPECT_GT(report->distinct_learnable_codes, 20u);
+}
+
+TEST_F(EvaluatorTest, AccuraciesMonotonicInK) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  for (const CurveResult& curve : report->curves) {
+    for (size_t i = 1; i < curve.accuracy_at.size(); ++i) {
+      EXPECT_GE(curve.accuracy_at[i] + 1e-12, curve.accuracy_at[i - 1])
+          << curve.name << " must be monotone in k";
+    }
+    for (double a : curve.accuracy_at) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, ClassifiersBeatCandidateBaseline) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  auto bow = report->Find("bag-of-words + jaccard", kb::kTestSources);
+  auto cand = report->Find("candidate-set baseline (bag-of-words)",
+                           kb::kTestSources);
+  ASSERT_TRUE(bow.ok());
+  ASSERT_TRUE(cand.ok());
+  EXPECT_GT((*bow)->accuracy_at[0], (*cand)->accuracy_at[0] + 0.1);
+}
+
+TEST_F(EvaluatorTest, MechanicOnlyWeakerThanAllReports) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  config.probe_masks = {kb::kTestSources, kb::kMechanicOnly};
+  config.variants = {{kb::FeatureModel::kBagOfWords,
+                      core::SimilarityMeasure::kJaccard}};
+  config.include_candidate_baseline = false;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  auto all = report->Find("bag-of-words + jaccard", kb::kTestSources);
+  auto mech = report->Find("bag-of-words + jaccard", kb::kMechanicOnly);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(mech.ok());
+  EXPECT_GT((*all)->accuracy_at[0], (*mech)->accuracy_at[0] + 0.15)
+      << "experiment 2: mechanic reports alone are a poor entry point";
+}
+
+TEST_F(EvaluatorTest, DeterministicAcrossRuns) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  config.variants = {{kb::FeatureModel::kBagOfConcepts,
+                      core::SimilarityMeasure::kJaccard}};
+  config.include_candidate_baseline = false;
+  config.include_frequency_baseline = false;
+  auto a = evaluator.Run(config);
+  auto b = evaluator.Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ca = a->Find("bag-of-concepts + jaccard", kb::kTestSources);
+  auto cb = b->Find("bag-of-concepts + jaccard", kb::kTestSources);
+  EXPECT_EQ((*ca)->accuracy_at, (*cb)->accuracy_at);
+}
+
+TEST_F(EvaluatorTest, MrrBracketsAccuracy) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  config.variants = {{kb::FeatureModel::kBagOfWords,
+                      core::SimilarityMeasure::kJaccard}};
+  config.include_candidate_baseline = false;
+  config.include_frequency_baseline = false;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  auto curve = report->Find("bag-of-words + jaccard", kb::kTestSources);
+  ASSERT_TRUE(curve.ok());
+  // MRR lies between A@1 and A@max-k by construction.
+  EXPECT_GE((*curve)->mrr, (*curve)->accuracy_at.front() - 1e-9);
+  EXPECT_LE((*curve)->mrr, (*curve)->accuracy_at.back() + 1e-9);
+}
+
+TEST_F(EvaluatorTest, FormatTableContainsVariants) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  std::string table = report->FormatTable(kb::kTestSources);
+  EXPECT_NE(table.find("bag-of-words + jaccard"), std::string::npos);
+  EXPECT_NE(table.find("code-frequency baseline"), std::string::npos);
+  EXPECT_NE(table.find("A@1"), std::string::npos);
+}
+
+TEST_F(EvaluatorTest, FindUnknownCurveIsKeyError) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  auto report = evaluator.Run(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Find("nope", kb::kTestSources).status().IsKeyError());
+}
+
+}  // namespace
+}  // namespace qatk::eval

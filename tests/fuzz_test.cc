@@ -1,0 +1,250 @@
+// Randomized differential and fault-injection tests across module
+// boundaries: SQL vs a reference evaluator, WAL crash-point truncation,
+// taxonomy XML round trips over generated worlds, and tokenizer robustness
+// on arbitrary byte soup. All seeds fixed: failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "datagen/world.h"
+#include "storage/database.h"
+#include "storage/sql.h"
+#include "storage/wal.h"
+#include "taxonomy/xml.h"
+#include "text/tokenizer.h"
+
+namespace qatk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SQL differential fuzz: random WHERE predicates against a reference model.
+// ---------------------------------------------------------------------------
+
+struct RefRow {
+  std::string s;
+  int64_t n;
+};
+
+class SqlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlFuzzTest, SelectWhereMatchesReferenceFilter) {
+  Rng rng(GetParam());
+  auto db = db::Database::OpenInMemory(512);
+  ASSERT_TRUE(db.ok());
+  db::SqlSession session(db->get());
+  ASSERT_TRUE(
+      session.Execute("CREATE TABLE t (s STRING, n INT)").ok());
+  if (rng.NextBernoulli(0.5)) {
+    ASSERT_TRUE(session.Execute("CREATE INDEX t_s ON t (s)").ok());
+  }
+
+  // Populate with a small value domain so predicates actually select.
+  std::vector<RefRow> reference;
+  const char* strings[] = {"alpha", "beta", "gamma", "delta"};
+  for (int i = 0; i < 200; ++i) {
+    RefRow row{strings[rng.NextBounded(4)],
+               static_cast<int64_t>(rng.NextInt(-5, 5))};
+    reference.push_back(row);
+    ASSERT_TRUE(session
+                    .Execute("INSERT INTO t VALUES ('" + row.s + "', " +
+                             std::to_string(row.n) + ")")
+                    .ok());
+  }
+
+  const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+  for (int query = 0; query < 60; ++query) {
+    // 1-2 random terms.
+    struct Term {
+      bool on_string;
+      std::string op;
+      std::string s_value;
+      int64_t n_value;
+    };
+    std::vector<Term> terms;
+    size_t num_terms = 1 + rng.NextBounded(2);
+    for (size_t i = 0; i < num_terms; ++i) {
+      Term term;
+      term.on_string = rng.NextBernoulli(0.5);
+      term.op = ops[rng.NextBounded(6)];
+      term.s_value = strings[rng.NextBounded(4)];
+      term.n_value = rng.NextInt(-5, 5);
+      terms.push_back(term);
+    }
+    std::string sql = "SELECT * FROM t WHERE ";
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      if (terms[i].on_string) {
+        sql += "s " + terms[i].op + " '" + terms[i].s_value + "'";
+      } else {
+        sql += "n " + terms[i].op + " " + std::to_string(terms[i].n_value);
+      }
+    }
+    auto result = session.Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << ": " << result.status();
+
+    size_t expected = 0;
+    for (const RefRow& row : reference) {
+      bool match = true;
+      for (const Term& term : terms) {
+        int cmp = term.on_string
+                      ? row.s.compare(term.s_value)
+                      : (row.n < term.n_value ? -1
+                                              : (row.n > term.n_value ? 1 : 0));
+        bool ok = false;
+        if (term.op == "=") ok = cmp == 0;
+        else if (term.op == "!=") ok = cmp != 0;
+        else if (term.op == "<") ok = cmp < 0;
+        else if (term.op == "<=") ok = cmp <= 0;
+        else if (term.op == ">") ok = cmp > 0;
+        else ok = cmp >= 0;
+        if (!ok) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++expected;
+    }
+    EXPECT_EQ(result->rows.size(), expected) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// WAL crash-point fuzz: truncate the redo log at arbitrary byte offsets.
+// ---------------------------------------------------------------------------
+
+class WalTruncationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalTruncationFuzzTest, ArbitraryTruncationYieldsConsistentPrefix) {
+  Rng rng(GetParam());
+  std::string path =
+      ::testing::TempDir() + "/wal_fuzz_" + std::to_string(GetParam());
+  auto cleanup = [&]() {
+    std::remove(path.c_str());
+    std::remove((path + ".wal").c_str());
+    std::remove((path + ".journal").c_str());
+  };
+  cleanup();
+  const int kRows = 60;
+  {
+    auto db = db::Database::OpenFile(path, 32);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateTable(
+                        "t", db::Schema({{"k", db::TypeId::kString}}))
+                    .ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(
+          (*db)->Insert("t", db::Tuple({db::Value("k" + std::to_string(i))}))
+              .ok());
+    }
+    // Crash without checkpoint.
+  }
+  // Chop the WAL at a random byte offset (simulated torn write).
+  long wal_size = 0;
+  {
+    std::FILE* f = std::fopen((path + ".wal").c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    wal_size = std::ftell(f);
+    std::fclose(f);
+  }
+  ASSERT_GT(wal_size, 0);
+  long cut = static_cast<long>(
+      rng.NextBounded(static_cast<uint64_t>(wal_size)) + 1);
+  ASSERT_EQ(truncate((path + ".wal").c_str(), cut), 0);
+
+  auto db = db::Database::OpenFile(path, 32);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // The surviving rows must be exactly a prefix k0..k(n-1) of the inserts.
+  // If the cut fell inside the CREATE TABLE record, nothing replays and
+  // even the table is gone — the empty prefix.
+  std::map<int, bool> present;
+  size_t count = 0;
+  if ((*db)->GetTable("t").status().IsKeyError()) {
+    cleanup();
+    return;
+  }
+  ASSERT_TRUE((*db)->ScanTable("t", [&](const db::Rid&, const db::Tuple& t) {
+    std::string key = t.value(0).AsString();
+    present[std::stoi(key.substr(1))] = true;
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_LE(count, static_cast<size_t>(kRows));
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(present.count(static_cast<int>(i)))
+        << "recovered rows must form a contiguous prefix";
+  }
+  cleanup();
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, WalTruncationFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Taxonomy XML round trip over a full generated world.
+// ---------------------------------------------------------------------------
+
+TEST(TaxonomyXmlFuzzTest, GeneratedWorldRoundTripsExactly) {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.small_parts = 2;
+  config.num_components = 120;
+  config.num_symptoms = 110;
+  config.num_locations = 40;
+  config.num_solutions = 40;
+  datagen::DomainWorld world(config);
+  const tax::Taxonomy& original = world.taxonomy();
+
+  std::string xml = tax::TaxonomyToXml(original);
+  auto loaded = tax::TaxonomyFromXml(xml);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (const tax::Concept* leaf : original.All()) {
+    auto other = loaded->Find(leaf->id);
+    ASSERT_TRUE(other.ok());
+    EXPECT_EQ((*other)->label, leaf->label);
+    EXPECT_EQ((*other)->category, leaf->category);
+    EXPECT_EQ((*other)->parent_id, leaf->parent_id);
+    EXPECT_EQ((*other)->synonyms, leaf->synonyms);
+  }
+  // Second round trip is byte-identical (canonical form).
+  EXPECT_EQ(tax::TaxonomyToXml(*loaded), xml);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer robustness on arbitrary byte soup.
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerFuzzTest, ArbitraryBytesNeverBreakInvariants) {
+  Rng rng(777);
+  text::Tokenizer tokenizer;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    size_t len = rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    auto tokens = tokenizer.Tokenize(input);
+    size_t prev_end = 0;
+    for (const text::Token& token : tokens) {
+      EXPECT_LT(token.begin, token.end);
+      EXPECT_LE(token.end, input.size());
+      EXPECT_GE(token.begin, prev_end) << "tokens must not overlap";
+      prev_end = token.end;
+      EXPECT_EQ(input.substr(token.begin, token.end - token.begin),
+                token.text);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qatk

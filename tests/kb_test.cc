@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "kb/data_bundle.h"
+#include "kb/features.h"
+#include "kb/kb_store.h"
+#include "kb/knowledge_base.h"
+#include "storage/database.h"
+#include "taxonomy/taxonomy.h"
+
+namespace qatk::kb {
+namespace {
+
+using text::Language;
+
+DataBundle MakeBundle(const std::string& ref, const std::string& part,
+                      const std::string& code) {
+  DataBundle bundle;
+  bundle.reference_number = ref;
+  bundle.article_code = "A1";
+  bundle.part_id = part;
+  bundle.error_code = code;
+  bundle.responsibility_code = "R1";
+  bundle.mechanic_report = "mechanic text for " + ref;
+  bundle.supplier_report = "supplier text for " + ref;
+  bundle.final_oem_report = "final text for " + ref;
+  return bundle;
+}
+
+tax::Taxonomy SmallTaxonomy() {
+  tax::Taxonomy taxonomy;
+  tax::Concept fan;
+  fan.id = 101;
+  fan.category = tax::Category::kComponent;
+  fan.label = "Fan";
+  fan.synonyms[Language::kEnglish] = {"fan", "blower"};
+  fan.synonyms[Language::kGerman] = {"Lüfter"};
+  QATK_CHECK_OK(taxonomy.Add(std::move(fan)));
+  tax::Concept noise;
+  noise.id = 201;
+  noise.category = tax::Category::kSymptom;
+  noise.label = "Noise";
+  noise.synonyms[Language::kEnglish] = {"noise", "humming sound"};
+  QATK_CHECK_OK(taxonomy.Add(std::move(noise)));
+  return taxonomy;
+}
+
+// ---------------------------------------------------------------------------
+// DataBundle / Corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, SingletonAccounting) {
+  Corpus corpus;
+  corpus.bundles.push_back(MakeBundle("r1", "P1", "E1"));
+  corpus.bundles.push_back(MakeBundle("r2", "P1", "E1"));
+  corpus.bundles.push_back(MakeBundle("r3", "P1", "E2"));
+  corpus.bundles.push_back(MakeBundle("r4", "P2", "E3"));
+  corpus.bundles.push_back(MakeBundle("r5", "P2", "E3"));
+  EXPECT_EQ(corpus.CountDistinctErrorCodes(), 3u);
+  EXPECT_EQ(corpus.CountSingletonErrorCodes(), 1u);
+  auto learnable = corpus.LearnableBundles();
+  ASSERT_EQ(learnable.size(), 4u);
+  for (const DataBundle* b : learnable) {
+    EXPECT_NE(b->error_code, "E2");
+  }
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  Corpus corpus;
+  EXPECT_EQ(corpus.CountDistinctErrorCodes(), 0u);
+  EXPECT_EQ(corpus.CountSingletonErrorCodes(), 0u);
+  EXPECT_TRUE(corpus.LearnableBundles().empty());
+}
+
+TEST(ComposeDocumentTest, MaskSelectsSources) {
+  Corpus corpus;
+  DataBundle bundle = MakeBundle("r1", "P1", "E1");
+  bundle.initial_oem_report = "initial text";
+  corpus.part_descriptions["P1"] = "part description";
+  corpus.error_descriptions["E1"] = "error description";
+
+  std::string all = ComposeDocument(bundle, kTrainSources, corpus);
+  EXPECT_NE(all.find("mechanic text"), std::string::npos);
+  EXPECT_NE(all.find("initial text"), std::string::npos);
+  EXPECT_NE(all.find("supplier text"), std::string::npos);
+  EXPECT_NE(all.find("final text"), std::string::npos);
+  EXPECT_NE(all.find("part description"), std::string::npos);
+  EXPECT_NE(all.find("error description"), std::string::npos);
+
+  std::string test = ComposeDocument(bundle, kTestSources, corpus);
+  EXPECT_NE(test.find("mechanic text"), std::string::npos);
+  EXPECT_EQ(test.find("final text"), std::string::npos)
+      << "final report must be unavailable at test time";
+  EXPECT_EQ(test.find("error description"), std::string::npos);
+
+  std::string mech = ComposeDocument(bundle, kMechanicOnly, corpus);
+  EXPECT_NE(mech.find("mechanic text"), std::string::npos);
+  EXPECT_EQ(mech.find("supplier text"), std::string::npos);
+}
+
+TEST(ComposeDocumentTest, MissingSourcesSkipped) {
+  Corpus corpus;
+  DataBundle bundle = MakeBundle("r1", "P1", "E1");
+  bundle.initial_oem_report.clear();
+  std::string doc = ComposeDocument(bundle, kTrainSources, corpus);
+  EXPECT_FALSE(doc.empty());
+  // No description catalogs registered: no crash, just skipped.
+}
+
+// ---------------------------------------------------------------------------
+// FeatureVocabulary
+// ---------------------------------------------------------------------------
+
+TEST(FeatureVocabularyTest, InternIsIdempotent) {
+  FeatureVocabulary vocabulary;
+  int64_t a = vocabulary.Intern("defekt");
+  int64_t b = vocabulary.Intern("kaputt");
+  EXPECT_EQ(vocabulary.Intern("defekt"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocabulary.size(), 2u);
+}
+
+TEST(FeatureVocabularyTest, LookupDoesNotGrow) {
+  FeatureVocabulary vocabulary;
+  vocabulary.Intern("known");
+  EXPECT_EQ(vocabulary.Lookup("known"), 0);
+  EXPECT_EQ(vocabulary.Lookup("unknown"), -1);
+  EXPECT_EQ(vocabulary.size(), 1u);
+}
+
+TEST(FeatureVocabularyTest, WordOfInverse) {
+  FeatureVocabulary vocabulary;
+  int64_t id = vocabulary.Intern("luefter");
+  EXPECT_EQ(*vocabulary.WordOf(id), "luefter");
+  EXPECT_TRUE(vocabulary.WordOf(999).status().IsKeyError());
+  EXPECT_TRUE(vocabulary.WordOf(-1).status().IsKeyError());
+}
+
+TEST(FeatureVocabularyTest, RestoreRoundTrip) {
+  FeatureVocabulary original;
+  original.Intern("a");
+  original.Intern("b");
+  original.Intern("c");
+  FeatureVocabulary restored;
+  for (const auto& [word, id] : original.Entries()) {
+    ASSERT_TRUE(restored.Restore(word, id).ok());
+  }
+  EXPECT_EQ(restored.Lookup("b"), original.Lookup("b"));
+  EXPECT_TRUE(restored.Restore("b", 5).IsAlreadyExists());
+  EXPECT_TRUE(restored.Restore("z", 7).IsInvalid()) << "non-dense id";
+}
+
+// ---------------------------------------------------------------------------
+// FeatureExtractor
+// ---------------------------------------------------------------------------
+
+TEST(FeatureExtractorTest, BagOfWordsSortedUnique) {
+  FeatureVocabulary vocabulary;
+  FeatureExtractor extractor(FeatureModel::kBagOfWords, nullptr,
+                             &vocabulary);
+  auto features = extractor.Extract("the fan the fan broke");
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->size(), 3u);  // the, fan, broke.
+  EXPECT_TRUE(std::is_sorted(features->begin(), features->end()));
+  EXPECT_EQ(extractor.last_mention_count(), 5u);
+}
+
+TEST(FeatureExtractorTest, StopwordVariantDropsFunctionWords) {
+  FeatureVocabulary vocabulary;
+  FeatureExtractor extractor(FeatureModel::kBagOfWordsNoStop, nullptr,
+                             &vocabulary);
+  auto features = extractor.Extract("the fan is broken");
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->size(), 2u);  // fan, broken.
+}
+
+TEST(FeatureExtractorTest, BagOfConceptsUsesTaxonomy) {
+  tax::Taxonomy taxonomy = SmallTaxonomy();
+  FeatureVocabulary vocabulary;
+  FeatureExtractor extractor(FeatureModel::kBagOfConcepts, &taxonomy,
+                             &vocabulary);
+  auto features = extractor.Extract("the blower makes a humming sound");
+  ASSERT_TRUE(features.ok());
+  ASSERT_EQ(features->size(), 2u);
+  EXPECT_EQ((*features)[0], 101);
+  EXPECT_EQ((*features)[1], 201);
+}
+
+TEST(FeatureExtractorTest, FrozenVocabularyDropsUnseenWords) {
+  FeatureVocabulary vocabulary;
+  {
+    FeatureExtractor train(FeatureModel::kBagOfWords, nullptr, &vocabulary);
+    ASSERT_TRUE(train.Extract("fan broken").ok());
+  }
+  FeatureExtractor test(FeatureModel::kBagOfWords, nullptr, &vocabulary,
+                        /*frozen_vocabulary=*/true);
+  auto features = test.Extract("fan totally novel words");
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->size(), 1u);  // Only "fan" is known.
+  EXPECT_EQ(vocabulary.size(), 2u) << "frozen extraction must not intern";
+}
+
+TEST(FeatureExtractorTest, GermanFoldingUnifiesSpellings) {
+  FeatureVocabulary vocabulary;
+  FeatureExtractor extractor(FeatureModel::kBagOfWords, nullptr,
+                             &vocabulary);
+  auto a = extractor.Extract("Lüfter");
+  auto b = extractor.Extract("LUEFTER");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(FeatureExtractorTest, EmptyDocument) {
+  FeatureVocabulary vocabulary;
+  FeatureExtractor extractor(FeatureModel::kBagOfWords, nullptr,
+                             &vocabulary);
+  auto features = extractor.Extract("");
+  ASSERT_TRUE(features.ok());
+  EXPECT_TRUE(features->empty());
+}
+
+// ---------------------------------------------------------------------------
+// KnowledgeBase
+// ---------------------------------------------------------------------------
+
+TEST(KnowledgeBaseTest, IdenticalConfigurationsMerge) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2, 3});
+  knowledge.AddInstance("P1", "E1", {1, 2, 3});
+  knowledge.AddInstance("P1", "E1", {1, 2, 4});
+  EXPECT_EQ(knowledge.num_nodes(), 2u);
+  EXPECT_EQ(knowledge.num_instances(), 3u);
+  EXPECT_EQ(knowledge.nodes()[0].instance_count, 2u);
+}
+
+TEST(KnowledgeBaseTest, DifferentCodesSameFeaturesStayDistinct) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2});
+  knowledge.AddInstance("P1", "E2", {1, 2});
+  EXPECT_EQ(knowledge.num_nodes(), 2u);
+}
+
+TEST(KnowledgeBaseTest, CandidateSelectionFiltersByPartAndFeature) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2});
+  knowledge.AddInstance("P1", "E2", {3, 4});
+  knowledge.AddInstance("P2", "E3", {1, 2});
+
+  auto candidates = knowledge.SelectCandidates("P1", {2, 9});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->error_code, "E1");
+
+  EXPECT_TRUE(knowledge.SelectCandidates("P1", {99}).empty());
+  EXPECT_EQ(knowledge.SelectCandidates("P1", {1, 3}).size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, UnknownPartFallsBackToAllNodes) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1});
+  knowledge.AddInstance("P2", "E2", {2});
+  auto candidates = knowledge.SelectCandidates("P99", {1});
+  EXPECT_EQ(candidates.size(), 2u) << "Fig. 5: unknown part -> all nodes";
+}
+
+TEST(KnowledgeBaseTest, CandidatesAreDeduplicated) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2, 3});
+  // Probe shares three features with the single node; it must appear once.
+  auto candidates = knowledge.SelectCandidates("P1", {1, 2, 3});
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, NodesForPart) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1});
+  knowledge.AddInstance("P1", "E2", {2});
+  knowledge.AddInstance("P2", "E3", {3});
+  EXPECT_EQ(knowledge.NodesForPart("P1").size(), 2u);
+  EXPECT_TRUE(knowledge.NodesForPart("P9").empty());
+  EXPECT_TRUE(knowledge.HasPart("P1"));
+  EXPECT_FALSE(knowledge.HasPart("P9"));
+}
+
+// ---------------------------------------------------------------------------
+// KbStore (QDB persistence)
+// ---------------------------------------------------------------------------
+
+class KbStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = db::Database::OpenInMemory(512);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    store_ = std::make_unique<KbStore>(db_.get(), "test");
+  }
+
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<KbStore> store_;
+};
+
+TEST_F(KbStoreTest, CorpusRoundTrip) {
+  Corpus corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.bundles.push_back(MakeBundle("REF" + std::to_string(i),
+                                        "P" + std::to_string(i % 3),
+                                        "E" + std::to_string(i % 5)));
+  }
+  corpus.bundles[3].initial_oem_report = "optional initial";
+  corpus.part_descriptions["P0"] = "desc p0";
+  corpus.error_descriptions["E1"] = "desc e1";
+  ASSERT_TRUE(store_->SaveCorpus(corpus).ok());
+
+  auto loaded = store_->LoadCorpus();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->bundles.size(), 20u);
+  EXPECT_EQ(loaded->part_descriptions.at("P0"), "desc p0");
+  EXPECT_EQ(loaded->error_descriptions.at("E1"), "desc e1");
+
+  auto bundle = store_->FindBundle("REF3");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->initial_oem_report, "optional initial");
+  EXPECT_TRUE(store_->FindBundle("NOPE").status().IsKeyError());
+}
+
+TEST_F(KbStoreTest, KnowledgeBaseRoundTrip) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2, 3});
+  knowledge.AddInstance("P1", "E1", {1, 2, 3});  // Merge.
+  knowledge.AddInstance("P1", "E2", {3, 4});
+  knowledge.AddInstance("P2", "E3", {5});
+  FeatureVocabulary vocabulary;
+  vocabulary.Intern("alpha");
+  vocabulary.Intern("beta");
+  ASSERT_TRUE(store_->SaveKnowledgeBase(knowledge, vocabulary).ok());
+
+  auto loaded = store_->LoadKnowledgeBase();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_instances(), 4u);
+  auto candidates = loaded->SelectCandidates("P1", {3});
+  EXPECT_EQ(candidates.size(), 2u);
+
+  auto vocab = store_->LoadVocabulary();
+  ASSERT_TRUE(vocab.ok());
+  EXPECT_EQ(vocab->Lookup("beta"), 1);
+}
+
+TEST_F(KbStoreTest, OnTheFlyCandidatesMatchInMemory) {
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("P1", "E1", {1, 2});
+  knowledge.AddInstance("P1", "E2", {2, 3});
+  knowledge.AddInstance("P1", "E3", {7});
+  knowledge.AddInstance("P2", "E4", {1});
+  FeatureVocabulary vocabulary;
+  ASSERT_TRUE(store_->SaveKnowledgeBase(knowledge, vocabulary).ok());
+
+  auto from_db = store_->SelectCandidatesFromDb("P1", {2, 9});
+  ASSERT_TRUE(from_db.ok()) << from_db.status();
+  auto in_memory = knowledge.SelectCandidates("P1", {2, 9});
+  ASSERT_EQ(from_db->size(), in_memory.size());
+  ASSERT_EQ(from_db->size(), 2u);
+  for (size_t i = 0; i < from_db->size(); ++i) {
+    EXPECT_EQ((*from_db)[i].error_code, in_memory[i]->error_code);
+    EXPECT_EQ((*from_db)[i].features, in_memory[i]->features);
+  }
+}
+
+TEST_F(KbStoreTest, RecommendationsRoundTrip) {
+  ASSERT_TRUE(
+      store_->SaveRecommendations("REF1", {{"E5", 0.9}, {"E2", 0.4}}).ok());
+  ASSERT_TRUE(store_->SaveRecommendations("REF2", {{"E1", 1.0}}).ok());
+  auto recs = store_->LoadRecommendations("REF1");
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  EXPECT_EQ((*recs)[0].first, "E5");
+  EXPECT_DOUBLE_EQ((*recs)[0].second, 0.9);
+  EXPECT_EQ((*recs)[1].first, "E2");
+}
+
+}  // namespace
+}  // namespace qatk::kb

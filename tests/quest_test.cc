@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "datagen/nhtsa.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "quest/comparison.h"
+#include "quest/recommendation_service.h"
+
+namespace qatk::quest {
+namespace {
+
+datagen::WorldConfig SmallWorld() {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 20;
+  config.small_parts = 2;
+  config.num_components = 80;
+  config.num_symptoms = 70;
+  config.num_locations = 20;
+  config.num_solutions = 20;
+  config.components_per_part = 6;
+  return config;
+}
+
+class RecommendationServiceTest : public ::testing::Test {
+ protected:
+  RecommendationServiceTest() : world_(SmallWorld()) {
+    datagen::OemConfig oem;
+    oem.num_bundles = 600;
+    datagen::OemCorpusGenerator generator(&world_, oem);
+    corpus_ = generator.Generate();
+  }
+
+  datagen::DomainWorld world_;
+  kb::Corpus corpus_;
+};
+
+TEST_F(RecommendationServiceTest, UntrainedServiceRefuses) {
+  RecommendationService service(&world_.taxonomy(), {});
+  EXPECT_FALSE(service.trained());
+  EXPECT_TRUE(
+      service.Recommend(corpus_.bundles[0]).status().IsInvalid());
+}
+
+TEST_F(RecommendationServiceTest, TrainOnceOnly) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  EXPECT_TRUE(service.trained());
+  EXPECT_TRUE(service.Train(corpus_).IsInvalid());
+}
+
+TEST_F(RecommendationServiceTest, TopTenCutoffAndOrdering) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  // Pick a bundle from the largest part (many codes -> truncation).
+  const kb::DataBundle* probe = nullptr;
+  for (const kb::DataBundle& bundle : corpus_.bundles) {
+    if (bundle.part_id == "P01") {
+      probe = &bundle;
+      break;
+    }
+  }
+  ASSERT_NE(probe, nullptr);
+  auto recommendation = service.Recommend(*probe);
+  ASSERT_TRUE(recommendation.ok()) << recommendation.status();
+  EXPECT_LE(recommendation->top.size(), 10u);
+  for (size_t i = 1; i < recommendation->top.size(); ++i) {
+    EXPECT_GE(recommendation->top[i - 1].score,
+              recommendation->top[i].score);
+  }
+}
+
+TEST_F(RecommendationServiceTest, RecommendationQualityOnTrainingData) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  size_t hits = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < corpus_.bundles.size(); i += 7) {
+    auto recommendation = service.Recommend(corpus_.bundles[i]);
+    ASSERT_TRUE(recommendation.ok());
+    ++total;
+    for (const core::ScoredCode& scored : recommendation->top) {
+      if (scored.error_code == corpus_.bundles[i].error_code) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.6)
+      << "top-10 should usually contain the assigned code";
+}
+
+TEST_F(RecommendationServiceTest, FullListFallbackSortedByFrequency) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  auto list = service.FullListForPart("P01");
+  ASSERT_GT(list.size(), 5u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].score, list[i].score);
+  }
+  EXPECT_TRUE(service.FullListForPart("P99").empty());
+}
+
+TEST_F(RecommendationServiceTest, DefineErrorCode) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  size_t before = service.FullListForPart("P01").size();
+  ASSERT_TRUE(
+      service.DefineErrorCode("P01", "E_NEW", "a brand new failure mode")
+          .ok());
+  auto list = service.FullListForPart("P01");
+  EXPECT_EQ(list.size(), before + 1);
+  EXPECT_EQ(list.back().error_code, "E_NEW");
+  EXPECT_EQ(*service.DescribeCode("E_NEW"), "a brand new failure mode");
+  EXPECT_TRUE(
+      service.DefineErrorCode("P01", "E_NEW", "again").IsAlreadyExists());
+}
+
+TEST_F(RecommendationServiceTest, DescribeUnknownCode) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  EXPECT_TRUE(service.DescribeCode("E_MISSING").status().IsKeyError());
+}
+
+TEST_F(RecommendationServiceTest, ForeignTextClassification) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  datagen::NhtsaConfig config;
+  config.num_complaints = 60;
+  datagen::NhtsaComplaintGenerator generator(&world_, config);
+  size_t non_empty = 0;
+  for (const datagen::NhtsaComplaint& complaint : generator.Generate()) {
+    auto recommendation =
+        service.RecommendForText(complaint.part_id, complaint.narrative);
+    ASSERT_TRUE(recommendation.ok());
+    if (!recommendation->top.empty()) ++non_empty;
+  }
+  EXPECT_GT(non_empty, 45u)
+      << "the concept model must transfer to the foreign text type";
+}
+
+TEST_F(RecommendationServiceTest, ConfirmAssignmentLearnsOnline) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  size_t nodes_before = service.knowledge().num_nodes();
+  size_t instances_before = service.knowledge().num_instances();
+
+  kb::DataBundle novel;
+  novel.reference_number = "NEW1";
+  novel.part_id = corpus_.bundles[0].part_id;
+  novel.mechanic_report = "entirely new failure pattern";
+  novel.supplier_report = "previously unseen root cause";
+  ASSERT_TRUE(service.ConfirmAssignment(novel, "E_FRESH").ok());
+  EXPECT_EQ(service.knowledge().num_instances(), instances_before + 1);
+  EXPECT_GE(service.knowledge().num_nodes(), nodes_before);
+  // The confirmed code now appears in the part's full list.
+  bool found = false;
+  for (const auto& scored : service.FullListForPart(novel.part_id)) {
+    if (scored.error_code == "E_FRESH") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RecommendationServiceTest, ConfirmAssignmentValidates) {
+  RecommendationService untrained(&world_.taxonomy(), {});
+  kb::DataBundle bundle;
+  EXPECT_TRUE(untrained.ConfirmAssignment(bundle, "E1").IsInvalid());
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  EXPECT_TRUE(service.ConfirmAssignment(bundle, "").IsInvalid());
+}
+
+// ---------------------------------------------------------------------------
+// Distribution comparison (Fig. 14)
+// ---------------------------------------------------------------------------
+
+TEST(DistributionTest, TopNPlusOther) {
+  std::map<std::string, size_t> counts = {
+      {"X2", 47}, {"B15", 19}, {"CR2", 18}, {"D1", 10}, {"D2", 6}};
+  Distribution dist = Distribution::FromCounts("OEM", counts, 3);
+  ASSERT_EQ(dist.entries.size(), 4u);
+  EXPECT_EQ(dist.entries[0].error_code, "X2");
+  EXPECT_DOUBLE_EQ(dist.entries[0].fraction, 0.47);
+  EXPECT_EQ(dist.entries[1].error_code, "B15");
+  EXPECT_EQ(dist.entries[2].error_code, "CR2");
+  EXPECT_EQ(dist.entries[3].error_code, "Other");
+  EXPECT_EQ(dist.entries[3].count, 16u);
+  EXPECT_EQ(dist.total, 100u);
+}
+
+TEST(DistributionTest, FewerCodesThanTopN) {
+  std::map<std::string, size_t> counts = {{"A", 5}, {"B", 5}};
+  Distribution dist = Distribution::FromCounts("src", counts, 3);
+  ASSERT_EQ(dist.entries.size(), 2u) << "no Other bucket when all shown";
+}
+
+TEST(DistributionTest, EmptyCounts) {
+  Distribution dist = Distribution::FromCounts("src", {}, 3);
+  EXPECT_TRUE(dist.entries.empty());
+  EXPECT_EQ(dist.total, 0u);
+}
+
+TEST(ComparisonScreenTest, RenderContainsBothSources) {
+  ComparisonScreen screen;
+  screen.left = Distribution::FromCounts("Proprietary", {{"X2", 9}, {"B", 1}},
+                                         3);
+  screen.right = Distribution::FromCounts("NHTSA", {{"X2", 4}, {"C", 6}}, 3);
+  std::string rendered = screen.Render();
+  EXPECT_NE(rendered.find("Proprietary"), std::string::npos);
+  EXPECT_NE(rendered.find("NHTSA"), std::string::npos);
+  EXPECT_NE(rendered.find("X2"), std::string::npos);
+  EXPECT_NE(rendered.find("%"), std::string::npos);
+}
+
+TEST(ComparisonScreenTest, OverlapScore) {
+  ComparisonScreen screen;
+  screen.left = Distribution::FromCounts("L", {{"A", 50}, {"B", 50}}, 5);
+  screen.right = Distribution::FromCounts("R", {{"A", 50}, {"C", 50}}, 5);
+  EXPECT_DOUBLE_EQ(screen.OverlapScore(), 0.5);
+
+  ComparisonScreen identical;
+  identical.left = Distribution::FromCounts("L", {{"A", 7}, {"B", 3}}, 5);
+  identical.right = Distribution::FromCounts("R", {{"A", 7}, {"B", 3}}, 5);
+  EXPECT_DOUBLE_EQ(identical.OverlapScore(), 1.0);
+
+  ComparisonScreen disjoint;
+  disjoint.left = Distribution::FromCounts("L", {{"A", 1}}, 5);
+  disjoint.right = Distribution::FromCounts("R", {{"B", 1}}, 5);
+  EXPECT_DOUBLE_EQ(disjoint.OverlapScore(), 0.0);
+}
+
+}  // namespace
+}  // namespace qatk::quest

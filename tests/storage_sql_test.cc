@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/sql.h"
+
+namespace qatk::db {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::OpenInMemory(256);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    session_ = std::make_unique<SqlSession>(db_.get());
+  }
+
+  ResultSet Must(const std::string& sql) {
+    auto rs = session_->Execute(sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    return rs.ok() ? *rs : ResultSet{};
+  }
+
+  Status Fail(const std::string& sql) {
+    auto rs = session_->Execute(sql);
+    EXPECT_FALSE(rs.ok()) << sql << " unexpectedly succeeded";
+    return rs.status();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlSession> session_;
+};
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  Must("CREATE TABLE parts (part_id STRING, error_code STRING, qty INT)");
+  Must("INSERT INTO parts VALUES ('P1', 'E1', 3), ('P1', 'E2', 5), "
+       "('P2', 'E1', 7)");
+  ResultSet rs = Must("SELECT * FROM parts");
+  EXPECT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.schema.num_columns(), 3u);
+}
+
+TEST_F(SqlTest, WhereFiltersRows) {
+  Must("CREATE TABLE t (a INT, b STRING)");
+  Must("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'z')");
+  ResultSet rs = Must("SELECT * FROM t WHERE b = 'x' AND a > 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].value(0).AsInt64(), 3);
+}
+
+TEST_F(SqlTest, AllComparisonOperators) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a = 3").rows.size(), 1u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a != 3").rows.size(), 4u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a <> 3").rows.size(), 4u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a < 3").rows.size(), 2u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a <= 3").rows.size(), 3u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a > 3").rows.size(), 2u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE a >= 3").rows.size(), 3u);
+}
+
+TEST_F(SqlTest, ProjectionAndAlias) {
+  Must("CREATE TABLE t (a INT, b STRING, c DOUBLE)");
+  Must("INSERT INTO t VALUES (1, 'x', 2.5)");
+  ResultSet rs = Must("SELECT b, a FROM t");
+  ASSERT_EQ(rs.schema.num_columns(), 2u);
+  EXPECT_EQ(rs.schema.column(0).name, "b");
+  EXPECT_EQ(rs.rows[0].value(1).AsInt64(), 1);
+}
+
+TEST_F(SqlTest, GroupByCountOrderBy) {
+  Must("CREATE TABLE parts (part_id STRING, error_code STRING)");
+  Must("INSERT INTO parts VALUES ('P1','E1'),('P1','E1'),('P1','E2'),"
+       "('P2','E1'),('P1','E1')");
+  ResultSet rs = Must(
+      "SELECT error_code, COUNT(*) AS n FROM parts WHERE part_id = 'P1' "
+      "GROUP BY error_code ORDER BY n DESC");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0].value(0).AsString(), "E1");
+  EXPECT_EQ(rs.rows[0].value(1).AsInt64(), 3);
+  EXPECT_EQ(rs.rows[1].value(0).AsString(), "E2");
+  EXPECT_EQ(rs.rows[1].value(1).AsInt64(), 1);
+}
+
+TEST_F(SqlTest, SumMinMaxAggregates) {
+  Must("CREATE TABLE t (g STRING, v INT, d DOUBLE)");
+  Must("INSERT INTO t VALUES ('a', 1, 0.5), ('a', 2, 1.5), ('b', 10, 2.0)");
+  ResultSet rs = Must(
+      "SELECT g, SUM(v) AS sv, MIN(v) AS mn, MAX(v) AS mx, SUM(d) AS sd "
+      "FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0].value(1).AsInt64(), 3);
+  EXPECT_EQ(rs.rows[0].value(2).AsInt64(), 1);
+  EXPECT_EQ(rs.rows[0].value(3).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(rs.rows[0].value(4).AsDouble(), 2.0);
+  EXPECT_EQ(rs.rows[1].value(1).AsInt64(), 10);
+}
+
+TEST_F(SqlTest, LimitOffset) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (5), (3), (1), (4), (2)");
+  ResultSet rs = Must("SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0].value(0).AsInt64(), 2);
+  EXPECT_EQ(rs.rows[1].value(0).AsInt64(), 3);
+}
+
+TEST_F(SqlTest, IndexBackedEqualityQuery) {
+  Must("CREATE TABLE kb (part_id STRING, concept INT)");
+  Must("CREATE INDEX kb_part ON kb (part_id)");
+  for (int i = 0; i < 40; ++i) {
+    Must("INSERT INTO kb VALUES ('P" + std::to_string(i % 4) + "', " +
+         std::to_string(i) + ")");
+  }
+  ResultSet rs = Must("SELECT * FROM kb WHERE part_id = 'P2'");
+  EXPECT_EQ(rs.rows.size(), 10u);
+  // Index + residual filter.
+  ResultSet rs2 = Must("SELECT * FROM kb WHERE part_id = 'P2' AND concept > 20");
+  for (const Tuple& row : rs2.rows) {
+    EXPECT_EQ(row.value(0).AsString(), "P2");
+    EXPECT_GT(row.value(1).AsInt64(), 20);
+  }
+  EXPECT_EQ(rs2.rows.size(), 5u);
+}
+
+TEST_F(SqlTest, DeleteWithWhere) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (1), (2), (3), (4)");
+  ResultSet rs = Must("DELETE FROM t WHERE a >= 3");
+  EXPECT_EQ(rs.rows_affected, 2u);
+  EXPECT_EQ(Must("SELECT * FROM t").rows.size(), 2u);
+}
+
+TEST_F(SqlTest, DeleteAll) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (1), (2)");
+  EXPECT_EQ(Must("DELETE FROM t").rows_affected, 2u);
+  EXPECT_EQ(Must("SELECT * FROM t").rows.size(), 0u);
+}
+
+TEST_F(SqlTest, StringEscaping) {
+  Must("CREATE TABLE t (s STRING)");
+  Must("INSERT INTO t VALUES ('it''s messy')");
+  ResultSet rs = Must("SELECT * FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].value(0).AsString(), "it's messy");
+}
+
+TEST_F(SqlTest, NullLiteral) {
+  Must("CREATE TABLE t (a INT, b STRING)");
+  Must("INSERT INTO t VALUES (1, NULL), (2, 'x')");
+  ResultSet rs = Must("SELECT * FROM t WHERE b = NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].value(0).AsInt64(), 1);
+}
+
+TEST_F(SqlTest, NegativeNumbersAndDoubles) {
+  Must("CREATE TABLE t (a INT, d DOUBLE)");
+  Must("INSERT INTO t VALUES (-5, -2.5)");
+  ResultSet rs = Must("SELECT * FROM t WHERE a = -5");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs.rows[0].value(1).AsDouble(), -2.5);
+}
+
+TEST_F(SqlTest, SyntaxErrors) {
+  EXPECT_TRUE(Fail("SELEC * FROM t").IsInvalid());
+  EXPECT_TRUE(Fail("SELECT FROM t").IsInvalid());
+  Must("CREATE TABLE t (a INT)");
+  EXPECT_TRUE(Fail("SELECT * FROM t WHERE a ~ 1").IsInvalid());
+  EXPECT_TRUE(Fail("INSERT INTO t VALUES (1, 2) trailing").IsInvalid());
+  EXPECT_TRUE(Fail("SELECT * FROM t WHERE a = 'unterminated").IsInvalid());
+}
+
+TEST_F(SqlTest, SemanticErrors) {
+  Must("CREATE TABLE t (a INT)");
+  EXPECT_TRUE(Fail("SELECT missing FROM t").IsKeyError());
+  EXPECT_TRUE(Fail("SELECT * FROM nope").IsKeyError());
+  EXPECT_TRUE(Fail("SELECT a, COUNT(*) FROM t").IsInvalid())
+      << "non-grouped column with aggregate must fail";
+  EXPECT_TRUE(Fail("CREATE TABLE t (a INT)").IsAlreadyExists());
+}
+
+TEST_F(SqlTest, ResultSetRendering) {
+  Must("CREATE TABLE t (name STRING, n INT)");
+  Must("INSERT INTO t VALUES ('alpha', 1)");
+  std::string text = Must("SELECT * FROM t").ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1 row(s)"), std::string::npos);
+}
+
+TEST_F(SqlTest, UpdateWithWhere) {
+  Must("CREATE TABLE t (k STRING, v INT)");
+  Must("CREATE INDEX t_by_k ON t (k)");
+  Must("INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3)");
+  ResultSet rs = Must("UPDATE t SET v = 99 WHERE k = 'b'");
+  EXPECT_EQ(rs.rows_affected, 1u);
+  ResultSet check = Must("SELECT v FROM t WHERE k = 'b'");
+  ASSERT_EQ(check.rows.size(), 1u);
+  EXPECT_EQ(check.rows[0].value(0).AsInt64(), 99);
+  // Index still finds the updated row exactly once.
+  ResultSet via_index = Must("SELECT * FROM t WHERE k = 'b'");
+  EXPECT_EQ(via_index.rows.size(), 1u);
+}
+
+TEST_F(SqlTest, UpdateMultipleColumnsAllRows) {
+  Must("CREATE TABLE t (a INT, b STRING)");
+  Must("INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  ResultSet rs = Must("UPDATE t SET a = 0, b = 'z'");
+  EXPECT_EQ(rs.rows_affected, 2u);
+  ResultSet check = Must("SELECT * FROM t WHERE b = 'z'");
+  EXPECT_EQ(check.rows.size(), 2u);
+}
+
+TEST_F(SqlTest, UpdateIndexedColumnMaintainsIndex) {
+  Must("CREATE TABLE t (k STRING, v INT)");
+  Must("CREATE INDEX t_by_k ON t (k)");
+  Must("INSERT INTO t VALUES ('old', 7)");
+  Must("UPDATE t SET k = 'new' WHERE k = 'old'");
+  EXPECT_EQ(Must("SELECT * FROM t WHERE k = 'old'").rows.size(), 0u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE k = 'new'").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, LikeOperator) {
+  Must("CREATE TABLE t (s STRING)");
+  Must("INSERT INTO t VALUES ('bremsschlauch'), ('bremse'), ('schlauch'), "
+       "('Bremse')");
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s LIKE 'brems%'").rows.size(), 2u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s LIKE '%schlauch'").rows.size(),
+            2u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s LIKE '%rems%'").rows.size(), 3u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s LIKE 'brems_'").rows.size(), 1u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s LIKE 'bremse'").rows.size(), 1u)
+      << "LIKE without wildcards is exact and case-sensitive";
+}
+
+TEST_F(SqlTest, InnerJoin) {
+  Must("CREATE TABLE bundles (ref STRING, part_id STRING)");
+  Must("CREATE TABLE descs (part_id STRING, text STRING)");
+  Must("INSERT INTO bundles VALUES ('R1','P1'), ('R2','P2'), ('R3','P1'), "
+       "('R4','P9')");
+  Must("INSERT INTO descs VALUES ('P1','radio'), ('P2','pump')");
+  ResultSet rs = Must(
+      "SELECT * FROM bundles JOIN descs ON bundles.part_id = descs.part_id "
+      "ORDER BY ref");
+  ASSERT_EQ(rs.rows.size(), 3u) << "P9 has no description: inner join drops";
+  // Collision suffix on the right side's part_id.
+  EXPECT_TRUE(rs.schema.HasColumn("part_id"));
+  EXPECT_TRUE(rs.schema.HasColumn("part_id_r"));
+  EXPECT_EQ(rs.rows[0].value(0).AsString(), "R1");
+  EXPECT_EQ(rs.rows[0].value(3).AsString(), "radio");
+}
+
+TEST_F(SqlTest, JoinConditionOrderIrrelevant) {
+  Must("CREATE TABLE a (x STRING)");
+  Must("CREATE TABLE b (y STRING)");
+  Must("INSERT INTO a VALUES ('k')");
+  Must("INSERT INTO b VALUES ('k')");
+  EXPECT_EQ(Must("SELECT * FROM a JOIN b ON b.y = a.x").rows.size(), 1u);
+  EXPECT_EQ(Must("SELECT * FROM a JOIN b ON a.x = b.y").rows.size(), 1u);
+  EXPECT_TRUE(
+      Fail("SELECT * FROM a JOIN b ON a.x = c.y").IsInvalid());
+}
+
+TEST_F(SqlTest, JoinWithWhereAndAggregation) {
+  Must("CREATE TABLE bundles (ref STRING, part_id STRING)");
+  Must("CREATE TABLE descs (part_id STRING, grp STRING)");
+  Must("INSERT INTO bundles VALUES ('R1','P1'),('R2','P1'),('R3','P2'),"
+       "('R4','P3')");
+  Must("INSERT INTO descs VALUES ('P1','cool'),('P2','cool'),('P3','brake')");
+  ResultSet rs = Must(
+      "SELECT grp, COUNT(*) AS n FROM bundles JOIN descs "
+      "ON bundles.part_id = descs.part_id WHERE grp = 'cool' GROUP BY grp");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].value(1).AsInt64(), 3);
+}
+
+TEST_F(SqlTest, JoinDuplicateKeysCrossProduct) {
+  Must("CREATE TABLE l (k STRING)");
+  Must("CREATE TABLE r (k STRING)");
+  Must("INSERT INTO l VALUES ('a'), ('a')");
+  Must("INSERT INTO r VALUES ('a'), ('a'), ('a')");
+  EXPECT_EQ(Must("SELECT * FROM l JOIN r ON l.k = r.k").rows.size(), 6u);
+}
+
+TEST_F(SqlTest, JoinNullKeysNeverMatch) {
+  Must("CREATE TABLE l (k STRING)");
+  Must("CREATE TABLE r (k STRING)");
+  Must("INSERT INTO l VALUES (NULL), ('a')");
+  Must("INSERT INTO r VALUES (NULL), ('a')");
+  EXPECT_EQ(Must("SELECT * FROM l JOIN r ON l.k = r.k").rows.size(), 1u);
+}
+
+TEST_F(SqlTest, RangeQueriesUseIndexAndStayCorrect) {
+  Must("CREATE TABLE t (n INT, tag STRING)");
+  Must("CREATE INDEX t_n ON t (n)");
+  for (int i = 0; i < 50; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i % 20) + ", 'x')");
+  }
+  // Closed, half-open, and strict ranges — all must agree with a full scan
+  // (the planner's range path runs because t_n exists; correctness is the
+  // assertion, plan shape is covered by the executor test).
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n >= 5 AND n < 8").rows.size(),
+            Must("SELECT * FROM t WHERE tag = 'x' AND n >= 5 AND n < 8")
+                .rows.size());
+  // n = i %% 20 over 50 rows: n in 0..9 occurs 3x, n in 10..19 occurs 2x.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n >= 18").rows.size(), 4u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n <= 1").rows.size(), 6u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n > 17 AND n <= 19").rows.size(),
+            4u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n > 100").rows.size(), 0u);
+}
+
+TEST_F(SqlTest, StringRangeQueries) {
+  Must("CREATE TABLE t (s STRING)");
+  Must("CREATE INDEX t_s ON t (s)");
+  Must("INSERT INTO t VALUES ('apple'), ('banana'), ('cherry'), ('date')");
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s >= 'b' AND s < 'd'").rows.size(),
+            2u);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s <= 'banana'").rows.size(), 2u)
+      << "inclusive upper bound on strings";
+}
+
+TEST_F(SqlTest, BetweenOperator) {
+  Must("CREATE TABLE t (n INT)");
+  Must("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n BETWEEN 2 AND 4").rows.size(),
+            3u);
+  EXPECT_EQ(
+      Must("SELECT * FROM t WHERE n BETWEEN 2 AND 4 AND n != 3").rows.size(),
+      2u)
+      << "AND after the BETWEEN range continues the conjunction";
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n BETWEEN 9 AND 10").rows.size(),
+            0u);
+}
+
+TEST_F(SqlTest, CaseInsensitiveKeywords) {
+  Must("create table t (a int)");
+  Must("insert into t values (7)");
+  ResultSet rs = Must("select * from t where a = 7");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qatk::db

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace qatk::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(static_cast<int64_t>(5)).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value("hi").type(), TypeId::kString);
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(2)));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(1.0), Value(1.5));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value(), Value(static_cast<int64_t>(-100)));
+  EXPECT_LT(Value(), Value(""));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(static_cast<int64_t>(-3)).ToString(), "-3");
+  EXPECT_EQ(Value("x").ToString(), "x");
+}
+
+// Property: EncodeOrdered preserves Value ordering under memcmp.
+class OrderedEncodingTest
+    : public ::testing::TestWithParam<std::pair<Value, Value>> {};
+
+TEST_P(OrderedEncodingTest, EncodingOrderMatchesValueOrder) {
+  const auto& [a, b] = GetParam();
+  std::string ea;
+  std::string eb;
+  a.EncodeOrdered(&ea);
+  b.EncodeOrdered(&eb);
+  int value_cmp = a.Compare(b);
+  int enc_cmp = ea.compare(eb);
+  if (value_cmp < 0) {
+    EXPECT_LT(enc_cmp, 0);
+  } else if (value_cmp == 0) {
+    EXPECT_EQ(enc_cmp, 0);
+  } else {
+    EXPECT_GT(enc_cmp, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, OrderedEncodingTest,
+    ::testing::Values(
+        std::pair<Value, Value>(Value(static_cast<int64_t>(-5)),
+                                Value(static_cast<int64_t>(3))),
+        std::pair<Value, Value>(Value(static_cast<int64_t>(-5)),
+                                Value(static_cast<int64_t>(-4))),
+        std::pair<Value, Value>(Value(static_cast<int64_t>(0)),
+                                Value(static_cast<int64_t>(0))),
+        std::pair<Value, Value>(Value(INT64_MIN), Value(INT64_MAX)),
+        std::pair<Value, Value>(Value(-1.5), Value(-1.4)),
+        std::pair<Value, Value>(Value(-0.1), Value(0.1)),
+        std::pair<Value, Value>(Value(1e300), Value(1e301)),
+        std::pair<Value, Value>(Value("a"), Value("ab")),
+        std::pair<Value, Value>(Value("ab"), Value("b")),
+        std::pair<Value, Value>(Value(std::string("a\0b", 3)),
+                                Value(std::string("a\0c", 3))),
+        std::pair<Value, Value>(Value(std::string("a\0", 2)),
+                                Value(std::string("a", 1))),
+        std::pair<Value, Value>(Value(), Value(static_cast<int64_t>(1)))));
+
+// Property: string encoding with embedded zeros round-trips ordering
+// against concatenation attacks ("a" + separator vs "a\0...").
+TEST(ValueTest, EncodedStringsDoNotCollideAcrossBoundaries) {
+  Value a("ab");
+  Value b("a");
+  std::string ea;
+  std::string eb;
+  a.EncodeOrdered(&ea);
+  b.EncodeOrdered(&eb);
+  EXPECT_NE(ea, eb);
+  EXPECT_FALSE(ea.substr(0, eb.size()) == eb && ea.size() > eb.size())
+      << "encoded 'a' must not be a strict prefix of encoded 'ab'";
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema schema({{"id", TypeId::kInt64}, {"name", TypeId::kString}});
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(*schema.ColumnIndex("name"), 1u);
+  EXPECT_TRUE(schema.ColumnIndex("missing").status().IsKeyError());
+  EXPECT_TRUE(schema.HasColumn("id"));
+  EXPECT_FALSE(schema.HasColumn("nope"));
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", TypeId::kInt64}});
+  Schema b({{"x", TypeId::kInt64}});
+  Schema c({{"x", TypeId::kString}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Schema schema({{"id", TypeId::kInt64},
+                 {"score", TypeId::kDouble},
+                 {"name", TypeId::kString},
+                 {"note", TypeId::kString}});
+  Tuple t({Value(static_cast<int64_t>(-42)), Value(3.25), Value("hello"),
+           Value()});
+  auto bytes = t.Serialize(schema);
+  ASSERT_TRUE(bytes.ok());
+  auto back = Tuple::Deserialize(schema, *bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleTest, SerializeRejectsArityMismatch) {
+  Schema schema({{"id", TypeId::kInt64}});
+  Tuple t({Value(static_cast<int64_t>(1)), Value("extra")});
+  EXPECT_TRUE(t.Serialize(schema).status().IsInvalid());
+}
+
+TEST(TupleTest, SerializeRejectsTypeMismatch) {
+  Schema schema({{"id", TypeId::kInt64}});
+  Tuple t({Value("not an int")});
+  EXPECT_TRUE(t.Serialize(schema).status().IsInvalid());
+}
+
+TEST(TupleTest, DeserializeRejectsTruncation) {
+  Schema schema({{"name", TypeId::kString}});
+  Tuple t({Value("hello world")});
+  std::string bytes = *t.Serialize(schema);
+  auto result = Tuple::Deserialize(schema, bytes.substr(0, bytes.size() - 3));
+  EXPECT_TRUE(result.status().IsInvalid());
+}
+
+TEST(TupleTest, DeserializeRejectsTrailingBytes) {
+  Schema schema({{"id", TypeId::kInt64}});
+  Tuple t({Value(static_cast<int64_t>(1))});
+  std::string bytes = *t.Serialize(schema) + "x";
+  EXPECT_TRUE(Tuple::Deserialize(schema, bytes).status().IsInvalid());
+}
+
+TEST(TupleTest, EmbeddedNulBytesSurvive) {
+  Schema schema({{"blob", TypeId::kString}});
+  Tuple t({Value(std::string("a\0b\0", 4))});
+  auto back = Tuple::Deserialize(schema, *t.Serialize(schema));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(0).AsString().size(), 4u);
+}
+
+}  // namespace
+}  // namespace qatk::db

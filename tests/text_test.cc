@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "text/language.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace qatk::text {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("radio turns off");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "radio");
+  EXPECT_EQ(tokens[1].text, "turns");
+  EXPECT_EQ(tokens[2].text, "off");
+  for (const Token& token : tokens) {
+    EXPECT_EQ(token.kind, TokenKind::kWord);
+  }
+}
+
+TEST(TokenizerTest, PunctuationBecomesSeparateTokens) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("defekt, durchgeschmort.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "defekt");
+  EXPECT_EQ(tokens[1].text, ",");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPunctuation);
+  EXPECT_EQ(tokens[2].text, "durchgeschmort");
+  EXPECT_EQ(tokens[3].text, ".");
+}
+
+TEST(TokenizerTest, OffsetsAreByteAccurate) {
+  Tokenizer t;
+  std::string input = "ab  cd.";
+  auto tokens = t.Tokenize(input);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 2u);
+  EXPECT_EQ(tokens[1].begin, 4u);
+  EXPECT_EQ(tokens[1].end, 6u);
+  EXPECT_EQ(tokens[2].begin, 6u);
+  EXPECT_EQ(tokens[2].end, 7u);
+  for (const Token& token : tokens) {
+    EXPECT_EQ(input.substr(token.begin, token.end - token.begin), token.text);
+  }
+}
+
+TEST(TokenizerTest, HyphenatedCompoundsSplit) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("Bremsen-Schlauch");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "Bremsen");
+  EXPECT_EQ(tokens[1].text, "-");
+  EXPECT_EQ(tokens[2].text, "Schlauch");
+}
+
+TEST(TokenizerTest, UmlautsStayInsideWords) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("Lüfter defekt");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "Lüfter");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  \t\n ").empty());
+}
+
+TEST(TokenizerTest, DigitsAreWordCharacters) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("id test470 ok");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "test470");
+}
+
+TEST(TokenizerTest, WordsNormalizedFoldsAndSkipsPunct) {
+  Tokenizer t;
+  auto words = t.WordsNormalized("Lüfter funktioniert NICHT!");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "luefter");
+  EXPECT_EQ(words[1], "funktioniert");
+  EXPECT_EQ(words[2], "nicht");
+}
+
+// Property: concatenating covered spans reconstructs all non-space bytes.
+class TokenizerRoundTripTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(TokenizerRoundTripTest, SpansCoverAllNonSpaceBytes) {
+  Tokenizer t;
+  const std::string& input = GetParam();
+  std::string reconstructed;
+  for (const Token& token : t.Tokenize(input)) {
+    reconstructed += input.substr(token.begin, token.end - token.begin);
+  }
+  std::string expected;
+  for (char c : input) {
+    if (!std::isspace(static_cast<unsigned char>(c))) expected += c;
+  }
+  EXPECT_EQ(reconstructed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, TokenizerRoundTripTest,
+    ::testing::Values(
+        "", "a", "...", "kleint says taht radio turns on",
+        "Lüfter funktioniert nicht. Kontakt defekt, durchgeschmort!",
+        "id test470, no clear results; sending on to supplier.",
+        "x-y-z 1.2.3 (foo)  [bar]"));
+
+// ---------------------------------------------------------------------------
+// Language detection
+// ---------------------------------------------------------------------------
+
+TEST(LanguageDetectorTest, DetectsGerman) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect(
+                "Der Lüfter funktioniert nicht mehr und das Steuergerät "
+                "wurde getauscht weil die Leitung defekt war"),
+            Language::kGerman);
+}
+
+TEST(LanguageDetectorTest, DetectsEnglish) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect(
+                "The customer states that the radio turns on and off by "
+                "itself with a crackling sound"),
+            Language::kEnglish);
+}
+
+TEST(LanguageDetectorTest, ShortInputIsUnknown) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect(""), Language::kUnknown);
+  EXPECT_EQ(detector.Detect("ok"), Language::kUnknown);
+}
+
+TEST(LanguageDetectorTest, MessyGermanStillDetected) {
+  LanguageDetector detector;
+  // Spelling errors and folded umlauts, as in the real reports.
+  EXPECT_EQ(detector.Detect(
+                "Luefter funktionirt nicht kontakt defekt durchgeschmort "
+                "bitte pruefen ob dichtung undicht"),
+            Language::kGerman);
+}
+
+TEST(LanguageDetectorTest, ScoresAreFiniteAndOrdered) {
+  LanguageDetector detector;
+  auto scores = detector.Score("the quick brown fox jumps over the fence");
+  EXPECT_LT(scores.english, scores.german);
+  auto scores_de = detector.Score(
+      "die schnelle braune katze springt ueber den zaun");
+  EXPECT_LT(scores_de.german, scores_de.english);
+}
+
+TEST(LanguageDetectorTest, NumericGibberishIsUnknown) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("4711 0815 9999 123456 77"), Language::kUnknown);
+}
+
+TEST(LanguageDetectorTest, CustomProfilesOverrideSeeds) {
+  // Train on swapped corpora: the detector must follow the training data,
+  // not the embedded seeds.
+  LanguageDetector swapped(
+      "the quick brown fox jumps over the lazy dog again and again",
+      "der schnelle braune fuchs springt immer wieder ueber den hund");
+  EXPECT_EQ(swapped.Detect("the quick brown fox jumps over the dog"),
+            Language::kGerman)
+      << "with swapped training corpora, English text scores as 'german'";
+}
+
+TEST(LanguageToStringTest, Codes) {
+  EXPECT_STREQ(LanguageToString(Language::kGerman), "de");
+  EXPECT_STREQ(LanguageToString(Language::kEnglish), "en");
+  EXPECT_STREQ(LanguageToString(Language::kUnknown), "unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Stopwords
+// ---------------------------------------------------------------------------
+
+TEST(StopwordFilterTest, GermanArticlesAndPronouns) {
+  StopwordFilter filter;
+  EXPECT_TRUE(filter.IsStopword("der"));
+  EXPECT_TRUE(filter.IsStopword("die"));
+  EXPECT_TRUE(filter.IsStopword("das"));
+  EXPECT_TRUE(filter.IsStopword("ich"));
+  EXPECT_TRUE(filter.IsStopword("es"));
+}
+
+TEST(StopwordFilterTest, EnglishArticlesAndPronouns) {
+  StopwordFilter filter;
+  EXPECT_TRUE(filter.IsStopword("the"));
+  EXPECT_TRUE(filter.IsStopword("a"));
+  EXPECT_TRUE(filter.IsStopword("it"));
+  EXPECT_TRUE(filter.IsStopword("they"));
+}
+
+TEST(StopwordFilterTest, ContentWordsPass) {
+  StopwordFilter filter;
+  EXPECT_FALSE(filter.IsStopword("luefter"));
+  EXPECT_FALSE(filter.IsStopword("brake"));
+  EXPECT_FALSE(filter.IsStopword("defekt"));
+  EXPECT_FALSE(filter.IsStopword("radio"));
+}
+
+TEST(StopwordFilterTest, FoldedFormsMatch) {
+  StopwordFilter filter;
+  // "für" folds to "fuer", "über" to "ueber".
+  EXPECT_TRUE(filter.IsStopword("fuer"));
+  EXPECT_TRUE(filter.IsStopword("ueber"));
+}
+
+TEST(StopwordFilterTest, HasBothLanguages) {
+  StopwordFilter filter;
+  EXPECT_GT(filter.size(), 80u);
+}
+
+}  // namespace
+}  // namespace qatk::text
