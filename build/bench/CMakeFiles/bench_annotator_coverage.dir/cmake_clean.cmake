@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotator_coverage.dir/bench_annotator_coverage.cc.o"
+  "CMakeFiles/bench_annotator_coverage.dir/bench_annotator_coverage.cc.o.d"
+  "bench_annotator_coverage"
+  "bench_annotator_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotator_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corpus_profile.dir/bench_corpus_profile.cc.o"
+  "CMakeFiles/bench_corpus_profile.dir/bench_corpus_profile.cc.o.d"
+  "bench_corpus_profile"
+  "bench_corpus_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corpus_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

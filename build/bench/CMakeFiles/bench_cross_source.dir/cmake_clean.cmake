@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cross_source.dir/bench_cross_source.cc.o"
+  "CMakeFiles/bench_cross_source.dir/bench_cross_source.cc.o.d"
+  "bench_cross_source"
+  "bench_cross_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cross_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expert_effort.dir/bench_expert_effort.cc.o"
+  "CMakeFiles/bench_expert_effort.dir/bench_expert_effort.cc.o.d"
+  "bench_expert_effort"
+  "bench_expert_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expert_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_supplier_only.cc" "bench/CMakeFiles/bench_fig13_supplier_only.dir/bench_fig13_supplier_only.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_supplier_only.dir/bench_fig13_supplier_only.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qatk_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/qatk_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qatk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/qatk_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qatk_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/qatk_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cas/CMakeFiles/qatk_cas.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qatk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_comparison.dir/market_comparison.cpp.o"
+  "CMakeFiles/market_comparison.dir/market_comparison.cpp.o.d"
+  "market_comparison"
+  "market_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdb_shell.dir/qdb_shell.cpp.o"
+  "CMakeFiles/qdb_shell.dir/qdb_shell.cpp.o.d"
+  "qdb_shell"
+  "qdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

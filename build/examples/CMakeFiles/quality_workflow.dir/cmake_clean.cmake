@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_workflow.dir/quality_workflow.cpp.o"
+  "CMakeFiles/quality_workflow.dir/quality_workflow.cpp.o.d"
+  "quality_workflow"
+  "quality_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_cli.dir/quest_cli.cpp.o"
+  "CMakeFiles/quest_cli.dir/quest_cli.cpp.o.d"
+  "quest_cli"
+  "quest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cas/annotators.cc" "src/cas/CMakeFiles/qatk_cas.dir/annotators.cc.o" "gcc" "src/cas/CMakeFiles/qatk_cas.dir/annotators.cc.o.d"
+  "/root/repo/src/cas/cas.cc" "src/cas/CMakeFiles/qatk_cas.dir/cas.cc.o" "gcc" "src/cas/CMakeFiles/qatk_cas.dir/cas.cc.o.d"
+  "/root/repo/src/cas/pipeline.cc" "src/cas/CMakeFiles/qatk_cas.dir/pipeline.cc.o" "gcc" "src/cas/CMakeFiles/qatk_cas.dir/pipeline.cc.o.d"
+  "/root/repo/src/cas/xmi.cc" "src/cas/CMakeFiles/qatk_cas.dir/xmi.cc.o" "gcc" "src/cas/CMakeFiles/qatk_cas.dir/xmi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qatk_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_cas.dir/annotators.cc.o"
+  "CMakeFiles/qatk_cas.dir/annotators.cc.o.d"
+  "CMakeFiles/qatk_cas.dir/cas.cc.o"
+  "CMakeFiles/qatk_cas.dir/cas.cc.o.d"
+  "CMakeFiles/qatk_cas.dir/pipeline.cc.o"
+  "CMakeFiles/qatk_cas.dir/pipeline.cc.o.d"
+  "CMakeFiles/qatk_cas.dir/xmi.cc.o"
+  "CMakeFiles/qatk_cas.dir/xmi.cc.o.d"
+  "libqatk_cas.a"
+  "libqatk_cas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_cas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

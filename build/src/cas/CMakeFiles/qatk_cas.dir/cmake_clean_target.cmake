@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqatk_cas.a"
+)

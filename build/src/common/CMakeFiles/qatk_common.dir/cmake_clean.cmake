@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_common.dir/csv.cc.o"
+  "CMakeFiles/qatk_common.dir/csv.cc.o.d"
+  "CMakeFiles/qatk_common.dir/rng.cc.o"
+  "CMakeFiles/qatk_common.dir/rng.cc.o.d"
+  "CMakeFiles/qatk_common.dir/status.cc.o"
+  "CMakeFiles/qatk_common.dir/status.cc.o.d"
+  "CMakeFiles/qatk_common.dir/strutil.cc.o"
+  "CMakeFiles/qatk_common.dir/strutil.cc.o.d"
+  "CMakeFiles/qatk_common.dir/xml.cc.o"
+  "CMakeFiles/qatk_common.dir/xml.cc.o.d"
+  "libqatk_common.a"
+  "libqatk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_core.dir/baselines.cc.o"
+  "CMakeFiles/qatk_core.dir/baselines.cc.o.d"
+  "CMakeFiles/qatk_core.dir/classifier.cc.o"
+  "CMakeFiles/qatk_core.dir/classifier.cc.o.d"
+  "CMakeFiles/qatk_core.dir/similarity.cc.o"
+  "CMakeFiles/qatk_core.dir/similarity.cc.o.d"
+  "libqatk_core.a"
+  "libqatk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

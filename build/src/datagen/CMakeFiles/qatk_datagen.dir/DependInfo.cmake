@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/nhtsa.cc" "src/datagen/CMakeFiles/qatk_datagen.dir/nhtsa.cc.o" "gcc" "src/datagen/CMakeFiles/qatk_datagen.dir/nhtsa.cc.o.d"
+  "/root/repo/src/datagen/noise.cc" "src/datagen/CMakeFiles/qatk_datagen.dir/noise.cc.o" "gcc" "src/datagen/CMakeFiles/qatk_datagen.dir/noise.cc.o.d"
+  "/root/repo/src/datagen/oem.cc" "src/datagen/CMakeFiles/qatk_datagen.dir/oem.cc.o" "gcc" "src/datagen/CMakeFiles/qatk_datagen.dir/oem.cc.o.d"
+  "/root/repo/src/datagen/wordgen.cc" "src/datagen/CMakeFiles/qatk_datagen.dir/wordgen.cc.o" "gcc" "src/datagen/CMakeFiles/qatk_datagen.dir/wordgen.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/qatk_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/qatk_datagen.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qatk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/qatk_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/qatk_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cas/CMakeFiles/qatk_cas.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qatk_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

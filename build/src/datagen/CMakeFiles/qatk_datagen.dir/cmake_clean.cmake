@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_datagen.dir/nhtsa.cc.o"
+  "CMakeFiles/qatk_datagen.dir/nhtsa.cc.o.d"
+  "CMakeFiles/qatk_datagen.dir/noise.cc.o"
+  "CMakeFiles/qatk_datagen.dir/noise.cc.o.d"
+  "CMakeFiles/qatk_datagen.dir/oem.cc.o"
+  "CMakeFiles/qatk_datagen.dir/oem.cc.o.d"
+  "CMakeFiles/qatk_datagen.dir/wordgen.cc.o"
+  "CMakeFiles/qatk_datagen.dir/wordgen.cc.o.d"
+  "CMakeFiles/qatk_datagen.dir/world.cc.o"
+  "CMakeFiles/qatk_datagen.dir/world.cc.o.d"
+  "libqatk_datagen.a"
+  "libqatk_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_eval.dir/evaluator.cc.o"
+  "CMakeFiles/qatk_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/qatk_eval.dir/folds.cc.o"
+  "CMakeFiles/qatk_eval.dir/folds.cc.o.d"
+  "CMakeFiles/qatk_eval.dir/metrics.cc.o"
+  "CMakeFiles/qatk_eval.dir/metrics.cc.o.d"
+  "libqatk_eval.a"
+  "libqatk_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/corpus_io.cc" "src/kb/CMakeFiles/qatk_kb.dir/corpus_io.cc.o" "gcc" "src/kb/CMakeFiles/qatk_kb.dir/corpus_io.cc.o.d"
+  "/root/repo/src/kb/data_bundle.cc" "src/kb/CMakeFiles/qatk_kb.dir/data_bundle.cc.o" "gcc" "src/kb/CMakeFiles/qatk_kb.dir/data_bundle.cc.o.d"
+  "/root/repo/src/kb/features.cc" "src/kb/CMakeFiles/qatk_kb.dir/features.cc.o" "gcc" "src/kb/CMakeFiles/qatk_kb.dir/features.cc.o.d"
+  "/root/repo/src/kb/kb_store.cc" "src/kb/CMakeFiles/qatk_kb.dir/kb_store.cc.o" "gcc" "src/kb/CMakeFiles/qatk_kb.dir/kb_store.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/qatk_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/qatk_kb.dir/knowledge_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qatk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/cas/CMakeFiles/qatk_cas.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/qatk_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qatk_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_kb.dir/corpus_io.cc.o"
+  "CMakeFiles/qatk_kb.dir/corpus_io.cc.o.d"
+  "CMakeFiles/qatk_kb.dir/data_bundle.cc.o"
+  "CMakeFiles/qatk_kb.dir/data_bundle.cc.o.d"
+  "CMakeFiles/qatk_kb.dir/features.cc.o"
+  "CMakeFiles/qatk_kb.dir/features.cc.o.d"
+  "CMakeFiles/qatk_kb.dir/kb_store.cc.o"
+  "CMakeFiles/qatk_kb.dir/kb_store.cc.o.d"
+  "CMakeFiles/qatk_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/qatk_kb.dir/knowledge_base.cc.o.d"
+  "libqatk_kb.a"
+  "libqatk_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_quest.dir/comparison.cc.o"
+  "CMakeFiles/qatk_quest.dir/comparison.cc.o.d"
+  "CMakeFiles/qatk_quest.dir/recommendation_service.cc.o"
+  "CMakeFiles/qatk_quest.dir/recommendation_service.cc.o.d"
+  "libqatk_quest.a"
+  "libqatk_quest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_quest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

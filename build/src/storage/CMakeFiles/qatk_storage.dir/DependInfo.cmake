@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cc" "src/storage/CMakeFiles/qatk_storage.dir/bptree.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/bptree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/qatk_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/qatk_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/qatk_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/executor.cc" "src/storage/CMakeFiles/qatk_storage.dir/executor.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/executor.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/storage/CMakeFiles/qatk_storage.dir/heap_table.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/heap_table.cc.o.d"
+  "/root/repo/src/storage/predicate.cc" "src/storage/CMakeFiles/qatk_storage.dir/predicate.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/predicate.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/qatk_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/sql.cc" "src/storage/CMakeFiles/qatk_storage.dir/sql.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/sql.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/qatk_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/qatk_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/value.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/qatk_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/qatk_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

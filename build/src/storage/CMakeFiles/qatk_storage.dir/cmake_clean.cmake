@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_storage.dir/bptree.cc.o"
+  "CMakeFiles/qatk_storage.dir/bptree.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/qatk_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/database.cc.o"
+  "CMakeFiles/qatk_storage.dir/database.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/qatk_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/executor.cc.o"
+  "CMakeFiles/qatk_storage.dir/executor.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/heap_table.cc.o"
+  "CMakeFiles/qatk_storage.dir/heap_table.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/predicate.cc.o"
+  "CMakeFiles/qatk_storage.dir/predicate.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/schema.cc.o"
+  "CMakeFiles/qatk_storage.dir/schema.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/sql.cc.o"
+  "CMakeFiles/qatk_storage.dir/sql.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/tuple.cc.o"
+  "CMakeFiles/qatk_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/value.cc.o"
+  "CMakeFiles/qatk_storage.dir/value.cc.o.d"
+  "CMakeFiles/qatk_storage.dir/wal.cc.o"
+  "CMakeFiles/qatk_storage.dir/wal.cc.o.d"
+  "libqatk_storage.a"
+  "libqatk_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

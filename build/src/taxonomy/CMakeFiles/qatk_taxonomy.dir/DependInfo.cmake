@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/concept_annotator.cc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/concept_annotator.cc.o" "gcc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/concept_annotator.cc.o.d"
+  "/root/repo/src/taxonomy/extender.cc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/extender.cc.o" "gcc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/extender.cc.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/taxonomy.cc.o" "gcc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/taxonomy.cc.o.d"
+  "/root/repo/src/taxonomy/trie.cc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/trie.cc.o" "gcc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/trie.cc.o.d"
+  "/root/repo/src/taxonomy/xml.cc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/xml.cc.o" "gcc" "src/taxonomy/CMakeFiles/qatk_taxonomy.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qatk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/qatk_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/cas/CMakeFiles/qatk_cas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

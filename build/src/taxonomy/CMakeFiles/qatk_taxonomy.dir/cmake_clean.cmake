@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_taxonomy.dir/concept_annotator.cc.o"
+  "CMakeFiles/qatk_taxonomy.dir/concept_annotator.cc.o.d"
+  "CMakeFiles/qatk_taxonomy.dir/extender.cc.o"
+  "CMakeFiles/qatk_taxonomy.dir/extender.cc.o.d"
+  "CMakeFiles/qatk_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/qatk_taxonomy.dir/taxonomy.cc.o.d"
+  "CMakeFiles/qatk_taxonomy.dir/trie.cc.o"
+  "CMakeFiles/qatk_taxonomy.dir/trie.cc.o.d"
+  "CMakeFiles/qatk_taxonomy.dir/xml.cc.o"
+  "CMakeFiles/qatk_taxonomy.dir/xml.cc.o.d"
+  "libqatk_taxonomy.a"
+  "libqatk_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

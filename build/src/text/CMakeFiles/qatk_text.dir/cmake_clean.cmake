@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qatk_text.dir/language.cc.o"
+  "CMakeFiles/qatk_text.dir/language.cc.o.d"
+  "CMakeFiles/qatk_text.dir/stemmer.cc.o"
+  "CMakeFiles/qatk_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/qatk_text.dir/stopwords.cc.o"
+  "CMakeFiles/qatk_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/qatk_text.dir/tokenizer.cc.o"
+  "CMakeFiles/qatk_text.dir/tokenizer.cc.o.d"
+  "libqatk_text.a"
+  "libqatk_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qatk_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cas_testing_test.dir/cas_testing_test.cc.o"
+  "CMakeFiles/cas_testing_test.dir/cas_testing_test.cc.o.d"
+  "cas_testing_test"
+  "cas_testing_test.pdb"
+  "cas_testing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cas_testing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

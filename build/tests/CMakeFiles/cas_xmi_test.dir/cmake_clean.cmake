@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cas_xmi_test.dir/cas_xmi_test.cc.o"
+  "CMakeFiles/cas_xmi_test.dir/cas_xmi_test.cc.o.d"
+  "cas_xmi_test"
+  "cas_xmi_test.pdb"
+  "cas_xmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cas_xmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extender_test.dir/extender_test.cc.o"
+  "CMakeFiles/extender_test.dir/extender_test.cc.o.d"
+  "extender_test"
+  "extender_test.pdb"
+  "extender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

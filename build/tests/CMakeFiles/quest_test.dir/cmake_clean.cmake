@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_test.dir/quest_test.cc.o"
+  "CMakeFiles/quest_test.dir/quest_test.cc.o.d"
+  "quest_test"
+  "quest_test.pdb"
+  "quest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

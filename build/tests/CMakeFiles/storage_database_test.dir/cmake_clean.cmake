@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_database_test.dir/storage_database_test.cc.o"
+  "CMakeFiles/storage_database_test.dir/storage_database_test.cc.o.d"
+  "storage_database_test"
+  "storage_database_test.pdb"
+  "storage_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

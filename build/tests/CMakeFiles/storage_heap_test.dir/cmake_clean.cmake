@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_heap_test.dir/storage_heap_test.cc.o"
+  "CMakeFiles/storage_heap_test.dir/storage_heap_test.cc.o.d"
+  "storage_heap_test"
+  "storage_heap_test.pdb"
+  "storage_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_sql_test.dir/storage_sql_test.cc.o"
+  "CMakeFiles/storage_sql_test.dir/storage_sql_test.cc.o.d"
+  "storage_sql_test"
+  "storage_sql_test.pdb"
+  "storage_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

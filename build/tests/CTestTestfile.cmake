@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_value_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_bptree_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_database_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/cas_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/quest_test[1]_include.cmake")
+include("/root/repo/build/tests/stemmer_test[1]_include.cmake")
+include("/root/repo/build/tests/extender_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_wal_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cas_xmi_test[1]_include.cmake")
+include("/root/repo/build/tests/cas_testing_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_io_test[1]_include.cmake")
