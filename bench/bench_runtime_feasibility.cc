@@ -8,14 +8,28 @@
 // plus "removing stopwords ... has no impact on the accuracy of
 // classification, but shortens the runtime".
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "datagen/oem.h"
 #include "datagen/world.h"
 #include "eval/evaluator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // --threads=N runs the scaling table up to N workers (default 4).
+  size_t max_threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      max_threads = static_cast<size_t>(std::atol(argv[i] + 10));
+      if (max_threads == 0) max_threads = qatk::ThreadPool::DefaultThreads();
+    }
+  }
+
   qatk::datagen::DomainWorld world;
   qatk::datagen::OemCorpusGenerator generator(&world);
   qatk::kb::Corpus corpus = generator.Generate();
@@ -62,5 +76,30 @@ int main() {
               bow_us / boc_us);
   std::printf("(shape check: BoC fastest; stopword removal speeds up BoW "
               "without changing accuracy)\n");
+
+  // Thread-scaling table: same evaluation end-to-end (feature extraction +
+  // CV) at increasing EvalConfig::threads. Accuracy is identical at every
+  // thread count; only wall-clock changes.
+  std::printf("\nthread scaling, full evaluation (extraction + %zu-fold CV), "
+              "%zu hardware threads\n",
+              config.folds, qatk::ThreadPool::DefaultThreads());
+  std::printf("%8s %10s %14s %9s\n", "threads", "wall s", "bundles/s",
+              "speedup");
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
+  double base_seconds = 0;
+  for (size_t t : thread_counts) {
+    config.threads = t;
+    auto start = std::chrono::steady_clock::now();
+    auto scaled = evaluator.Run(config);
+    auto end = std::chrono::steady_clock::now();
+    scaled.status().Abort();
+    double seconds = std::chrono::duration<double>(end - start).count();
+    if (t == 1) base_seconds = seconds;
+    std::printf("%8zu %10.2f %14.0f %8.2fx\n", t, seconds,
+                static_cast<double>(scaled->learnable_bundles) / seconds,
+                base_seconds / seconds);
+  }
   return 0;
 }

@@ -1,0 +1,69 @@
+#ifndef QATK_COMMON_THREAD_POOL_H_
+#define QATK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qatk {
+
+/// \brief Fixed-size worker pool for CPU-bound fan-out (parallel feature
+/// extraction, per-fold cross-validation, concurrent serving benchmarks).
+///
+/// Tasks are plain `void()` callables; error propagation happens through
+/// captured per-task slots (the codebase's Status/Result values), never
+/// exceptions. One controller thread submits and waits; workers never
+/// submit tasks themselves.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means DefaultThreads().
+  explicit ThreadPool(size_t threads);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreads();
+
+  /// Runs fn(0) .. fn(n-1), distributing indices dynamically over the
+  /// workers. Each index runs exactly once; order across workers is
+  /// unspecified. Blocks until every index completed.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief One-shot helper: runs fn(0) .. fn(n-1) on up to `threads`
+/// workers. With threads <= 1 (or n <= 1) everything runs inline on the
+/// calling thread in index order — the exact sequential code path, which
+/// is what makes "parallel == sequential" assertions meaningful.
+void ParallelFor(size_t threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_THREAD_POOL_H_

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/classifier.h"
 #include "eval/folds.h"
@@ -30,6 +31,16 @@ struct CurveStats {
   double seconds = 0;
   size_t candidates = 0;
   size_t calls = 0;
+};
+
+/// Identifies one accuracy curve: variant (or baseline) name + probe mask.
+struct CurveKey {
+  std::string name;
+  unsigned mask;
+  bool operator<(const CurveKey& other) const {
+    if (name != other.name) return name < other.name;
+    return mask < other.mask;
+  }
 };
 
 using Clock = std::chrono::steady_clock;
@@ -64,12 +75,19 @@ std::string EvalReport::FormatTable(unsigned probe_mask) const {
   out << "Experiment [" << MaskName(probe_mask) << "], " << learnable_bundles
       << " bundles, " << distinct_learnable_codes << " classes, ~"
       << static_cast<size_t>(mean_test_fold_size) << " test bundles/fold\n";
-  out << "  " << std::string(36, ' ');
+  // Size the name column from the longest curve name so nothing truncates
+  // and the accuracy columns stay aligned.
+  std::vector<const CurveResult*> rows = CurvesFor(probe_mask);
+  size_t name_width = 38;
+  for (const CurveResult* curve : rows) {
+    name_width = std::max(name_width, curve->name.size());
+  }
+  out << "  " << std::string(name_width - 2, ' ');
   for (size_t k : ks) out << "  A@" << k << (k < 10 ? " " : "");
   out << "  MRR     us/bundle  candidates\n";
-  for (const CurveResult* curve : CurvesFor(probe_mask)) {
+  for (const CurveResult* curve : rows) {
     std::string name = curve->name;
-    name.resize(38, ' ');
+    name.resize(name_width, ' ');
     out << name;
     for (size_t i = 0; i < ks.size(); ++i) {
       out << " " << FormatDouble(curve->accuracy_at[i], 3);
@@ -103,67 +121,107 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
     }
   }
 
+  const size_t threads =
+      config.threads == 0 ? ThreadPool::DefaultThreads() : config.threads;
+
   // ------------------------------------------- feature extraction (global)
   // For each model: per-bundle features for the train mask and for every
   // probe mask. One global vocabulary per model: interning is pure
   // representation (no label information flows through it).
+  //
+  // Two phases so the hot part parallelizes without changing results: the
+  // annotation pipelines run per-bundle on worker threads (each worker
+  // owns its own extractor — pipelines carry timing state), then the
+  // mentions are interned sequentially in bundle order, which reproduces
+  // the exact vocabulary a single-threaded Extract pass would build.
   struct ModelFeatures {
     std::vector<std::vector<int64_t>> train;               // [bundle]
     std::map<unsigned, std::vector<std::vector<int64_t>>> probe;  // [mask]
   };
+  struct BundleTerms {
+    kb::TermMentions train;
+    std::map<unsigned, kb::TermMentions> probe;
+  };
+  const size_t num_bundles = bundles.size();
   std::map<kb::FeatureModel, ModelFeatures> features;
   std::map<kb::FeatureModel, kb::FeatureVocabulary> vocabularies;
   for (kb::FeatureModel model : models) {
+    std::vector<BundleTerms> terms(num_bundles);
+    const size_t workers = std::min(threads, num_bundles);
+    std::vector<Status> worker_status(workers, Status::OK());
+    ParallelFor(threads, workers, [&](size_t w) {
+      kb::FeatureVocabulary scratch;  // ExtractTerms never touches it.
+      kb::FeatureExtractor extractor(model, taxonomy_, &scratch);
+      const size_t begin = w * num_bundles / workers;
+      const size_t end = (w + 1) * num_bundles / workers;
+      for (size_t i = begin; i < end; ++i) {
+        auto train = extractor.ExtractTerms(
+            kb::ComposeDocument(*bundles[i], config.train_mask, *corpus_));
+        if (!train.ok()) {
+          worker_status[w] = train.status();
+          return;
+        }
+        terms[i].train = std::move(*train);
+        for (unsigned mask : config.probe_masks) {
+          auto probe = extractor.ExtractTerms(
+              kb::ComposeDocument(*bundles[i], mask, *corpus_));
+          if (!probe.ok()) {
+            worker_status[w] = probe.status();
+            return;
+          }
+          terms[i].probe[mask] = std::move(*probe);
+        }
+      }
+    });
+    for (const Status& status : worker_status) QATK_RETURN_NOT_OK(status);
+
     kb::FeatureVocabulary& vocabulary = vocabularies[model];
-    kb::FeatureExtractor extractor(model, taxonomy_, &vocabulary);
     ModelFeatures mf;
-    mf.train.reserve(bundles.size());
+    mf.train.reserve(num_bundles);
     for (unsigned mask : config.probe_masks) {
-      mf.probe[mask].reserve(bundles.size());
+      mf.probe[mask].reserve(num_bundles);
     }
-    for (const kb::DataBundle* bundle : bundles) {
-      QATK_ASSIGN_OR_RETURN(
-          std::vector<int64_t> train_features,
-          extractor.Extract(
-              kb::ComposeDocument(*bundle, config.train_mask, *corpus_)));
-      mf.train.push_back(std::move(train_features));
+    for (size_t i = 0; i < num_bundles; ++i) {
+      mf.train.push_back(
+          kb::InternMentions(model, terms[i].train, &vocabulary));
       for (unsigned mask : config.probe_masks) {
-        QATK_ASSIGN_OR_RETURN(
-            std::vector<int64_t> probe_features,
-            extractor.Extract(kb::ComposeDocument(*bundle, mask, *corpus_)));
-        mf.probe[mask].push_back(std::move(probe_features));
+        mf.probe[mask].push_back(
+            kb::InternMentions(model, terms[i].probe[mask], &vocabulary));
       }
     }
     features.emplace(model, std::move(mf));
   }
 
-  // ------------------------------------------------------- accumulators
-  struct CurveKey {
-    std::string name;
-    unsigned mask;
-    bool operator<(const CurveKey& other) const {
-      if (name != other.name) return name < other.name;
-      return mask < other.mask;
-    }
-  };
-  std::map<CurveKey, FoldedAccuracy> accuracy;
-  std::map<CurveKey, CurveStats> stats;
-  auto curve = [&](const std::string& name, unsigned mask) -> FoldedAccuracy& {
-    CurveKey key{name, mask};
-    auto it = accuracy.find(key);
-    if (it == accuracy.end()) {
-      it = accuracy.emplace(key, FoldedAccuracy(config.ks, config.folds))
-               .first;
-    }
-    return it->second;
-  };
-
   // ------------------------------------------------------------- CV loop
-  for (size_t fold = 0; fold < config.folds; ++fold) {
+  // Folds are independent given the features: each fold worker builds its
+  // own knowledge bases and accumulates into fold-local maps, merged in
+  // fold order below. A fold-local FoldedAccuracy populates only its own
+  // fold slot, so the merge is exact (integer hits plus 0.0-initialized
+  // reciprocal sums) and the report matches the sequential path bit for
+  // bit.
+  struct FoldAccums {
+    std::map<CurveKey, FoldedAccuracy> accuracy;
+    std::map<CurveKey, CurveStats> stats;
+  };
+  std::vector<FoldAccums> fold_accums(config.folds);
+  ParallelFor(threads, config.folds, [&](size_t fold) {
+    FoldAccums& local = fold_accums[fold];
+    auto curve = [&](const std::string& name,
+                     unsigned mask) -> FoldedAccuracy& {
+      CurveKey key{name, mask};
+      auto it = local.accuracy.find(key);
+      if (it == local.accuracy.end()) {
+        it = local.accuracy
+                 .emplace(key, FoldedAccuracy(config.ks, config.folds))
+                 .first;
+      }
+      return it->second;
+    };
+
     // Train phase: knowledge bases per model + frequency baseline.
     std::map<kb::FeatureModel, kb::KnowledgeBase> kbs;
     core::CodeFrequencyBaseline freq_baseline;
-    for (size_t i = 0; i < bundles.size(); ++i) {
+    for (size_t i = 0; i < num_bundles; ++i) {
       if (fold_of[i] == fold) continue;  // Held out.
       freq_baseline.AddObservation(bundles[i]->part_id,
                                    bundles[i]->error_code);
@@ -175,7 +233,7 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
 
     // Test phase.
     core::CandidateSetBaseline candidate_baseline;
-    for (size_t i = 0; i < bundles.size(); ++i) {
+    for (size_t i = 0; i < num_bundles; ++i) {
       if (fold_of[i] != fold) continue;
       const kb::DataBundle& bundle = *bundles[i];
 
@@ -205,7 +263,7 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
 
           curve(variant.Name(), mask)
               .Observe(fold, core::RankOf(ranked, bundle.error_code));
-          CurveStats& cs = stats[CurveKey{variant.Name(), mask}];
+          CurveStats& cs = local.stats[CurveKey{variant.Name(), mask}];
           cs.seconds += std::chrono::duration<double>(end - start).count();
           cs.candidates += candidates.size();
           ++cs.calls;
@@ -224,6 +282,26 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
           }
         }
       }
+    }
+  });
+
+  // Merge fold-local accumulators in fold order.
+  std::map<CurveKey, FoldedAccuracy> accuracy;
+  std::map<CurveKey, CurveStats> stats;
+  for (FoldAccums& local : fold_accums) {
+    for (auto& [key, folded] : local.accuracy) {
+      auto it = accuracy.find(key);
+      if (it == accuracy.end()) {
+        accuracy.emplace(key, std::move(folded));
+      } else {
+        QATK_RETURN_NOT_OK(it->second.Merge(folded));
+      }
+    }
+    for (const auto& [key, cs] : local.stats) {
+      CurveStats& merged = stats[key];
+      merged.seconds += cs.seconds;
+      merged.candidates += cs.candidates;
+      merged.calls += cs.calls;
     }
   }
 

@@ -41,6 +41,11 @@ struct EvalConfig {
   };
   bool include_frequency_baseline = true;
   bool include_candidate_baseline = true;
+  /// Worker threads for feature extraction and the per-fold CV loop;
+  /// 1 = fully sequential, 0 = hardware concurrency. Accuracy and MRR are
+  /// identical for every value (per-fold accumulators merge exactly, see
+  /// FoldedAccuracy::Merge); only wall-clock and the timing columns vary.
+  size_t threads = 1;
 };
 
 /// One accuracy curve of the final report.

@@ -76,6 +76,20 @@ double FoldedAccuracy::MeanReciprocalRank() const {
   return populated == 0 ? 0.0 : sum / static_cast<double>(populated);
 }
 
+Status FoldedAccuracy::Merge(const FoldedAccuracy& other) {
+  if (other.ks_ != ks_) {
+    return Status::Invalid("cannot merge folded accuracies with different ks");
+  }
+  if (other.folds_.size() != folds_.size()) {
+    return Status::Invalid(
+        "cannot merge folded accuracies with different fold counts");
+  }
+  for (size_t f = 0; f < folds_.size(); ++f) {
+    QATK_RETURN_NOT_OK(folds_[f].Merge(other.folds_[f]));
+  }
+  return Status::OK();
+}
+
 double FoldedAccuracy::MeanFoldSize() const {
   double sum = 0;
   for (const AccuracyAccumulator& fold : folds_) {

@@ -60,6 +60,13 @@ class FoldedAccuracy {
   /// Mean over folds of the per-fold mean reciprocal rank.
   double MeanReciprocalRank() const;
 
+  /// Fold-wise accumulation of another FoldedAccuracy (same ks, same fold
+  /// count). Lets per-fold workers accumulate locally and merge once: a
+  /// worker that only observed fold f contributes exact zeros everywhere
+  /// else, so the merged result is bit-identical to sequential
+  /// accumulation.
+  Status Merge(const FoldedAccuracy& other);
+
   const std::vector<size_t>& ks() const { return ks_; }
 
  private:

@@ -66,45 +66,77 @@ std::vector<std::pair<std::string, int64_t>> FeatureVocabulary::Entries()
   return out;
 }
 
+namespace {
+
+cas::Pipeline BuildPipeline(FeatureModel model, const tax::Taxonomy* taxonomy) {
+  cas::Pipeline pipeline;
+  pipeline.Add(std::make_unique<cas::TokenizerAnnotator>());
+  switch (model) {
+    case FeatureModel::kBagOfWords:
+      break;
+    case FeatureModel::kBagOfWordsNoStop:
+      pipeline.Add(std::make_unique<cas::StopwordAnnotator>());
+      break;
+    case FeatureModel::kBagOfStems:
+      pipeline.Add(std::make_unique<cas::LanguageAnnotator>());
+      pipeline.Add(std::make_unique<cas::StemmerAnnotator>());
+      pipeline.Add(std::make_unique<cas::StopwordAnnotator>());
+      break;
+    case FeatureModel::kBagOfConcepts:
+      QATK_CHECK(taxonomy != nullptr)
+          << "bag-of-concepts needs a taxonomy";
+      pipeline.Add(std::make_unique<tax::TrieConceptAnnotator>(*taxonomy));
+      break;
+  }
+  return pipeline;
+}
+
+}  // namespace
+
 FeatureExtractor::FeatureExtractor(FeatureModel model,
                                    const tax::Taxonomy* taxonomy,
                                    FeatureVocabulary* vocabulary,
                                    bool frozen_vocabulary)
     : model_(model),
       vocabulary_(vocabulary),
-      frozen_vocabulary_(frozen_vocabulary) {
-  pipeline_.Add(std::make_unique<cas::TokenizerAnnotator>());
-  switch (model) {
-    case FeatureModel::kBagOfWords:
-      break;
-    case FeatureModel::kBagOfWordsNoStop:
-      pipeline_.Add(std::make_unique<cas::StopwordAnnotator>());
-      break;
-    case FeatureModel::kBagOfStems:
-      pipeline_.Add(std::make_unique<cas::LanguageAnnotator>());
-      pipeline_.Add(std::make_unique<cas::StemmerAnnotator>());
-      pipeline_.Add(std::make_unique<cas::StopwordAnnotator>());
-      break;
-    case FeatureModel::kBagOfConcepts:
-      QATK_CHECK(taxonomy != nullptr)
-          << "bag-of-concepts needs a taxonomy";
-      pipeline_.Add(std::make_unique<tax::TrieConceptAnnotator>(*taxonomy));
-      break;
-  }
+      mutable_vocabulary_(vocabulary),
+      frozen_vocabulary_(frozen_vocabulary),
+      pipeline_(BuildPipeline(model, taxonomy)) {
   QATK_CHECK(vocabulary_ != nullptr) << "vocabulary must be provided";
+}
+
+FeatureExtractor::FeatureExtractor(FeatureModel model,
+                                   const tax::Taxonomy* taxonomy,
+                                   const FeatureVocabulary* vocabulary)
+    : model_(model),
+      vocabulary_(vocabulary),
+      mutable_vocabulary_(nullptr),
+      frozen_vocabulary_(true),
+      pipeline_(BuildPipeline(model, taxonomy)) {
+  QATK_CHECK(vocabulary_ != nullptr) << "vocabulary must be provided";
+}
+
+void FeatureExtractor::set_frozen_vocabulary(bool frozen) {
+  QATK_CHECK(frozen || mutable_vocabulary_ != nullptr)
+      << "cannot unfreeze an extractor over a const vocabulary";
+  frozen_vocabulary_ = frozen;
 }
 
 Result<std::vector<int64_t>> FeatureExtractor::Extract(
     const std::string& document) {
+  QATK_ASSIGN_OR_RETURN(TermMentions mentions, ExtractTerms(document));
+  return Resolve(mentions);
+}
+
+Result<TermMentions> FeatureExtractor::ExtractTerms(
+    const std::string& document) {
   cas::Cas c(document);
   QATK_RETURN_NOT_OK(pipeline_.Process(&c));
 
-  std::vector<int64_t> features;
-  last_mention_count_ = 0;
+  TermMentions mentions;
   if (model_ == FeatureModel::kBagOfConcepts) {
     for (const cas::Annotation* a : c.Select(cas::types::kConcept)) {
-      features.push_back(a->GetInt(cas::types::kFeatureConceptId));
-      ++last_mention_count_;
+      mentions.concept_ids.push_back(a->GetInt(cas::types::kFeatureConceptId));
     }
   } else {
     bool filter_stop = model_ == FeatureModel::kBagOfWordsNoStop ||
@@ -116,20 +148,56 @@ Result<std::vector<int64_t>> FeatureExtractor::Extract(
           token->GetInt(cas::types::kFeatureStopword) == 1) {
         continue;
       }
-      std::string word(token->GetString(
+      mentions.words.emplace_back(token->GetString(
           use_stem ? cas::types::kFeatureStem : cas::types::kFeatureNorm));
-      int64_t id = frozen_vocabulary_ ? vocabulary_->Lookup(word)
-                                      : vocabulary_->Intern(word);
+    }
+  }
+  return mentions;
+}
+
+namespace {
+
+/// `intern` null means frozen: unknown words are dropped via `lookup`.
+std::vector<int64_t> ResolveImpl(FeatureModel model,
+                                 const TermMentions& mentions,
+                                 const FeatureVocabulary* lookup,
+                                 FeatureVocabulary* intern,
+                                 size_t* mention_count) {
+  std::vector<int64_t> features;
+  size_t mentions_resolved = 0;
+  if (model == FeatureModel::kBagOfConcepts) {
+    features = mentions.concept_ids;
+    mentions_resolved = features.size();
+  } else {
+    features.reserve(mentions.words.size());
+    for (const std::string& word : mentions.words) {
+      int64_t id = intern != nullptr ? intern->Intern(word)
+                                     : lookup->Lookup(word);
       if (id >= 0) {
         features.push_back(id);
-        ++last_mention_count_;
+        ++mentions_resolved;
       }
     }
   }
   std::sort(features.begin(), features.end());
   features.erase(std::unique(features.begin(), features.end()),
                  features.end());
+  if (mention_count != nullptr) *mention_count = mentions_resolved;
   return features;
+}
+
+}  // namespace
+
+std::vector<int64_t> InternMentions(FeatureModel model,
+                                    const TermMentions& mentions,
+                                    FeatureVocabulary* vocabulary) {
+  return ResolveImpl(model, mentions, vocabulary, vocabulary, nullptr);
+}
+
+std::vector<int64_t> FeatureExtractor::Resolve(const TermMentions& mentions) {
+  return ResolveImpl(model_, mentions, vocabulary_,
+                     frozen_vocabulary_ ? nullptr : mutable_vocabulary_,
+                     &last_mention_count_);
 }
 
 }  // namespace qatk::kb

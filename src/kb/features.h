@@ -59,6 +59,15 @@ class FeatureVocabulary {
   std::vector<std::string> id_to_word_;
 };
 
+/// Pipeline output of one document *before* vocabulary interning: the
+/// normalized (or stemmed) word mentions in document order for the word
+/// models, or the concept ids for bag-of-concepts. Carries no vocabulary
+/// state, so it can be produced on any thread and interned later.
+struct TermMentions {
+  std::vector<std::string> words;
+  std::vector<int64_t> concept_ids;
+};
+
 /// \brief Turns a composed document into a sorted, deduplicated feature-id
 /// set by running the QATK preprocessing pipeline (§4.4 step 2).
 ///
@@ -66,6 +75,11 @@ class FeatureVocabulary {
 /// Bag-of-concepts: tokenize -> trie concept annotation -> concept ids
 /// ("we use the concept mentions as attributes without distinguishing
 /// between types of concepts").
+///
+/// Thread-safety: an extractor owns a pipeline with per-stage timing
+/// state, so one extractor serves one thread. Several extractors may share
+/// the same vocabulary only if all of them are frozen (read-only lookups)
+/// or access is externally serialized.
 class FeatureExtractor {
  public:
   /// For kBagOfConcepts, `taxonomy` must be non-null and outlive the
@@ -75,11 +89,29 @@ class FeatureExtractor {
                    FeatureVocabulary* vocabulary,
                    bool frozen_vocabulary = false);
 
+  /// Read-only extractor over a frozen vocabulary (the serving path): can
+  /// never intern, so it is safe on concurrent reader threads as long as
+  /// writers are excluded while Extract runs.
+  FeatureExtractor(FeatureModel model, const tax::Taxonomy* taxonomy,
+                   const FeatureVocabulary* vocabulary);
+
   FeatureExtractor(const FeatureExtractor&) = delete;
   FeatureExtractor& operator=(const FeatureExtractor&) = delete;
 
   /// Extracts the sorted unique feature ids of `document`.
   Result<std::vector<int64_t>> Extract(const std::string& document);
+
+  /// Runs only the annotation pipeline: mentions in document order, no
+  /// vocabulary access. Use Resolve (or Extract) to turn mentions into
+  /// feature ids.
+  Result<TermMentions> ExtractTerms(const std::string& document);
+
+  /// Interns (or, when frozen, looks up) `mentions` against the
+  /// extractor's vocabulary and returns sorted unique feature ids.
+  /// Interning follows document order, so resolving mentions in corpus
+  /// order reproduces the exact vocabulary a sequential Extract pass
+  /// would have built.
+  std::vector<int64_t> Resolve(const TermMentions& mentions);
 
   /// Number of feature mentions (pre-dedup) in the last Extract call; the
   /// paper reports ~70 word vs ~26 concept mentions per text (§4.3).
@@ -87,16 +119,29 @@ class FeatureExtractor {
 
   FeatureModel model() const { return model_; }
 
-  /// Freezes/unfreezes the vocabulary (train vs. test phase).
-  void set_frozen_vocabulary(bool frozen) { frozen_vocabulary_ = frozen; }
+  /// Freezes/unfreezes the vocabulary (train vs. test phase). Unfreezing
+  /// an extractor constructed over a const vocabulary is a checked error.
+  void set_frozen_vocabulary(bool frozen);
 
  private:
   FeatureModel model_;
-  FeatureVocabulary* vocabulary_;
+  /// Read path; always set.
+  const FeatureVocabulary* vocabulary_;
+  /// Write path; null for extractors built over a const vocabulary.
+  FeatureVocabulary* mutable_vocabulary_;
   bool frozen_vocabulary_;
   cas::Pipeline pipeline_;
   size_t last_mention_count_ = 0;
 };
+
+/// Interns `mentions` into `vocabulary` (word models) or passes concept
+/// ids through (bag-of-concepts) and returns sorted unique feature ids.
+/// Interning follows document order, so resolving documents in corpus
+/// order reproduces the exact vocabulary a sequential Extract pass would
+/// have built.
+std::vector<int64_t> InternMentions(FeatureModel model,
+                                    const TermMentions& mentions,
+                                    FeatureVocabulary* vocabulary);
 
 }  // namespace qatk::kb
 

@@ -1,6 +1,7 @@
 #include "quest/recommendation_service.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace qatk::quest {
 
@@ -11,46 +12,69 @@ RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
       classifier_({options.similarity, options.max_nodes}) {}
 
 Status RecommendationService::Train(const kb::Corpus& corpus) {
-  if (trained_) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (trained_.load(std::memory_order_relaxed)) {
     return Status::Invalid("service already trained");
   }
   part_descriptions_ = corpus.part_descriptions;
   error_descriptions_ = corpus.error_descriptions;
 
-  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_);
+  writer_extractor_ = std::make_unique<kb::FeatureExtractor>(
+      options_.model, taxonomy_, &vocabulary_);
   for (const kb::DataBundle& bundle : corpus.bundles) {
     if (bundle.error_code.empty()) continue;  // Not yet coded: no label.
     QATK_ASSIGN_OR_RETURN(
         std::vector<int64_t> features,
-        extractor.Extract(
+        writer_extractor_->Extract(
             kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
     knowledge_.AddInstance(bundle.part_id, bundle.error_code,
                            std::move(features));
     frequency_.AddObservation(bundle.part_id, bundle.error_code);
   }
-  trained_ = true;
+  trained_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+kb::FeatureExtractor* RecommendationService::ThreadLocalExtractor() const {
+  std::lock_guard<std::mutex> lock(extractor_cache_mutex_);
+  std::unique_ptr<kb::FeatureExtractor>& slot =
+      reader_extractors_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    // Frozen (const-vocabulary) extractor: reads vocabulary_ but can never
+    // intern, so concurrent readers are safe under the shared lock. The
+    // const overload is selected because `this` is const here.
+    slot = std::make_unique<kb::FeatureExtractor>(options_.model, taxonomy_,
+                                                  &vocabulary_);
+  }
+  return slot.get();
 }
 
 Result<RecommendationService::Recommendation>
 RecommendationService::Recommend(const kb::DataBundle& bundle) const {
-  if (!trained_) return Status::Invalid("service not trained");
+  if (!trained()) return Status::Invalid("service not trained");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   // Compose the test-time document (no final report / error description).
   kb::Corpus context;
   context.part_descriptions = part_descriptions_;
   std::string document =
       kb::ComposeDocument(bundle, kb::kTestSources, context);
-  return RecommendForText(bundle.part_id, document);
+  return RecommendForTextLocked(bundle.part_id, document);
 }
 
 Result<RecommendationService::Recommendation>
 RecommendationService::RecommendForText(const std::string& part_id,
                                         const std::string& text) const {
-  if (!trained_) return Status::Invalid("service not trained");
-  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_,
-                                 /*frozen_vocabulary=*/true);
+  if (!trained()) return Status::Invalid("service not trained");
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return RecommendForTextLocked(part_id, text);
+}
+
+Result<RecommendationService::Recommendation>
+RecommendationService::RecommendForTextLocked(const std::string& part_id,
+                                              const std::string& text) const {
+  kb::FeatureExtractor* extractor = ThreadLocalExtractor();
   QATK_ASSIGN_OR_RETURN(std::vector<int64_t> features,
-                        extractor.Extract(text));
+                        extractor->Extract(text));
   std::vector<core::ScoredCode> ranked =
       classifier_.Classify(knowledge_, part_id, features);
   Recommendation recommendation;
@@ -62,19 +86,19 @@ RecommendationService::RecommendForText(const std::string& part_id,
 
 Status RecommendationService::ConfirmAssignment(
     const kb::DataBundle& bundle, const std::string& error_code) {
-  if (!trained_) return Status::Invalid("service not trained");
+  if (!trained()) return Status::Invalid("service not trained");
   if (error_code.empty()) {
     return Status::Invalid("cannot confirm an empty error code");
   }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   kb::Corpus context;
   context.part_descriptions = part_descriptions_;
   context.error_descriptions = error_descriptions_;
   kb::DataBundle coded = bundle;
   coded.error_code = error_code;
-  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary_);
   QATK_ASSIGN_OR_RETURN(
       std::vector<int64_t> features,
-      extractor.Extract(
+      writer_extractor_->Extract(
           kb::ComposeDocument(coded, kb::kTrainSources, context)));
   knowledge_.AddInstance(bundle.part_id, error_code, std::move(features));
   frequency_.AddObservation(bundle.part_id, error_code);
@@ -83,11 +107,24 @@ Status RecommendationService::ConfirmAssignment(
 
 std::vector<core::ScoredCode> RecommendationService::FullListForPart(
     const std::string& part_id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return FullListForPartLocked(part_id);
+}
+
+std::vector<core::ScoredCode> RecommendationService::FullListForPartLocked(
+    const std::string& part_id) const {
   std::vector<core::ScoredCode> list = frequency_.Rank(part_id);
   auto manual = manual_codes_.find(part_id);
   if (manual != manual_codes_.end()) {
+    // A manually defined code that has since been confirmed appears in the
+    // frequency ranking already; keep that entry and skip the manual one.
+    std::unordered_set<std::string> ranked;
+    ranked.reserve(list.size());
+    for (const core::ScoredCode& scored : list) {
+      ranked.insert(scored.error_code);
+    }
     for (const std::string& code : manual->second) {
-      list.push_back({code, 0.0});
+      if (ranked.count(code) == 0) list.push_back({code, 0.0});
     }
   }
   return list;
@@ -96,20 +133,32 @@ std::vector<core::ScoredCode> RecommendationService::FullListForPart(
 Status RecommendationService::DefineErrorCode(const std::string& part_id,
                                               const std::string& code,
                                               const std::string& description) {
-  for (const core::ScoredCode& existing : FullListForPart(part_id)) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const core::ScoredCode& existing : FullListForPartLocked(part_id)) {
     if (existing.error_code == code) {
       return Status::AlreadyExists("error code '" + code +
                                    "' already defined for part '" + part_id +
                                    "'");
     }
   }
+  // Descriptions are global: a different part may have registered this
+  // code already. First registration wins; redefining with a different
+  // description is rejected instead of silently clobbered.
+  auto described = error_descriptions_.find(code);
+  if (described != error_descriptions_.end() &&
+      described->second != description) {
+    return Status::AlreadyExists(
+        "error code '" + code + "' already described as '" +
+        described->second + "'; refusing to overwrite");
+  }
   manual_codes_[part_id].push_back(code);
-  error_descriptions_[code] = description;
+  error_descriptions_.emplace(code, description);
   return Status::OK();
 }
 
 Result<std::string> RecommendationService::DescribeCode(
     const std::string& code) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = error_descriptions_.find(code);
   if (it == error_descriptions_.end()) {
     return Status::KeyError("no description for error code '" + code + "'");

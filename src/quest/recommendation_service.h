@@ -1,9 +1,14 @@
 #ifndef QATK_QUEST_RECOMMENDATION_SERVICE_H_
 #define QATK_QUEST_RECOMMENDATION_SERVICE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -25,6 +30,14 @@ namespace qatk::quest {
 /// among these 10 codes, they can access the list of all error codes
 /// available for the part ID of the current data bundle". Users with
 /// extended rights can also define new error codes (DefineErrorCode).
+///
+/// Thread-safety: safe for concurrent reads with serialized writes. A
+/// shared mutex guards all service state; Recommend / RecommendForText /
+/// FullListForPart / DescribeCode take it shared, Train /
+/// ConfirmAssignment / DefineErrorCode take it exclusive. The serving
+/// path extracts features through a per-thread frozen-vocabulary
+/// FeatureExtractor (built lazily, cached for the thread's lifetime), so
+/// the tokenizer/annotator stack is not reconstructed per request.
 class RecommendationService {
  public:
   struct Options {
@@ -59,7 +72,9 @@ class RecommendationService {
                                           const std::string& text) const;
 
   /// The fallback list: every error code known for the part, sorted by
-  /// training-set frequency (most frequent first).
+  /// training-set frequency (most frequent first). Each code appears at
+  /// most once — a manually defined code that has since gathered confirmed
+  /// observations shows only its frequency-ranked entry.
   std::vector<core::ScoredCode> FullListForPart(
       const std::string& part_id) const;
 
@@ -71,28 +86,61 @@ class RecommendationService {
                            const std::string& error_code);
 
   /// Registers a new error code for a part (QUEST "create new error
-  /// codes" capability). Fails if the code already exists for the part.
+  /// codes" capability). Fails if the code already exists for the part,
+  /// or if it exists anywhere with a *different* description (error-code
+  /// descriptions are global; the first registration wins and is never
+  /// silently overwritten).
   Status DefineErrorCode(const std::string& part_id, const std::string& code,
                          const std::string& description);
 
   /// Description of an error code, if known.
   Result<std::string> DescribeCode(const std::string& code) const;
 
-  bool trained() const { return trained_; }
+  bool trained() const { return trained_.load(std::memory_order_acquire); }
+
+  /// Direct knowledge-base access for tests and offline analysis. Not
+  /// synchronized: call only while no writer is active.
   const kb::KnowledgeBase& knowledge() const { return knowledge_; }
 
  private:
+  /// RecommendForText body; caller must hold `mutex_` at least shared.
+  Result<Recommendation> RecommendForTextLocked(const std::string& part_id,
+                                                const std::string& text) const;
+
+  /// FullListForPart body; caller must hold `mutex_` (shared or exclusive).
+  std::vector<core::ScoredCode> FullListForPartLocked(
+      const std::string& part_id) const;
+
+  /// Returns this thread's cached frozen-vocabulary extractor, building it
+  /// on first use. Caller must hold `mutex_` at least shared (the
+  /// extractor reads `vocabulary_`).
+  kb::FeatureExtractor* ThreadLocalExtractor() const;
+
   const tax::Taxonomy* taxonomy_;
   Options options_;
-  bool trained_ = false;
+  std::atomic<bool> trained_{false};
+
+  /// Guards all mutable service state below (knowledge base, vocabulary,
+  /// frequency statistics, catalogs). Readers share, writers serialize.
+  mutable std::shared_mutex mutex_;
   kb::KnowledgeBase knowledge_;
-  mutable kb::FeatureVocabulary vocabulary_;
+  kb::FeatureVocabulary vocabulary_;
   core::CodeFrequencyBaseline frequency_;
   core::RankedKnnClassifier classifier_;
   std::map<std::string, std::string> part_descriptions_;
   std::map<std::string, std::string> error_descriptions_;
   /// Codes defined through the UI after training (frequency 0).
   std::map<std::string, std::vector<std::string>> manual_codes_;
+
+  /// Writer-side extractor (interning); built once in Train, reused by
+  /// ConfirmAssignment under the exclusive lock.
+  std::unique_ptr<kb::FeatureExtractor> writer_extractor_;
+  /// One frozen (read-only) extractor per serving thread, so concurrent
+  /// Recommend calls never share pipeline state nor rebuild it.
+  mutable std::mutex extractor_cache_mutex_;
+  mutable std::unordered_map<std::thread::id,
+                             std::unique_ptr<kb::FeatureExtractor>>
+      reader_extractors_;
 };
 
 }  // namespace qatk::quest

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 
 namespace qatk {
 namespace {
@@ -276,6 +279,71 @@ TEST(CsvTest, ParseEmptyInput) {
   auto rows = ParseCsv("");
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.store(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelForTest, EachIndexRunsExactlyOnce) {
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(4, kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineInOrder) {
+  std::vector<size_t> order;
+  ParallelFor(1, 5, [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  bool ran = false;
+  ParallelFor(4, 0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, PoolMemberDistributesAcrossWorkers) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "datagen/oem.h"
 #include "datagen/world.h"
@@ -268,6 +269,80 @@ TEST_F(EvaluatorTest, FormatTableContainsVariants) {
   EXPECT_NE(table.find("bag-of-words + jaccard"), std::string::npos);
   EXPECT_NE(table.find("code-frequency baseline"), std::string::npos);
   EXPECT_NE(table.find("A@1"), std::string::npos);
+}
+
+TEST_F(EvaluatorTest, ParallelRunMatchesSequentialExactly) {
+  Evaluator evaluator(&world_.taxonomy(), &corpus_);
+  EvalConfig config;
+  config.folds = 3;
+  config.probe_masks = {kb::kTestSources, kb::kMechanicOnly};
+  auto sequential = evaluator.Run(config);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  config.threads = 4;
+  auto parallel = evaluator.Run(config);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ASSERT_EQ(sequential->curves.size(), parallel->curves.size());
+  for (size_t i = 0; i < sequential->curves.size(); ++i) {
+    const CurveResult& s = sequential->curves[i];
+    const CurveResult& p = parallel->curves[i];
+    EXPECT_EQ(s.name, p.name);
+    EXPECT_EQ(s.probe_mask, p.probe_mask);
+    EXPECT_EQ(s.accuracy_at, p.accuracy_at) << s.name;
+    EXPECT_EQ(s.mrr, p.mrr) << s.name;
+    EXPECT_EQ(s.evaluated, p.evaluated) << s.name;
+  }
+  EXPECT_EQ(sequential->learnable_bundles, parallel->learnable_bundles);
+  EXPECT_EQ(sequential->mean_test_fold_size, parallel->mean_test_fold_size);
+}
+
+TEST(FoldedAccuracyTest, MergeIsExact) {
+  FoldedAccuracy a({1, 5}, 2);
+  a.Observe(0, 1);
+  a.Observe(0, 3);
+  FoldedAccuracy b({1, 5}, 2);
+  b.Observe(1, 2);
+  ASSERT_TRUE(a.Merge(b).ok());
+  FoldedAccuracy sequential({1, 5}, 2);
+  sequential.Observe(0, 1);
+  sequential.Observe(0, 3);
+  sequential.Observe(1, 2);
+  EXPECT_EQ(a.MeanAt(0), sequential.MeanAt(0));
+  EXPECT_EQ(a.MeanAt(1), sequential.MeanAt(1));
+  EXPECT_EQ(a.MeanReciprocalRank(), sequential.MeanReciprocalRank());
+  FoldedAccuracy wrong_ks({1}, 2);
+  EXPECT_TRUE(a.Merge(wrong_ks).IsInvalid());
+  FoldedAccuracy wrong_folds({1, 5}, 3);
+  EXPECT_TRUE(a.Merge(wrong_folds).IsInvalid());
+}
+
+TEST(EvalReportTest, FormatTableSizesColumnFromLongestName) {
+  EvalReport report;
+  report.ks = {1};
+  CurveResult short_curve;
+  short_curve.name = "bag-of-words + jaccard";
+  short_curve.probe_mask = kb::kTestSources;
+  short_curve.accuracy_at = {0.5};
+  CurveResult long_curve;
+  long_curve.name =
+      "candidate-set baseline (bag-of-words-nostop, extended variant)";
+  long_curve.probe_mask = kb::kTestSources;
+  long_curve.accuracy_at = {0.25};
+  report.curves = {short_curve, long_curve};
+  std::string table = report.FormatTable(kb::kTestSources);
+  // The long name survives untruncated (the old code cut it at 38 chars,
+  // losing the closing paren)...
+  EXPECT_NE(table.find(long_curve.name), std::string::npos);
+  // ...and both data rows still start their value columns at the same
+  // offset: every row line is padded to the same name-column width.
+  std::istringstream lines(table);
+  std::string line;
+  std::getline(lines, line);  // Experiment header.
+  std::getline(lines, line);  // Column header.
+  std::string row_short, row_long;
+  std::getline(lines, row_short);
+  std::getline(lines, row_long);
+  EXPECT_EQ(row_short.find(" 0.500"), row_long.find(" 0.250"));
 }
 
 TEST_F(EvaluatorTest, FindUnknownCurveIsKeyError) {

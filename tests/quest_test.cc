@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "datagen/nhtsa.h"
 #include "datagen/oem.h"
 #include "datagen/world.h"
@@ -118,6 +123,113 @@ TEST_F(RecommendationServiceTest, DefineErrorCode) {
   EXPECT_EQ(*service.DescribeCode("E_NEW"), "a brand new failure mode");
   EXPECT_TRUE(
       service.DefineErrorCode("P01", "E_NEW", "again").IsAlreadyExists());
+}
+
+TEST_F(RecommendationServiceTest, FullListDedupsManualCodeAfterConfirm) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  ASSERT_TRUE(
+      service.DefineErrorCode("P01", "E_MANUAL", "manually defined").ok());
+
+  // Confirm an assignment to the manually defined code: it now has a
+  // training-set frequency and must not appear twice in the full list.
+  kb::DataBundle bundle;
+  bundle.reference_number = "CONF1";
+  bundle.part_id = "P01";
+  bundle.mechanic_report = "some failure description";
+  ASSERT_TRUE(service.ConfirmAssignment(bundle, "E_MANUAL").ok());
+
+  size_t occurrences = 0;
+  double score = -1;
+  for (const core::ScoredCode& scored : service.FullListForPart("P01")) {
+    if (scored.error_code == "E_MANUAL") {
+      ++occurrences;
+      score = scored.score;
+    }
+  }
+  EXPECT_EQ(occurrences, 1u) << "manual code must not be listed twice";
+  EXPECT_GT(score, 0.0) << "the frequency-ranked entry wins over the "
+                           "score-0 manual entry";
+}
+
+TEST_F(RecommendationServiceTest, DefineErrorCodeKeepsFirstDescription) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  ASSERT_TRUE(
+      service.DefineErrorCode("P01", "E_SHARED", "first description").ok());
+
+  // A different part registering the same code with a different
+  // description must not silently clobber the global description.
+  EXPECT_TRUE(service.DefineErrorCode("P02", "E_SHARED", "other description")
+                  .IsAlreadyExists());
+  EXPECT_EQ(*service.DescribeCode("E_SHARED"), "first description");
+
+  // Registering it for another part with the same description is fine.
+  ASSERT_TRUE(
+      service.DefineErrorCode("P02", "E_SHARED", "first description").ok());
+  bool in_p02 = false;
+  for (const core::ScoredCode& scored : service.FullListForPart("P02")) {
+    if (scored.error_code == "E_SHARED") in_p02 = true;
+  }
+  EXPECT_TRUE(in_p02);
+}
+
+TEST_F(RecommendationServiceTest, ConcurrentServingSmoke) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_).ok());
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kIterations = 40;
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> recommendations{0};
+
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (size_t i = 0; i < kIterations; ++i) {
+        const kb::DataBundle& bundle =
+            corpus_.bundles[(r * kIterations + i * 13) %
+                            corpus_.bundles.size()];
+        auto recommendation = service.Recommend(bundle);
+        if (!recommendation.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        recommendations.fetch_add(1);
+        service.FullListForPart(bundle.part_id);
+        service.DescribeCode(bundle.error_code).status();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (size_t i = 0; i < kIterations; ++i) {
+      kb::DataBundle novel;
+      novel.reference_number = "CONC" + std::to_string(i);
+      novel.part_id = corpus_.bundles[i % corpus_.bundles.size()].part_id;
+      novel.mechanic_report = "interleaved confirm number " +
+                              std::to_string(i);
+      if (!service.ConfirmAssignment(novel, "E_CONC").ok()) {
+        failures.fetch_add(1);
+      }
+      if (i % 8 == 0) {
+        // Distinct code per definition; duplicates would be AlreadyExists.
+        Status st = service.DefineErrorCode(
+            novel.part_id, "E_DEF" + std::to_string(i), "defined under load");
+        if (!st.ok() && !st.IsAlreadyExists()) failures.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(recommendations.load(), kReaders * kIterations);
+  // The writer's confirmations all landed.
+  bool found = false;
+  for (const core::ScoredCode& scored :
+       service.FullListForPart(corpus_.bundles[0].part_id)) {
+    if (scored.error_code == "E_CONC") found = true;
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST_F(RecommendationServiceTest, DescribeUnknownCode) {
