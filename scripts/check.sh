@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI check: build and run the tier-1 test suite under sanitizers.
+#
+# Two passes, in sequence:
+#   1. address,undefined  — memory errors, UB, leaks
+#   2. thread             — data races in the serving / thread-pool paths
+#
+# Each pass gets its own build tree under build-san/ so the sanitizer
+# runtimes never mix. Usage:
+#   scripts/check.sh            # both passes
+#   scripts/check.sh address,undefined
+#   scripts/check.sh thread
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+PASSES=("${1:-address,undefined}")
+if [[ $# -eq 0 ]]; then
+  PASSES=("address,undefined" "thread")
+fi
+
+for SAN in "${PASSES[@]}"; do
+  # A comma-separated sanitizer list is a valid -fsanitize= value but not a
+  # valid directory name; flatten it for the build tree.
+  BUILD_DIR="build-san/${SAN//,/+}"
+  echo "=== sanitizer pass: ${SAN} (build: ${BUILD_DIR}) ==="
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DQATK_SANITIZE="${SAN}" >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+done
+
+echo "=== all sanitizer passes clean ==="

@@ -1,0 +1,17 @@
+#ifndef QATK_COMMON_CRC32_H_
+#define QATK_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace qatk {
+
+/// CRC-32 (IEEE polynomial, reflected) over `data`. Used to detect torn
+/// record tails in the QDB recovery logs and silent page corruption in the
+/// buffer pool (hoisted out of storage/wal.cc so both layers share one
+/// implementation).
+uint32_t Crc32(std::string_view data);
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_CRC32_H_

@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <utility>
+
 namespace qatk {
 
 namespace {
@@ -34,11 +36,20 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text) {
-  std::vector<std::vector<std::string>> rows;
+  auto parsed = ParseCsvDetailed(text);
+  if (!parsed.ok()) return parsed.status();
+  return std::move(parsed.ValueOrDie().rows);
+}
+
+Result<CsvParse> ParseCsvDetailed(const std::string& text) {
+  CsvParse out;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  int line = 1;
+  int row_start_line = 1;
+  int quote_open_line = 0;
   size_t i = 0;
   while (i < text.size()) {
     char c = text[i];
@@ -53,6 +64,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         ++i;
         continue;
       }
+      if (c == '\n') ++line;
       field += c;
       ++i;
       continue;
@@ -60,6 +72,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
     switch (c) {
       case '"':
         in_quotes = true;
+        quote_open_line = line;
         field_started = true;
         ++i;
         break;
@@ -75,11 +88,14 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
       case '\n':
         if (field_started || !field.empty() || !row.empty()) {
           row.push_back(field);
-          rows.push_back(row);
+          out.rows.push_back(row);
+          out.row_lines.push_back(row_start_line);
         }
         row.clear();
         field.clear();
         field_started = false;
+        ++line;
+        row_start_line = line;
         ++i;
         break;
       default:
@@ -90,13 +106,15 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
     }
   }
   if (in_quotes) {
-    return Status::Invalid("unterminated quoted CSV field");
+    return Status::Invalid("unterminated quoted CSV field opened on line " +
+                           std::to_string(quote_open_line));
   }
   if (field_started || !field.empty() || !row.empty()) {
     row.push_back(field);
-    rows.push_back(row);
+    out.rows.push_back(row);
+    out.row_lines.push_back(row_start_line);
   }
-  return rows;
+  return out;
 }
 
 }  // namespace qatk

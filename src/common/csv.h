@@ -33,6 +33,19 @@ class CsvWriter {
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text);
 
+/// ParseCsv result plus the 1-based line each row starts on, so callers
+/// validating row shape (column counts, field widths) can report the exact
+/// source line of a malformed record. Quoted fields may span lines, so a
+/// row's start line is not simply its index + 1.
+struct CsvParse {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<int> row_lines;
+};
+
+/// Like ParseCsv, but also records row start lines. The Invalid status for
+/// an unterminated quote names the line the open quote appeared on.
+Result<CsvParse> ParseCsvDetailed(const std::string& text);
+
 }  // namespace qatk
 
 #endif  // QATK_COMMON_CSV_H_

@@ -1,0 +1,89 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qatk {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kPermanent:
+      return "permanent";
+    case FaultKind::kTorn:
+      return "torn";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+size_t FaultInjector::Decision::TornBytes(size_t size) const {
+  if (size == 0) return 0;
+  auto kept = static_cast<size_t>(static_cast<double>(size) * torn_fraction);
+  return std::min(kept, size - 1);
+}
+
+FaultInjector::FaultInjector(std::vector<Fault> schedule)
+    : pending_(schedule), original_(std::move(schedule)) {}
+
+void FaultInjector::AddFault(Fault fault) {
+  pending_.push_back(fault);
+  original_.push_back(std::move(fault));
+}
+
+FaultInjector::Decision FaultInjector::OnOp(const std::string& op) {
+  ++ops_observed_;
+  ++op_counts_[op];
+  if (crashed_) {
+    Decision d;
+    d.status = Status::Unavailable("fault injector: simulated crash");
+    return d;
+  }
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].op != "*" && pending_[i].op != op) continue;
+    if (pending_[i].countdown > 0) {
+      --pending_[i].countdown;
+      continue;
+    }
+    Fault fired = pending_[i];
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    Decision d;
+    switch (fired.kind) {
+      case FaultKind::kTransient:
+        d.status = Status::Unavailable("injected transient fault at " + op);
+        break;
+      case FaultKind::kPermanent:
+        d.status = Status::IOError("injected permanent fault at " + op);
+        break;
+      case FaultKind::kTorn:
+        crashed_ = true;
+        d.torn = true;
+        d.torn_fraction = fired.torn_fraction;
+        break;
+      case FaultKind::kCrash:
+        crashed_ = true;
+        d.status = Status::Unavailable("fault injector: simulated crash");
+        break;
+    }
+    return d;
+  }
+  return Decision();
+}
+
+std::string FaultInjector::Describe() const {
+  std::ostringstream os;
+  os << "FaultInjector schedule (" << original_.size() << " faults):\n";
+  for (const Fault& f : original_) {
+    os << "  {op=\"" << f.op << "\", countdown=" << f.countdown
+       << ", kind=" << FaultKindToString(f.kind);
+    if (f.kind == FaultKind::kTorn) {
+      os << ", torn_fraction=" << f.torn_fraction;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace qatk

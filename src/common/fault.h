@@ -1,0 +1,113 @@
+#ifndef QATK_COMMON_FAULT_H_
+#define QATK_COMMON_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qatk {
+
+/// What happens when a scripted fault fires.
+enum class FaultKind {
+  /// The operation fails with Status::Unavailable; retrying may succeed.
+  kTransient,
+  /// The operation fails with Status::IOError; retrying will not help.
+  kPermanent,
+  /// A write-like operation persists only a prefix of its payload (a torn
+  /// page or torn log frame) and then the process "crashes": every later
+  /// operation on this injector fails.
+  kTorn,
+  /// The process "crashes" before the operation takes effect: it and every
+  /// later operation fail with Status::Unavailable("crashed").
+  kCrash,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One scripted fault: after `countdown` further occurrences of `op`, the
+/// next occurrence fires with the given kind.
+struct Fault {
+  /// Instrumentation-point name, e.g. "disk.write", "wal.append". Each
+  /// instrumented call site consults the injector with its own name, so a
+  /// schedule can target exactly the Nth WAL append without counting disk
+  /// writes. The wildcard "*" matches every instrumentation point (used to
+  /// crash at a global operation index).
+  std::string op;
+  /// Number of matching operations allowed through before the fault fires;
+  /// 0 fires on the next one.
+  uint32_t countdown = 0;
+  FaultKind kind = FaultKind::kTransient;
+  /// For kTorn: fraction of the payload that reaches disk, in [0, 1).
+  double torn_fraction = 0.5;
+};
+
+/// \brief Scriptable fault injector shared by the QDB disk manager
+/// decorator, the WAL/rollback-journal, corpus IO, and the trainer.
+///
+/// Instrumented code calls OnOp("<site name>") before performing the real
+/// operation and obeys the returned Decision: fail with `status`, write only
+/// `TornBytes(n)` bytes, or proceed normally. A schedule is just a list of
+/// Fault entries, so an entire torture run is reproducible from the seed
+/// that generated it (see storage/torture.h); Describe() prints the
+/// schedule in a form suitable for replaying a failure by hand.
+///
+/// Single-threaded by design: torture schedules drive one database instance
+/// from one thread, which keeps "the Nth write" well defined.
+class FaultInjector {
+ public:
+  /// Outcome of consulting the injector at one instrumentation point.
+  struct Decision {
+    /// OK to proceed (possibly torn); otherwise the error to return.
+    Status status;
+    /// True when the operation must persist only a prefix of its payload.
+    bool torn = false;
+    double torn_fraction = 0.0;
+
+    /// For a torn write of `size` payload bytes: how many to persist.
+    /// Always less than `size` so a "torn" write is genuinely incomplete.
+    size_t TornBytes(size_t size) const;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<Fault> schedule);
+
+  /// Arms one more scripted fault.
+  void AddFault(Fault fault);
+
+  /// Consults the injector at instrumentation point `op`. Decrements the
+  /// countdown of every pending fault whose op matches; the first to reach
+  /// zero fires. After a kCrash/kTorn fault has fired, every call fails.
+  Decision OnOp(const std::string& op);
+
+  /// True once a kCrash or kTorn fault has fired; the simulated process is
+  /// dead and all further operations fail.
+  bool crashed() const { return crashed_; }
+
+  /// Total operations observed across all instrumentation points. Running a
+  /// workload once fault-free and reading this gives the range from which a
+  /// torture harness draws random crash points.
+  uint64_t ops_observed() const { return ops_observed_; }
+
+  /// Per-instrumentation-point operation counts (same dry-run purpose).
+  const std::map<std::string, uint64_t>& op_counts() const {
+    return op_counts_;
+  }
+
+  /// Human-readable dump of the original schedule, for replaying failures.
+  std::string Describe() const;
+
+ private:
+  std::vector<Fault> pending_;
+  std::vector<Fault> original_;  // retained verbatim for Describe()
+  bool crashed_ = false;
+  uint64_t ops_observed_ = 0;
+  std::map<std::string, uint64_t> op_counts_;
+};
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_FAULT_H_

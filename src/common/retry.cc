@@ -1,0 +1,16 @@
+#include "common/retry.h"
+
+#include <thread>
+
+namespace qatk {
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+void RetryPolicy::Backoff(int attempt) const {
+  if (options_.base_backoff.count() <= 0) return;
+  std::this_thread::sleep_for(options_.base_backoff * (1LL << (attempt - 1)));
+}
+
+}  // namespace qatk

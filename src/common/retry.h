@@ -1,0 +1,70 @@
+#ifndef QATK_COMMON_RETRY_H_
+#define QATK_COMMON_RETRY_H_
+
+#include <chrono>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace qatk {
+
+/// True when retrying the failed operation may succeed. Only
+/// StatusCode::kUnavailable is transient; every other error either cannot
+/// be fixed by retrying (Invalid, KeyError, DataLoss, ...) or must not be
+/// blindly retried (IOError on a log append whose tail is indeterminate).
+bool IsTransient(const Status& status);
+
+/// \brief Bounded, deterministically backed-off retry loop for idempotent
+/// operations.
+///
+/// Wired into the buffer pool's page IO and kb::corpus_io file reads: a
+/// whole-page read/write or a whole-file read is idempotent, so a
+/// transient failure (kUnavailable) is simply retried up to
+/// `max_attempts` times with a fixed exponential backoff sequence. The
+/// backoff schedule contains no randomness: a given policy always sleeps
+/// the same sequence of delays, keeping fault-injection runs replayable.
+class RetryPolicy {
+ public:
+  struct Options {
+    /// Total attempts, including the first (>= 1).
+    int max_attempts = 3;
+    /// Delay before the first retry; doubles each further retry.
+    std::chrono::microseconds base_backoff{50};
+  };
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  explicit RetryPolicy(Options options) : options_(options) {}
+
+  /// Invokes `fn` (returning Status or Result<T>) until it succeeds, fails
+  /// permanently, or the attempt budget is exhausted; returns the last
+  /// outcome.
+  template <typename Fn>
+  auto Run(Fn&& fn) const -> decltype(fn()) {
+    auto outcome = fn();
+    for (int attempt = 1;
+         attempt < options_.max_attempts && IsTransient(StatusOf(outcome));
+         ++attempt) {
+      Backoff(attempt);
+      outcome = fn();
+    }
+    return outcome;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  static const Status& StatusOf(const Status& status) { return status; }
+  template <typename T>
+  static Status StatusOf(const Result<T>& result) {
+    return result.status();
+  }
+
+  /// Sleeps base_backoff * 2^(attempt-1).
+  void Backoff(int attempt) const;
+
+  Options options_;
+};
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_RETRY_H_

@@ -17,6 +17,15 @@ enum class StatusCode {
   kOutOfRange,      ///< Index or capacity bound exceeded.
   kNotImplemented,  ///< Feature intentionally unimplemented.
   kInternal,        ///< Invariant violation inside the library.
+  /// Transient failure: the operation did not complete but retrying it may
+  /// succeed (interrupted/short page IO, injected transient faults). IO
+  /// failures where a blind retry is unsafe or pointless — open/seek
+  /// failures, sticky flush errors, and log appends whose tail state is now
+  /// indeterminate — stay kIOError. See RetryPolicy in common/retry.h.
+  kUnavailable,
+  /// Unrecoverable corruption detected: stored bytes fail their checksum
+  /// or invariant and the original data cannot be reconstructed.
+  kDataLoss,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid", ...).
@@ -62,6 +71,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalid() const { return code_ == StatusCode::kInvalid; }
@@ -73,6 +88,8 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

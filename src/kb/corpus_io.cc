@@ -24,19 +24,34 @@ Status WriteFile(const std::string& path,
   return Status::OK();
 }
 
-Result<std::vector<std::vector<std::string>>> ReadCsvFile(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str());
+Result<CsvParse> ReadCsvFile(const std::string& path,
+                             const CorpusLoadOptions& options) {
+  QATK_ASSIGN_OR_RETURN(
+      std::string text, options.retry.Run([&]() -> Result<std::string> {
+        if (options.fault != nullptr) {
+          QATK_RETURN_NOT_OK(options.fault->OnOp("corpus.read").status);
+        }
+        std::ifstream in(path, std::ios::binary);
+        if (!in) return Status::IOError("cannot open '" + path + "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (in.bad()) {
+          return Status::Unavailable("read failed on '" + path + "'");
+        }
+        return buffer.str();
+      }));
+  Result<CsvParse> parsed = ParseCsvDetailed(text);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  "'" + path + "': " + parsed.status().message());
+  }
+  return parsed;
 }
 
-Status CheckHeader(const std::vector<std::vector<std::string>>& rows,
+Status CheckHeader(const CsvParse& parse,
                    const std::vector<std::string>& expected,
                    const std::string& path) {
-  if (rows.empty() || rows[0] != expected) {
+  if (parse.rows.empty() || parse.rows[0] != expected) {
     return Status::Invalid("'" + path + "' is missing the expected header");
   }
   return Status::OK();
@@ -69,31 +84,41 @@ Status SaveCorpusCsv(const Corpus& corpus, const std::string& dir) {
 }
 
 Result<Corpus> LoadCorpusCsv(const std::string& dir) {
+  return LoadCorpusCsv(dir, CorpusLoadOptions());
+}
+
+Result<Corpus> LoadCorpusCsv(const std::string& dir,
+                             const CorpusLoadOptions& options) {
   Corpus corpus;
   {
     std::string path = dir + "/bundles.csv";
-    QATK_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
-    QATK_RETURN_NOT_OK(CheckHeader(rows, kBundleHeader, path));
-    for (size_t i = 1; i < rows.size(); ++i) {
-      if (rows[i].size() != kBundleHeader.size()) {
-        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
-                               " has " + std::to_string(rows[i].size()) +
-                               " fields, expected " +
-                               std::to_string(kBundleHeader.size()));
+    QATK_ASSIGN_OR_RETURN(CsvParse parse, ReadCsvFile(path, options));
+    QATK_RETURN_NOT_OK(CheckHeader(parse, kBundleHeader, path));
+    for (size_t i = 1; i < parse.rows.size(); ++i) {
+      const std::vector<std::string>& row = parse.rows[i];
+      if (row.size() != kBundleHeader.size()) {
+        // Wrong arity is what mid-record truncation looks like once the
+        // quoting survives; name the line so the bad record is findable
+        // in a million-row export.
+        return Status::Invalid(
+            "'" + path + "' line " + std::to_string(parse.row_lines[i]) +
+            ": row has " + std::to_string(row.size()) +
+            " fields, expected " + std::to_string(kBundleHeader.size()));
       }
       DataBundle b;
-      b.reference_number = rows[i][0];
-      b.article_code = rows[i][1];
-      b.part_id = rows[i][2];
-      b.error_code = rows[i][3];
-      b.responsibility_code = rows[i][4];
-      b.mechanic_report = rows[i][5];
-      b.initial_oem_report = rows[i][6];
-      b.supplier_report = rows[i][7];
-      b.final_oem_report = rows[i][8];
+      b.reference_number = row[0];
+      b.article_code = row[1];
+      b.part_id = row[2];
+      b.error_code = row[3];
+      b.responsibility_code = row[4];
+      b.mechanic_report = row[5];
+      b.initial_oem_report = row[6];
+      b.supplier_report = row[7];
+      b.final_oem_report = row[8];
       if (b.reference_number.empty()) {
-        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
-                               " has an empty reference number");
+        return Status::Invalid(
+            "'" + path + "' line " + std::to_string(parse.row_lines[i]) +
+            ": row has an empty reference number");
       }
       corpus.bundles.push_back(std::move(b));
     }
@@ -103,15 +128,16 @@ Result<Corpus> LoadCorpusCsv(const std::string& dir) {
        {std::make_pair("/part_desc.csv", &corpus.part_descriptions),
         std::make_pair("/error_desc.csv", &corpus.error_descriptions)}) {
     std::string path = dir + file;
-    auto rows = ReadCsvFile(path);
-    if (rows.status().IsIOError()) continue;  // Absent: fine.
-    QATK_RETURN_NOT_OK(rows.status());
-    for (size_t i = 1; i < rows->size(); ++i) {
-      if ((*rows)[i].size() != 2) {
-        return Status::Invalid("'" + path + "' row " + std::to_string(i) +
-                               " must have exactly 2 fields");
+    Result<CsvParse> parse = ReadCsvFile(path, options);
+    if (parse.status().IsIOError()) continue;  // Absent: fine.
+    QATK_RETURN_NOT_OK(parse.status());
+    for (size_t i = 1; i < parse->rows.size(); ++i) {
+      if (parse->rows[i].size() != 2) {
+        return Status::Invalid(
+            "'" + path + "' line " + std::to_string(parse->row_lines[i]) +
+            ": row must have exactly 2 fields");
       }
-      (*target)[(*rows)[i][0]] = (*rows)[i][1];
+      (*target)[parse->rows[i][0]] = parse->rows[i][1];
     }
   }
   return corpus;

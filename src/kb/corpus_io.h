@@ -3,7 +3,9 @@
 
 #include <string>
 
+#include "common/fault.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "kb/data_bundle.h"
 
 namespace qatk::kb {
@@ -25,10 +27,24 @@ namespace qatk::kb {
 /// Serializes a corpus into `dir` (must exist).
 Status SaveCorpusCsv(const Corpus& corpus, const std::string& dir);
 
-/// Reads a corpus back. Fails with Invalid on malformed rows (wrong arity
-/// or missing headers) and IOError on unreadable files; the description
-/// files are optional.
+/// Reads a corpus back. Fails with Invalid on malformed rows (wrong
+/// arity, missing headers, or a quoted field torn open by mid-record
+/// truncation), naming the 1-based line the bad row starts on; IOError on
+/// unreadable files. The description files are optional.
 Result<Corpus> LoadCorpusCsv(const std::string& dir);
+
+struct CorpusLoadOptions {
+  /// Transient read failures (kUnavailable) are retried with this policy;
+  /// a whole-file read is idempotent, so blind retry is safe.
+  RetryPolicy retry;
+  /// Optional fault injector (borrowed, may be nullptr); each file read
+  /// attempt observes op "corpus.read".
+  FaultInjector* fault = nullptr;
+};
+
+/// LoadCorpusCsv with an explicit retry policy and fault hook.
+Result<Corpus> LoadCorpusCsv(const std::string& dir,
+                             const CorpusLoadOptions& options);
 
 }  // namespace qatk::kb
 

@@ -12,24 +12,56 @@ RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
       classifier_({options.similarity, options.max_nodes}) {}
 
 Status RecommendationService::Train(const kb::Corpus& corpus) {
+  if (trained_.load(std::memory_order_acquire)) {
+    return Status::Invalid("service already trained");
+  }
+  return TrainInternal(corpus, /*allow_retrain=*/false);
+}
+
+Status RecommendationService::Retrain(const kb::Corpus& corpus) {
+  return TrainInternal(corpus, /*allow_retrain=*/true);
+}
+
+Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
+                                            bool allow_retrain) {
+  // Build the whole model aside, without the lock: a failed (or
+  // fault-injected) pass never touches the members, and during a Retrain
+  // the old model keeps serving until the swap below.
+  kb::KnowledgeBase knowledge;
+  kb::FeatureVocabulary vocabulary;
+  core::CodeFrequencyBaseline frequency;
+  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary);
+  for (const kb::DataBundle& bundle : corpus.bundles) {
+    if (options_.fault != nullptr) {
+      QATK_RETURN_NOT_OK(options_.fault->OnOp("train.bundle").status);
+    }
+    if (bundle.error_code.empty()) continue;  // Not yet coded: no label.
+    QATK_ASSIGN_OR_RETURN(
+        std::vector<int64_t> features,
+        extractor.Extract(
+            kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
+    knowledge.AddInstance(bundle.part_id, bundle.error_code,
+                          std::move(features));
+    frequency.AddObservation(bundle.part_id, bundle.error_code);
+  }
+
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (trained_.load(std::memory_order_relaxed)) {
+  if (!allow_retrain && trained_.load(std::memory_order_relaxed)) {
     return Status::Invalid("service already trained");
   }
   part_descriptions_ = corpus.part_descriptions;
   error_descriptions_ = corpus.error_descriptions;
-
+  knowledge_ = std::move(knowledge);
+  vocabulary_ = std::move(vocabulary);
+  frequency_ = std::move(frequency);
+  // The writer extractor must intern into the (now swapped) member
+  // vocabulary; cached reader extractors hold feature ids from the old
+  // vocabulary and are rebuilt lazily against the new one.
   writer_extractor_ = std::make_unique<kb::FeatureExtractor>(
       options_.model, taxonomy_, &vocabulary_);
-  for (const kb::DataBundle& bundle : corpus.bundles) {
-    if (bundle.error_code.empty()) continue;  // Not yet coded: no label.
-    QATK_ASSIGN_OR_RETURN(
-        std::vector<int64_t> features,
-        writer_extractor_->Extract(
-            kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
-    knowledge_.AddInstance(bundle.part_id, bundle.error_code,
-                           std::move(features));
-    frequency_.AddObservation(bundle.part_id, bundle.error_code);
+  {
+    std::lock_guard<std::mutex> cache_lock(extractor_cache_mutex_);
+    reader_extractors_.clear();
   }
   trained_.store(true, std::memory_order_release);
   return Status::OK();

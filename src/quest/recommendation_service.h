@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "core/baselines.h"
 #include "core/classifier.h"
@@ -47,14 +48,27 @@ class RecommendationService {
     core::SimilarityMeasure similarity = core::SimilarityMeasure::kJaccard;
     size_t max_nodes = 25;
     size_t top_n = 10;
+    /// Optional fault injector (borrowed, may be nullptr); training
+    /// observes op "train.bundle" once per corpus bundle, so tests can
+    /// fail a training pass at any point and assert it had no effect.
+    FaultInjector* fault = nullptr;
   };
 
   /// `taxonomy` must outlive the service.
   RecommendationService(const tax::Taxonomy* taxonomy, Options options);
 
   /// Builds the knowledge base, the frequency-sorted full lists, and the
-  /// description catalogs from a coded corpus. Callable once.
+  /// description catalogs from a coded corpus. Callable once. Atomic: the
+  /// whole model is built aside and swapped in under the write lock only
+  /// on success, so a failed pass leaves the service exactly as it was
+  /// (still untrained, still serving nothing).
   Status Train(const kb::Corpus& corpus);
+
+  /// Replaces the trained model with one built from `corpus`. Unlike
+  /// Train it is callable on an already-trained service; the build runs
+  /// outside the lock, so serving continues against the old model until
+  /// the successful swap. On failure the old model keeps serving.
+  Status Retrain(const kb::Corpus& corpus);
 
   /// Ranked recommendation for one (possibly uncoded) bundle.
   struct Recommendation {
@@ -103,6 +117,10 @@ class RecommendationService {
   const kb::KnowledgeBase& knowledge() const { return knowledge_; }
 
  private:
+  /// Shared body of Train/Retrain: builds the full model into locals,
+  /// then swaps it into the members under the exclusive lock.
+  Status TrainInternal(const kb::Corpus& corpus, bool allow_retrain);
+
   /// RecommendForText body; caller must hold `mutex_` at least shared.
   Result<Recommendation> RecommendForTextLocked(const std::string& part_id,
                                                 const std::string& text) const;

@@ -25,7 +25,7 @@ class NodeView {
     d[0] = static_cast<char>(leaf ? kLeafType : kInternalType);
     d[1] = 0;
     StoreU16(d + 2, 0);
-    StoreU16(d + 4, static_cast<uint16_t>(kPageSize));
+    StoreU16(d + 4, static_cast<uint16_t>(kPageDataSize));
     StoreU32(d + 6, kInvalidPageId);
   }
 

@@ -34,7 +34,7 @@ std::string PrefixSuccessor(std::string_view prefix);
 ///   [0]  node_type   u8   (1 = leaf, 2 = internal)
 ///   [1]  reserved    u8
 ///   [2]  num_slots   u16
-///   [4]  free_ptr    u16  (cells grow down from kPageSize)
+///   [4]  free_ptr    u16  (cells grow down from kPageDataSize)
 ///   [6]  extra       u32  (leaf: next-leaf page; internal: leftmost child)
 ///   [10] slot directory of u16 cell offsets, kept sorted by key
 /// Leaf cell:     {key_len u16, key bytes, rid_page u32, rid_slot u32}

@@ -1,8 +1,37 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <string_view>
+
+#include "common/crc32.h"
 #include "common/logging.h"
 
 namespace qatk::db {
+
+Status BufferPool::VerifyChecksum(PageId page_id, const char* data) {
+  uint32_t stored = LoadU32(data + kPageChecksumOffset);
+  uint32_t computed = Crc32(std::string_view(data, kPageDataSize));
+  if (stored == computed) return Status::OK();
+  // A page that was allocated but never written back is all zeros and has
+  // no checksum yet; only that exact state is exempt from verification.
+  bool all_zero = std::all_of(data, data + kPageSize,
+                              [](char c) { return c == '\0'; });
+  if (all_zero) return Status::OK();
+  return Status::DataLoss("checksum mismatch on page " +
+                          std::to_string(page_id) + ": stored " +
+                          std::to_string(stored) + ", computed " +
+                          std::to_string(computed));
+}
+
+Status BufferPool::WriteBack(Page* page) {
+  if (write_observer_) {
+    QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
+  }
+  StoreU32(page->data_ + kPageChecksumOffset,
+           Crc32(std::string_view(page->data_, kPageDataSize)));
+  return retry_.Run(
+      [&] { return disk_->WritePage(page->page_id_, page->data_); });
+}
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
   QATK_CHECK(capacity >= 2) << "buffer pool needs at least two frames";
@@ -34,10 +63,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     Page* page = frames_[frame].get();
     if (page->pin_count_ > 0) continue;
     if (page->dirty_) {
-      if (write_observer_) {
-        QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
-      }
-      QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+      QATK_RETURN_NOT_OK(WriteBack(page));
     }
     page_table_.erase(page->page_id_);
     lru_.erase(lru_pos_[frame]);
@@ -63,7 +89,13 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   ++misses_;
   QATK_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
-  QATK_RETURN_NOT_OK(disk_->ReadPage(page_id, page->data_));
+  Status read = retry_.Run([&] { return disk_->ReadPage(page_id, page->data_); });
+  if (!read.ok() || !(read = VerifyChecksum(page_id, page->data_)).ok()) {
+    // The frame holds garbage; return it to the free list untouched.
+    page->Reset();
+    free_frames_.push_back(frame);
+    return read;
+  }
   page->page_id_ = page_id;
   page->pin_count_ = 1;
   page->dirty_ = false;
@@ -73,7 +105,8 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  QATK_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  QATK_ASSIGN_OR_RETURN(PageId page_id,
+                        retry_.Run([&] { return disk_->AllocatePage(); }));
   QATK_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
   page->Reset();
@@ -106,10 +139,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
   if (page->dirty_) {
-    if (write_observer_) {
-      QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
-    }
-    QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+    QATK_RETURN_NOT_OK(WriteBack(page));
     page->dirty_ = false;
   }
   return Status::OK();
@@ -119,10 +149,7 @@ Status BufferPool::FlushAll() {
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->dirty_) {
-      if (write_observer_) {
-        QATK_RETURN_NOT_OK(write_observer_(page->page_id_));
-      }
-      QATK_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+      QATK_RETURN_NOT_OK(WriteBack(page));
       page->dirty_ = false;
     }
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -62,6 +63,10 @@ class BufferPool {
   uint64_t miss_count() const { return misses_; }
   uint64_t eviction_count() const { return evictions_; }
 
+  /// Policy applied to every page read/write/allocation against the disk
+  /// manager; transient failures (Status::Unavailable) are retried.
+  void set_retry_policy(RetryPolicy policy) { retry_ = std::move(policy); }
+
  private:
   /// Finds a frame to (re)use: a free one, else evicts the LRU unpinned
   /// frame. Fails with OutOfRange when every frame is pinned.
@@ -69,7 +74,16 @@ class BufferPool {
 
   void Touch(size_t frame_index);
 
+  /// Single write-back path (eviction and flush): runs the write observer,
+  /// stamps the page checksum, and writes the page with retries.
+  Status WriteBack(Page* page);
+
+  /// Verifies the checksum of freshly read page bytes. An all-zero page is
+  /// accepted as never-written (a fresh allocation carries no checksum).
+  static Status VerifyChecksum(PageId page_id, const char* data);
+
   DiskManager* disk_;
+  RetryPolicy retry_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;  // Front = most recent. Holds unpinned frames too.

@@ -3,13 +3,14 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/strutil.h"
 
 namespace qatk::db {
 
 namespace {
 
-constexpr size_t kCatalogCapacity = kPageSize - 6;  // next u32 + len u16
+constexpr size_t kCatalogCapacity = kPageDataSize - 6;  // next u32 + len u16
 
 bool ValidName(const std::string& name) {
   if (name.empty()) return false;
@@ -68,18 +69,41 @@ Result<std::unique_ptr<Database>> Database::OpenInMemory(size_t pool_pages) {
 
 Result<std::unique_ptr<Database>> Database::OpenFile(const std::string& path,
                                                      size_t pool_pages) {
-  QATK_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Open(path));
+  OpenOptions options;
+  options.pool_pages = pool_pages;
+  return OpenFile(path, options);
+}
+
+Result<std::unique_ptr<Database>> Database::OpenFile(
+    const std::string& path, const OpenOptions& options) {
+  QATK_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> disk,
+                        FileDiskManager::Open(path));
   bool existing = disk->num_pages() > 0;
+  if (options.fault != nullptr) {
+    disk = std::make_unique<FaultInjectingDiskManager>(std::move(disk),
+                                                       options.fault);
+  }
   auto db = std::unique_ptr<Database>(
-      new Database(std::move(disk), pool_pages, true));
+      new Database(std::move(disk), options.pool_pages, true));
   QATK_ASSIGN_OR_RETURN(db->wal_, WalFile::Open(path + ".wal"));
   QATK_ASSIGN_OR_RETURN(db->journal_, PageJournal::Open(path + ".journal"));
+  db->wal_->set_fault_injector(options.fault);
+  db->journal_->set_fault_injector(options.fault);
 
   if (existing) {
     // Crash recovery step 1: undo page writes since the last checkpoint.
     // Must run before any page enters the buffer pool.
     QATK_ASSIGN_OR_RETURN(bool clean, db->journal_->CleanAtOpen());
-    if (!clean) {
+    QATK_ASSIGN_OR_RETURN(bool wal_empty, db->wal_->Empty());
+    // A dirty journal with a zero-byte WAL means the crash hit Checkpoint()
+    // between truncating the WAL and resetting the journal (every logical
+    // op appends a WAL record before touching any page, so outside that
+    // window a dirty journal implies a non-empty WAL). The pages on disk
+    // are exactly the flushed new checkpoint: rolling back the stale
+    // before-images — or truncating to the stale header's page count —
+    // would destroy committed state, so both steps are skipped.
+    bool mid_checkpoint_crash = !clean && wal_empty;
+    if (!clean && !mid_checkpoint_crash) {
       DiskManager* raw = db->disk_.get();
       QATK_RETURN_NOT_OK(db->journal_->Rollback(
           [raw](uint32_t page_id, const char* image) {
@@ -87,21 +111,49 @@ Result<std::unique_ptr<Database>> Database::OpenFile(const std::string& path,
           }));
       QATK_RETURN_NOT_OK(raw->Sync());
     }
-    QATK_RETURN_NOT_OK(db->LoadCatalog());
-    // Step 2: redo logged operations that postdate the checkpoint.
-    QATK_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                          db->wal_->ReadAll());
-    db->replaying_ = true;
-    for (const WalRecord& record : records) {
-      Status st = db->ApplyWalRecord(record);
-      if (!st.ok()) {
-        db->replaying_ = false;
-        return Status(st.code(),
-                      "WAL replay failed: " + st.message());
+    // Step 1b: shrink the file back to its checkpoint size. Pages
+    // allocated after the checkpoint would otherwise shift the ids handed
+    // out while replaying the redo log away from the ids it recorded. A
+    // journal without an intact header predates the first checkpoint;
+    // nothing to truncate then. A header reading zero pages is the
+    // pre-creation checkpoint (see below): the crash hit initial database
+    // creation, and truncating to the empty file re-runs it from scratch.
+    if (!mid_checkpoint_crash) {
+      Result<uint32_t> checkpoint_pages =
+          db->journal_->ReadCheckpointNumPages();
+      if (checkpoint_pages.ok() &&
+          checkpoint_pages.ValueOrDie() <= db->disk_->num_pages()) {
+        QATK_RETURN_NOT_OK(
+            db->disk_->Truncate(checkpoint_pages.ValueOrDie()));
       }
     }
-    db->replaying_ = false;
-  } else {
+    if (db->disk_->num_pages() == 0) {
+      existing = false;  // Creation crashed before its first checkpoint.
+    } else {
+      QATK_RETURN_NOT_OK(db->LoadCatalog());
+      // Step 2: redo logged operations that postdate the checkpoint.
+      QATK_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                            db->wal_->ReadAll());
+      db->replaying_ = true;
+      for (const WalRecord& record : records) {
+        Status st = db->ApplyWalRecord(record);
+        if (!st.ok()) {
+          db->replaying_ = false;
+          return Status(st.code(),
+                        "WAL replay failed: " + st.message());
+        }
+      }
+      db->replaying_ = false;
+    }
+  }
+  if (!existing) {
+    // Pre-creation checkpoint: durably record that the consistent base
+    // state is the EMPTY file before any page is written. Creation itself
+    // is not journaled (there is no before-state to journal), so a crash
+    // anywhere in it — including a torn write of the catalog page — must
+    // recover by truncating back to zero pages and re-running creation,
+    // which the zero-page header above makes possible.
+    QATK_RETURN_NOT_OK(db->journal_->Begin(0));
     // Reserve page 0 as the catalog root.
     QATK_ASSIGN_OR_RETURN(Page * page, db->pool_->NewPage());
     PageGuard guard(db->pool_.get(), page);
@@ -117,10 +169,12 @@ Result<std::unique_ptr<Database>> Database::OpenFile(const std::string& path,
   QATK_RETURN_NOT_OK(db->Checkpoint());
   PageJournal* journal = db->journal_.get();
   DiskManager* raw = db->disk_.get();
-  db->pool_->set_write_observer([journal, raw](PageId page_id) -> Status {
+  db->pool_->set_write_observer([journal, raw,
+                                 retry = RetryPolicy()](PageId page_id)
+                                    -> Status {
     if (journal->Contains(page_id)) return Status::OK();
     char image[kPageSize];
-    Status read = raw->ReadPage(page_id, image);
+    Status read = retry.Run([&] { return raw->ReadPage(page_id, image); });
     // Pages allocated after the checkpoint have no before-image to keep;
     // RecordBeforeImage also skips them by id.
     if (!read.ok()) return read;
@@ -592,7 +646,14 @@ Status Database::SaveCatalog() {
 Status Database::LoadCatalog() {
   std::string text;
   PageId current = 0;
+  // The chain can hold at most one link per page in the file; more visits
+  // means a corrupt next-pointer cycle (e.g. an all-zero page 0 pointing
+  // at itself), which must fail rather than spin.
+  PageId visited = 0;
   while (current != kInvalidPageId) {
+    if (++visited > disk_->num_pages()) {
+      return Status::DataLoss("catalog page chain does not terminate");
+    }
     QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
     PageGuard guard(pool_.get(), page);
     const char* d = page->data();

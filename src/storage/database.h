@@ -63,10 +63,24 @@ class Database {
   static Result<std::unique_ptr<Database>> OpenInMemory(
       size_t pool_pages = 4096);
 
+  /// Options for OpenFile; the defaults match the two-argument overload.
+  struct OpenOptions {
+    size_t pool_pages = 4096;
+    /// When set, all disk, WAL, and journal IO of this database consults
+    /// the injector (op names "disk.*", "wal.*", "journal.*"). Borrowed:
+    /// must outlive the database. Used by the crash-recovery torture
+    /// harness (storage/torture.h).
+    FaultInjector* fault = nullptr;
+  };
+
   /// Opens (or creates) a file-backed database. An existing file's catalog
   /// is loaded; page 0 is reserved for catalog storage.
   static Result<std::unique_ptr<Database>> OpenFile(const std::string& path,
                                                     size_t pool_pages = 4096);
+
+  /// As above, with fault-injection support.
+  static Result<std::unique_ptr<Database>> OpenFile(
+      const std::string& path, const OpenOptions& options);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;

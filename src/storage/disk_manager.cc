@@ -1,5 +1,7 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 namespace qatk::db {
@@ -26,6 +28,14 @@ Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
                               std::to_string(id));
   }
   std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::Truncate(PageId new_num_pages) {
+  if (new_num_pages > pages_.size()) {
+    return Status::OutOfRange("truncate beyond end of in-memory store");
+  }
+  pages_.resize(new_num_pages);
   return Status::OK();
 }
 
@@ -65,7 +75,10 @@ Result<PageId> FileDiskManager::AllocatePage() {
       return Status::IOError("seek failed allocating page");
     }
     if (std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
-      return Status::IOError("write failed allocating page");
+      // A short write of the fresh zero page is harmless to retry: the
+      // page is not yet part of the database, so the whole allocation can
+      // simply run again.
+      return Status::Unavailable("short write allocating page");
     }
     return Status::OK();
   }());
@@ -82,7 +95,9 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
     return Status::IOError("seek failed reading page " + std::to_string(id));
   }
   if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short read on page " + std::to_string(id));
+    // Reads are idempotent, so a short read is transient (retryable).
+    std::clearerr(file_);
+    return Status::Unavailable("short read on page " + std::to_string(id));
   }
   return Status::OK();
 }
@@ -96,8 +111,26 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
     return Status::IOError("seek failed writing page " + std::to_string(id));
   }
   if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short write on page " + std::to_string(id));
+    // Whole-page writes are idempotent: rewriting the same bytes at the
+    // same offset cannot corrupt anything, so a short write is transient.
+    std::clearerr(file_);
+    return Status::Unavailable("short write on page " + std::to_string(id));
   }
+  return Status::OK();
+}
+
+Status FileDiskManager::Truncate(PageId new_num_pages) {
+  if (new_num_pages > num_pages_) {
+    return Status::OutOfRange("truncate beyond end of database file");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed before truncate");
+  }
+  off_t bytes = static_cast<off_t>(new_num_pages) * kPageSize;
+  if (ftruncate(fileno(file_), bytes) != 0) {
+    return Status::IOError("ftruncate failed");
+  }
+  num_pages_ = new_num_pages;
   return Status::OK();
 }
 
@@ -106,6 +139,45 @@ Status FileDiskManager::Sync() {
     return Status::IOError("fflush failed");
   }
   return Status::OK();
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  FaultInjector::Decision d = fault_->OnOp("disk.alloc");
+  if (!d.status.ok()) return d.status;
+  return inner_->AllocatePage();
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, char* out) {
+  FaultInjector::Decision d = fault_->OnOp("disk.read");
+  if (!d.status.ok()) return d.status;
+  return inner_->ReadPage(id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
+  FaultInjector::Decision d = fault_->OnOp("disk.write");
+  if (!d.status.ok()) return d.status;
+  if (d.torn) {
+    // Simulate a torn page write: only a prefix of the new bytes reaches
+    // the platter before the crash; the page tail keeps its old contents.
+    char merged[kPageSize];
+    QATK_RETURN_NOT_OK(inner_->ReadPage(id, merged));
+    std::memcpy(merged, data, d.TornBytes(kPageSize));
+    QATK_RETURN_NOT_OK(inner_->WritePage(id, merged));
+    return Status::Unavailable("fault injector: crash during torn write");
+  }
+  return inner_->WritePage(id, data);
+}
+
+Status FaultInjectingDiskManager::Truncate(PageId new_num_pages) {
+  FaultInjector::Decision d = fault_->OnOp("disk.truncate");
+  if (!d.status.ok()) return d.status;
+  return inner_->Truncate(new_num_pages);
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  FaultInjector::Decision d = fault_->OnOp("disk.sync");
+  if (!d.status.ok()) return d.status;
+  return inner_->Sync();
 }
 
 }  // namespace qatk::db

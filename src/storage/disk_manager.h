@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page.h"
@@ -32,6 +33,11 @@ class DiskManager {
   /// Number of pages ever allocated.
   virtual PageId num_pages() const = 0;
 
+  /// Discards every page with id >= `new_num_pages`. Crash recovery uses
+  /// this to shrink the file back to its checkpoint size so that page ids
+  /// handed out during WAL replay match the ids recorded in the log.
+  virtual Status Truncate(PageId new_num_pages) = 0;
+
   /// Flushes any OS-level buffering. Default: no-op.
   virtual Status Sync() { return Status::OK(); }
 };
@@ -47,6 +53,7 @@ class InMemoryDiskManager final : public DiskManager {
   PageId num_pages() const override {
     return static_cast<PageId>(pages_.size());
   }
+  Status Truncate(PageId new_num_pages) override;
 
  private:
   std::vector<std::unique_ptr<char[]>> pages_;
@@ -69,6 +76,7 @@ class FileDiskManager final : public DiskManager {
   Status ReadPage(PageId id, char* out) override;
   Status WritePage(PageId id, const char* data) override;
   PageId num_pages() const override { return num_pages_; }
+  Status Truncate(PageId new_num_pages) override;
   Status Sync() override;
 
  private:
@@ -77,6 +85,35 @@ class FileDiskManager final : public DiskManager {
 
   std::FILE* file_;
   PageId num_pages_;
+};
+
+/// \brief Decorator that injects scripted faults into another DiskManager.
+///
+/// Wraps any DiskManager (in-memory or file-backed) without changing its
+/// call sites: the buffer pool sees an ordinary DiskManager. Each operation
+/// first consults the FaultInjector under a "disk.*" op name and then
+/// either fails, performs a torn (prefix-only) page write, or forwards to
+/// the wrapped manager. The injector is borrowed, not owned, so one
+/// schedule can span the disk manager, the WAL, and the rollback journal.
+class FaultInjectingDiskManager final : public DiskManager {
+ public:
+  /// Takes ownership of `inner`; `fault` must outlive this object.
+  FaultInjectingDiskManager(std::unique_ptr<DiskManager> inner,
+                            FaultInjector* fault)
+      : inner_(std::move(inner)), fault_(fault) {}
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId num_pages() const override { return inner_->num_pages(); }
+  Status Truncate(PageId new_num_pages) override;
+  Status Sync() override;
+
+  DiskManager* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<DiskManager> inner_;
+  FaultInjector* fault_;
 };
 
 }  // namespace qatk::db

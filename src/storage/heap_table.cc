@@ -14,7 +14,7 @@ void SlottedPage::Initialize(Page* page) {
   char* d = page->WritableData();
   StoreU32(d, kInvalidPageId);                       // next_page_id
   StoreU16(d + 4, 0);                                // slot_count
-  StoreU16(d + 6, static_cast<uint16_t>(kPageSize));  // free_ptr
+  StoreU16(d + 6, static_cast<uint16_t>(kPageDataSize));  // free_ptr
 }
 
 PageId SlottedPage::next_page_id() const { return LoadU32(data()); }
@@ -125,7 +125,7 @@ namespace {
 constexpr char kTagInline = 0x00;
 constexpr char kTagOverflow = 0x01;
 constexpr size_t kOverflowHeader = 6;  // next u32 + len u16
-constexpr size_t kOverflowCapacity = kPageSize - kOverflowHeader;
+constexpr size_t kOverflowCapacity = kPageDataSize - kOverflowHeader;
 
 }  // namespace
 
@@ -187,21 +187,28 @@ Result<Rid> HeapTable::Insert(std::string_view record) {
     QATK_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(current));
     PageGuard guard(pool_, page);
     SlottedPage view(page);
+    PageId next = view.next_page_id();
+    if (next != kInvalidPageId) {
+      // Not the chain tail yet (the cached hint can be stale).
+      current = next;
+      continue;
+    }
+    // Records go on the last chain page or a fresh one, never backfilled
+    // into earlier pages: placement is then a pure function of the
+    // persisted state plus the operation sequence, so WAL replay after a
+    // crash reproduces the exact rids the log recorded (the in-memory tail
+    // cache dies with the process and must not influence placement).
     Result<uint32_t> slot = view.Insert(payload);
     if (slot.ok()) {
       tail_page_id_ = current;
       return Rid{current, slot.ValueOrDie()};
     }
     if (!slot.status().IsOutOfRange()) return slot.status();
-    PageId next = view.next_page_id();
-    if (next == kInvalidPageId) {
-      QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
-      PageGuard new_guard(pool_, new_page);
-      SlottedPage::Initialize(new_page);
-      view.set_next_page_id(new_page->page_id());
-      next = new_page->page_id();
-    }
-    current = next;
+    QATK_ASSIGN_OR_RETURN(Page * new_page, pool_->NewPage());
+    PageGuard new_guard(pool_, new_page);
+    SlottedPage::Initialize(new_page);
+    view.set_next_page_id(new_page->page_id());
+    current = new_page->page_id();
   }
 }
 

@@ -16,7 +16,7 @@ namespace qatk::db {
 /// Layout:
 ///   [0]  next_page_id  u32   (chain of table pages)
 ///   [4]  slot_count    u16
-///   [6]  free_ptr      u16   (records grow down from kPageSize)
+///   [6]  free_ptr      u16   (records grow down from kPageDataSize)
 ///   [8]  slot directory: per slot {offset u16, len u16}; offset 0xFFFF
 ///        marks a deleted slot whose id may be reused.
 ///
@@ -63,7 +63,7 @@ class SlottedPage {
 
 /// Largest record storable inline in a heap page.
 inline constexpr size_t kMaxInlineRecord =
-    kPageSize - 8 /*header*/ - 4 /*slot*/ - 1 /*tag*/;
+    kPageDataSize - 8 /*header*/ - 4 /*slot*/ - 1 /*tag*/;
 
 /// \brief Unordered collection of variable-length records in a chain of
 /// slotted pages, with overflow chains for records longer than one page.

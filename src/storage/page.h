@@ -9,6 +9,16 @@ namespace qatk::db {
 /// Fixed page size of the QDB storage layer.
 inline constexpr size_t kPageSize = 4096;
 
+/// Bytes of each page usable by page layouts (slotted heap pages, B+tree
+/// nodes, catalog). The final 4 bytes are reserved for a CRC-32 of the rest
+/// of the page, stamped by the buffer pool on every write-back and verified
+/// on every fetch so silent corruption surfaces as Status::DataLoss instead
+/// of wrong query results.
+inline constexpr size_t kPageDataSize = kPageSize - 4;
+
+/// Offset of the page checksum within a page.
+inline constexpr size_t kPageChecksumOffset = kPageDataSize;
+
 /// Identifier of a page within a database file.
 using PageId = uint32_t;
 

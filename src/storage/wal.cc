@@ -1,6 +1,5 @@
 #include "storage/wal.h"
 
-#include <array>
 #include <cstring>
 
 #include "storage/page.h"
@@ -8,18 +7,6 @@
 namespace qatk::db {
 
 namespace {
-
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 constexpr char kJournalMagic[] = "qjrn1\n";
 constexpr size_t kJournalMagicLen = 6;
@@ -47,16 +34,6 @@ uint32_t ReadU32Le(const unsigned char* p) {
 
 }  // namespace
 
-uint32_t Crc32(std::string_view data) {
-  static const std::array<uint32_t, 256>& table =
-      *new std::array<uint32_t, 256>(BuildCrcTable());
-  uint32_t crc = 0xFFFFFFFFu;
-  for (unsigned char c : data) {
-    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
 // ---------------------------------------------------------------------------
 // WalFile
 // ---------------------------------------------------------------------------
@@ -81,11 +58,22 @@ Status WalFile::Append(WalRecordType type, std::string_view payload) {
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed appending to WAL");
   }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+  size_t write_len = frame.size();
+  if (fault_ != nullptr) {
+    FaultInjector::Decision d = fault_->OnOp("wal.append");
+    if (!d.status.ok()) return d.status;
+    if (d.torn) write_len = d.TornBytes(frame.size());
+  }
+  if (std::fwrite(frame.data(), 1, write_len, file_) != write_len) {
+    // A retried append could land after a torn frame, making every later
+    // record unreachable at recovery — so this is NOT transient.
     return Status::IOError("short write appending to WAL");
   }
   if (std::fflush(file_) != 0) {
     return Status::IOError("flush failed appending to WAL");
+  }
+  if (write_len != frame.size()) {
+    return Status::Unavailable("fault injector: crash during torn WAL append");
   }
   return Status::OK();
 }
@@ -115,6 +103,10 @@ Result<std::vector<WalRecord>> WalFile::ReadAll() {
 }
 
 Status WalFile::Truncate() {
+  if (fault_ != nullptr) {
+    FaultInjector::Decision d = fault_->OnOp("wal.truncate");
+    if (!d.status.ok()) return d.status;
+  }
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "w+b");
   if (file_ == nullptr) {
@@ -145,6 +137,10 @@ PageJournal::~PageJournal() {
 }
 
 Status PageJournal::Begin(uint32_t checkpoint_num_pages) {
+  if (fault_ != nullptr) {
+    FaultInjector::Decision d = fault_->OnOp("journal.begin");
+    if (!d.status.ok()) return d.status;
+  }
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "w+b");
   if (file_ == nullptr) {
@@ -174,12 +170,36 @@ Status PageJournal::RecordBeforeImage(uint32_t page_id, const char* image) {
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return Status::IOError("seek failed appending to journal");
   }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+  size_t write_len = frame.size();
+  if (fault_ != nullptr) {
+    FaultInjector::Decision d = fault_->OnOp("journal.record");
+    if (!d.status.ok()) return d.status;
+    if (d.torn) write_len = d.TornBytes(frame.size());
+  }
+  if (std::fwrite(frame.data(), 1, write_len, file_) != write_len ||
       std::fflush(file_) != 0) {
     return Status::IOError("write failed appending to journal");
   }
+  if (write_len != frame.size()) {
+    return Status::Unavailable(
+        "fault injector: crash during torn journal append");
+  }
   journaled_[page_id] = true;
   return Status::OK();
+}
+
+Result<uint32_t> PageJournal::ReadCheckpointNumPages() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading journal header");
+  }
+  char magic[kJournalMagicLen];
+  unsigned char count_bytes[4];
+  if (std::fread(magic, 1, kJournalMagicLen, file_) != kJournalMagicLen ||
+      std::memcmp(magic, kJournalMagic, kJournalMagicLen) != 0 ||
+      std::fread(count_bytes, 1, 4, file_) != 4) {
+    return Status::Invalid("journal '" + path_ + "' has no intact header");
+  }
+  return ReadU32Le(count_bytes);
 }
 
 Result<bool> PageJournal::CleanAtOpen() {

@@ -9,13 +9,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/crc32.h"
+#include "common/fault.h"
 #include "common/result.h"
 
 namespace qatk::db {
-
-/// CRC-32 (IEEE polynomial, reflected) over `data`; used to detect torn
-/// log-record tails after a crash.
-uint32_t Crc32(std::string_view data);
 
 /// Logical operation kinds recorded in the redo log.
 enum class WalRecordType : uint8_t {
@@ -58,12 +56,18 @@ class WalFile {
   /// True when the log holds no bytes.
   Result<bool> Empty();
 
+  /// Arms scripted faults on "wal.append" (which may tear the frame mid-
+  /// write) and "wal.truncate". `fault` is borrowed and must outlive this
+  /// file; nullptr disables injection.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   WalFile(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}
 
   std::FILE* file_;
   std::string path_;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// \brief Rollback journal holding the before-image of every page that is
@@ -105,6 +109,18 @@ class PageJournal {
   Status Rollback(
       const std::function<Status(uint32_t, const char*)>& write_page);
 
+  /// Reads the checkpoint page count from the journal header on disk.
+  /// Fails with Invalid when the journal has no (intact) header — e.g. a
+  /// journal file that was never Begin()-initialized. Recovery uses this to
+  /// truncate the database file back to its checkpoint size even when no
+  /// before-images were recorded.
+  Result<uint32_t> ReadCheckpointNumPages();
+
+  /// Arms scripted faults on "journal.begin" and "journal.record" (which
+  /// may tear a before-image frame mid-write). `fault` is borrowed and
+  /// must outlive this journal; nullptr disables injection.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   PageJournal(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}
@@ -113,6 +129,7 @@ class PageJournal {
   std::string path_;
   uint32_t checkpoint_num_pages_ = 0;
   std::vector<bool> journaled_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace qatk::db

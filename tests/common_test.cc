@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strutil.h"
@@ -279,6 +281,160 @@ TEST(CsvTest, ParseEmptyInput) {
   auto rows = ParseCsv("");
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvTest, DetailedParseTracksRowStartLines) {
+  auto parsed = ParseCsvDetailed("a,b\n\"multi\nline\nfield\",x\nc,d\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->rows.size(), 3u);
+  ASSERT_EQ(parsed->row_lines.size(), 3u);
+  EXPECT_EQ(parsed->row_lines[0], 1);
+  EXPECT_EQ(parsed->row_lines[1], 2);  // Spans lines 2-4.
+  EXPECT_EQ(parsed->row_lines[2], 5);
+}
+
+TEST(CsvTest, DetailedParseNamesUnterminatedQuoteLine) {
+  Status st = ParseCsvDetailed("a,b\nc,\"cut off here").status();
+  ASSERT_TRUE(st.IsInvalid());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st;
+}
+
+// ---------------------------------------------------------------------------
+// Status codes for fault handling
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, UnavailableAndDataLoss) {
+  Status transient = Status::Unavailable("disk hiccup");
+  EXPECT_TRUE(transient.IsUnavailable());
+  EXPECT_FALSE(transient.ok());
+  EXPECT_NE(transient.ToString().find("Unavailable"), std::string::npos);
+
+  Status corrupt = Status::DataLoss("bad checksum");
+  EXPECT_TRUE(corrupt.IsDataLoss());
+  EXPECT_NE(corrupt.ToString().find("DataLoss"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+RetryPolicy FastRetry(int attempts) {
+  return RetryPolicy(
+      {.max_attempts = attempts, .base_backoff = std::chrono::microseconds(0)});
+}
+
+TEST(RetryPolicyTest, RetriesTransientUntilSuccess) {
+  int calls = 0;
+  Status st = FastRetry(3).Run([&]() -> Status {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, StopsAtAttemptBudget) {
+  int calls = 0;
+  Status st = FastRetry(3).Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, PermanentErrorsAreNotRetried) {
+  int calls = 0;
+  Status st = FastRetry(5).Run([&]() -> Status {
+    ++calls;
+    return Status::IOError("disk gone");
+  });
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, WorksWithResultValues) {
+  int calls = 0;
+  Result<int> result = FastRetry(3).Run([&]() -> Result<int> {
+    if (++calls < 2) return Status::Unavailable("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, CountdownSelectsTheNthOperation) {
+  FaultInjector fault;
+  fault.AddFault({"io.op", 2, FaultKind::kTransient, 0.0});
+  EXPECT_TRUE(fault.OnOp("io.op").status.ok());
+  EXPECT_TRUE(fault.OnOp("io.op").status.ok());
+  EXPECT_TRUE(fault.OnOp("io.op").status.IsUnavailable());
+  // Fired faults are consumed.
+  EXPECT_TRUE(fault.OnOp("io.op").status.ok());
+  EXPECT_EQ(fault.ops_observed(), 4u);
+}
+
+TEST(FaultInjectorTest, WildcardMatchesEveryOp) {
+  FaultInjector fault;
+  fault.AddFault({"*", 1, FaultKind::kPermanent, 0.0});
+  EXPECT_TRUE(fault.OnOp("disk.read").status.ok());
+  EXPECT_TRUE(fault.OnOp("wal.append").status.IsIOError());
+}
+
+TEST(FaultInjectorTest, UnrelatedOpsDoNotDecrement) {
+  FaultInjector fault;
+  fault.AddFault({"disk.write", 0, FaultKind::kPermanent, 0.0});
+  EXPECT_TRUE(fault.OnOp("disk.read").status.ok());
+  EXPECT_TRUE(fault.OnOp("disk.sync").status.ok());
+  EXPECT_TRUE(fault.OnOp("disk.write").status.IsIOError());
+}
+
+TEST(FaultInjectorTest, TornDecisionBoundsPrefix) {
+  FaultInjector fault;
+  fault.AddFault({"disk.write", 0, FaultKind::kTorn, 0.75});
+  FaultInjector::Decision d = fault.OnOp("disk.write");
+  EXPECT_TRUE(d.status.ok());
+  EXPECT_TRUE(d.torn);
+  EXPECT_EQ(d.TornBytes(4096), 3072u);
+  EXPECT_LT(d.TornBytes(1), 1u);  // Always strictly short of a full write.
+  EXPECT_TRUE(fault.crashed());
+}
+
+TEST(FaultInjectorTest, CrashIsStickyAcrossAllOps) {
+  FaultInjector fault;
+  fault.AddFault({"wal.append", 0, FaultKind::kCrash, 0.0});
+  EXPECT_TRUE(fault.OnOp("wal.append").status.IsUnavailable());
+  EXPECT_TRUE(fault.crashed());
+  EXPECT_TRUE(fault.OnOp("disk.read").status.IsUnavailable());
+  EXPECT_TRUE(fault.OnOp("anything.else").status.IsUnavailable());
+}
+
+TEST(FaultInjectorTest, DescribeListsTheOriginalSchedule) {
+  FaultInjector fault({{"disk.write", 3, FaultKind::kTorn, 0.25},
+                       {"disk.read", 1, FaultKind::kTransient, 0.0}});
+  std::string schedule = fault.Describe();
+  EXPECT_NE(schedule.find("disk.write"), std::string::npos);
+  EXPECT_NE(schedule.find("disk.read"), std::string::npos);
+  EXPECT_NE(schedule.find("torn"), std::string::npos);
+  // The description survives fault consumption, for replayable reports.
+  fault.OnOp("disk.read");
+  fault.OnOp("disk.read");
+  EXPECT_EQ(fault.Describe(), schedule);
+}
+
+TEST(FaultInjectorTest, OpCountsTallyPerOperation) {
+  FaultInjector fault;
+  fault.OnOp("disk.read");
+  fault.OnOp("disk.read");
+  fault.OnOp("wal.append");
+  ASSERT_EQ(fault.op_counts().count("disk.read"), 1u);
+  EXPECT_EQ(fault.op_counts().at("disk.read"), 2u);
+  EXPECT_EQ(fault.op_counts().at("wal.append"), 1u);
+  EXPECT_EQ(fault.ops_observed(), 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -143,5 +143,86 @@ TEST(CorpusIoTest, MalformedRowsRejected) {
   Cleanup(dir);
 }
 
+constexpr char kHeaderLine[] =
+    "ref,article_code,part_id,error_code,resp_code,mechanic,"
+    "initial,supplier,final\n";
+
+TEST(CorpusIoTest, MidRecordTruncationNamesOpeningLine) {
+  // A file cut off inside a quoted field — the classic torn tail of an
+  // interrupted export. The error must point at the line the quote
+  // opened on, not a generic parse failure.
+  std::string dir = MakeDir("corpus_io_torn");
+  {
+    std::ofstream out(dir + "/bundles.csv");
+    out << kHeaderLine;
+    out << "REF1,A1,P1,E1,R1,ok,i,s,f\n";
+    out << "REF2,A2,P2,E2,R2,\"torn mid-rec";  // No closing quote, no \n.
+  }
+  Status st = LoadCorpusCsv(dir).status();
+  ASSERT_TRUE(st.IsInvalid()) << st;
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st;
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, ShortRowNamesStartingLineAcrossMultilineFields) {
+  // The row before the bad one spans three physical lines inside a quoted
+  // field; the reported line number must account for that.
+  std::string dir = MakeDir("corpus_io_lines");
+  {
+    std::ofstream out(dir + "/bundles.csv");
+    out << kHeaderLine;                                    // line 1
+    out << "REF1,A1,P1,E1,R1,\"multi\nline\nreport\",i,s,f\n";  // lines 2-4
+    out << "only,three,fields\n";                          // line 5
+  }
+  Status st = LoadCorpusCsv(dir).status();
+  ASSERT_TRUE(st.IsInvalid()) << st;
+  EXPECT_NE(st.message().find("line 5"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("3 fields"), std::string::npos) << st;
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, DescriptionFileTruncationNamesLine) {
+  std::string dir = MakeDir("corpus_io_desc_lines");
+  ASSERT_TRUE(SaveCorpusCsv(SmallCorpus(), dir).ok());
+  {
+    std::ofstream out(dir + "/part_desc.csv");
+    out << "part_id,description\n";
+    out << "P1,ok\n";
+    out << "P2\n";  // Lost its description column.
+  }
+  Status st = LoadCorpusCsv(dir).status();
+  ASSERT_TRUE(st.IsInvalid()) << st;
+  EXPECT_NE(st.message().find("part_desc.csv"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st;
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, TransientReadFaultIsRetriedAway) {
+  std::string dir = MakeDir("corpus_io_transient");
+  Corpus corpus = SmallCorpus();
+  ASSERT_TRUE(SaveCorpusCsv(corpus, dir).ok());
+  FaultInjector fault;
+  fault.AddFault({"corpus.read", 0, FaultKind::kTransient, 0.0});
+  CorpusLoadOptions options;
+  options.fault = &fault;
+  options.retry = RetryPolicy({.max_attempts = 3,
+                               .base_backoff = std::chrono::microseconds(0)});
+  auto loaded = LoadCorpusCsv(dir, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->bundles.size(), corpus.bundles.size());
+  Cleanup(dir);
+}
+
+TEST(CorpusIoTest, PermanentReadFaultSurfaces) {
+  std::string dir = MakeDir("corpus_io_permanent");
+  ASSERT_TRUE(SaveCorpusCsv(SmallCorpus(), dir).ok());
+  FaultInjector fault;
+  fault.AddFault({"corpus.read", 0, FaultKind::kPermanent, 0.0});
+  CorpusLoadOptions options;
+  options.fault = &fault;
+  EXPECT_TRUE(LoadCorpusCsv(dir, options).status().IsIOError());
+  Cleanup(dir);
+}
+
 }  // namespace
 }  // namespace qatk::kb

@@ -286,6 +286,51 @@ TEST_F(RecommendationServiceTest, ConfirmAssignmentValidates) {
   EXPECT_TRUE(service.ConfirmAssignment(bundle, "").IsInvalid());
 }
 
+TEST_F(RecommendationServiceTest, FailedTrainLeavesServiceUntouched) {
+  // A fault halfway through the corpus aborts training; because the model
+  // is built aside and swapped only on success, the service must come out
+  // exactly as it went in: untrained, refusing to serve, and trainable.
+  FaultInjector fault;
+  fault.AddFault({"train.bundle",
+                  static_cast<uint32_t>(corpus_.bundles.size() / 2),
+                  FaultKind::kPermanent, 0.0});
+  RecommendationService::Options options;
+  options.fault = &fault;
+  RecommendationService service(&world_.taxonomy(), options);
+  Status st = service.Train(corpus_);
+  ASSERT_TRUE(st.IsIOError()) << st;
+  EXPECT_FALSE(service.trained());
+  EXPECT_TRUE(service.Recommend(corpus_.bundles[0]).status().IsInvalid());
+  EXPECT_TRUE(service.FullListForPart(corpus_.bundles[0].part_id).empty());
+  // The injected fault was one-shot; the retry trains from scratch with no
+  // leftovers from the aborted pass.
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  EXPECT_TRUE(service.trained());
+  EXPECT_TRUE(service.Recommend(corpus_.bundles[0]).ok());
+}
+
+TEST_F(RecommendationServiceTest, FailedRetrainKeepsServing) {
+  FaultInjector fault;
+  RecommendationService::Options options;
+  options.fault = &fault;
+  RecommendationService service(&world_.taxonomy(), options);
+  ASSERT_TRUE(service.Train(corpus_).ok());
+  // Train-once contract is unchanged; Retrain is the explicit swap path.
+  EXPECT_TRUE(service.Train(corpus_).IsInvalid());
+
+  fault.AddFault({"train.bundle", 3, FaultKind::kPermanent, 0.0});
+  Status st = service.Retrain(corpus_);
+  ASSERT_TRUE(st.IsIOError()) << st;
+  // The old model is still live and serving.
+  EXPECT_TRUE(service.trained());
+  auto recommendation = service.Recommend(corpus_.bundles[0]);
+  ASSERT_TRUE(recommendation.ok()) << recommendation.status();
+  EXPECT_FALSE(recommendation->top.empty());
+  // A clean Retrain succeeds and keeps serving.
+  ASSERT_TRUE(service.Retrain(corpus_).ok());
+  EXPECT_TRUE(service.Recommend(corpus_.bundles[0]).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Distribution comparison (Fig. 14)
 // ---------------------------------------------------------------------------

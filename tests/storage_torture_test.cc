@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "storage/buffer_pool.h"
+#include "storage/database.h"
+#include "storage/disk_manager.h"
+#include "storage/torture.h"
+
+namespace qatk::db {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveDbFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingDiskManager (decorator behavior)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectingDiskManagerTest, ComposesWithInMemoryManager) {
+  FaultInjector fault;
+  fault.AddFault({"disk.write", 1, FaultKind::kPermanent, 0.0});
+  FaultInjectingDiskManager disk(std::make_unique<InMemoryDiskManager>(),
+                                 &fault);
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize] = {};
+  page[0] = 'x';
+  EXPECT_TRUE(disk.WritePage(*id, page).ok());  // countdown 1: passes through
+  Status st = disk.WritePage(*id, page);        // fires
+  EXPECT_TRUE(st.IsIOError());
+  // A permanent fault is one-shot; the manager works again afterwards.
+  EXPECT_TRUE(disk.WritePage(*id, page).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(*id, out).ok());
+  EXPECT_EQ(out[0], 'x');
+}
+
+TEST(FaultInjectingDiskManagerTest, TransientFaultIsRetryable) {
+  FaultInjector fault;
+  fault.AddFault({"disk.read", 0, FaultKind::kTransient, 0.0});
+  FaultInjectingDiskManager disk(std::make_unique<InMemoryDiskManager>(),
+                                 &fault);
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char out[kPageSize];
+  RetryPolicy retry({.max_attempts = 3,
+                     .base_backoff = std::chrono::microseconds(0)});
+  Status st = retry.Run([&] { return disk.ReadPage(*id, out); });
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_FALSE(fault.crashed());
+}
+
+TEST(FaultInjectingDiskManagerTest, CrashFaultIsSticky) {
+  FaultInjector fault;
+  fault.AddFault({"disk.sync", 0, FaultKind::kCrash, 0.0});
+  FaultInjectingDiskManager disk(std::make_unique<InMemoryDiskManager>(),
+                                 &fault);
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(disk.Sync().IsUnavailable());
+  EXPECT_TRUE(fault.crashed());
+  // Every operation after the crash fails, whatever its kind.
+  char out[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(*id, out).ok());
+  EXPECT_FALSE(disk.AllocatePage().ok());
+}
+
+TEST(FaultInjectingDiskManagerTest, TornWritePersistsOnlyAPrefix) {
+  FaultInjector fault;
+  fault.AddFault({"disk.write", 0, FaultKind::kTorn, 0.5});
+  auto inner = std::make_unique<InMemoryDiskManager>();
+  InMemoryDiskManager* inner_raw = inner.get();
+  FaultInjectingDiskManager disk(std::move(inner), &fault);
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  std::memset(page, 'a', kPageSize);
+  Status st = disk.WritePage(*id, page);
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_TRUE(fault.crashed());
+  char out[kPageSize];
+  ASSERT_TRUE(inner_raw->ReadPage(*id, out).ok());
+  EXPECT_EQ(out[0], 'a');                // prefix reached "disk"
+  EXPECT_EQ(out[kPageSize - 1], '\0');   // tail kept its old bytes
+}
+
+// ---------------------------------------------------------------------------
+// Page checksums
+// ---------------------------------------------------------------------------
+
+class PageChecksumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-test path: ctest runs each test as its own process, concurrently.
+    path_ = TempPath(
+        std::string("checksum_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".qdb");
+    RemoveDbFiles(path_);
+  }
+  void TearDown() override { RemoveDbFiles(path_); }
+
+  // Creates a database with enough rows to fill a few heap pages.
+  void CreatePopulatedDb() {
+    auto db = Database::OpenFile(path_, 16);
+    ASSERT_TRUE(db.ok()) << db.status();
+    Schema schema({{"id", TypeId::kInt64}, {"val", TypeId::kString}});
+    ASSERT_TRUE((*db)->CreateTable("t", schema).ok());
+    for (int64_t i = 0; i < 50; ++i) {
+      Tuple tuple(
+          std::vector<Value>{Value(i), Value(std::string(200, 'v'))});
+      ASSERT_TRUE((*db)->Insert("t", tuple).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(PageChecksumTest, SingleFlippedBitSurfacesAsDataLoss) {
+  CreatePopulatedDb();
+  // Flip one bit inside a heap page (page 1; page 0 is the catalog).
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(kPageSize) + 100, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(kPageSize) + 100, SEEK_SET), 0);
+    std::fputc(c ^ 0x04, f);
+    std::fclose(f);
+  }
+  auto db = Database::OpenFile(path_, 16);
+  ASSERT_TRUE(db.ok()) << db.status();
+  Status scan = (*db)->ScanTable("t", [](const Rid&, const Tuple&) {
+    return true;
+  });
+  ASSERT_FALSE(scan.ok());
+  EXPECT_TRUE(scan.IsDataLoss()) << scan;
+}
+
+TEST_F(PageChecksumTest, IntactPagesVerify) {
+  CreatePopulatedDb();
+  auto db = Database::OpenFile(path_, 4);  // tiny pool: every page re-read
+  ASSERT_TRUE(db.ok()) << db.status();
+  size_t rows = 0;
+  Status scan = (*db)->ScanTable("t", [&](const Rid&, const Tuple&) {
+    ++rows;
+    return true;
+  });
+  EXPECT_TRUE(scan.ok()) << scan;
+  EXPECT_EQ(rows, 50u);
+}
+
+TEST_F(PageChecksumTest, CorruptedCatalogPageFailsOpen) {
+  CreatePopulatedDb();
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  auto db = Database::OpenFile(path_, 16);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsDataLoss()) << db.status();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery torture
+// ---------------------------------------------------------------------------
+
+// Runs `count` schedules starting at `first_seed`; every recovered state
+// must match the shadow model. Failures print the seed and the fault
+// schedule so the exact run replays with RunCrashSchedule({.seed = ...}).
+void RunTortureRange(uint64_t first_seed, int count, const char* tag) {
+  TortureOptions options;
+  options.path = TempPath(std::string("torture_") + tag + ".qdb");
+  int crashed = 0;
+  for (int i = 0; i < count; ++i) {
+    options.seed = first_seed + static_cast<uint64_t>(i);
+    TortureReport report = RunCrashSchedule(options);
+    ASSERT_TRUE(report.ok)
+        << "torture seed " << options.seed << " failed: " << report.detail
+        << "\n"
+        << report.schedule;
+    if (report.crashed) ++crashed;
+  }
+  // The crash point is drawn from the dry run's op count, so the vast
+  // majority of schedules must actually crash mid-workload.
+  EXPECT_GT(crashed, count / 2);
+  RemoveDbFiles(options.path);
+}
+
+TEST(CrashTortureTest, Schedules0) { RunTortureRange(1, 250, "s0"); }
+TEST(CrashTortureTest, Schedules1) { RunTortureRange(10001, 250, "s1"); }
+TEST(CrashTortureTest, Schedules2) { RunTortureRange(20001, 250, "s2"); }
+TEST(CrashTortureTest, Schedules3) { RunTortureRange(30001, 250, "s3"); }
+
+TEST(CrashTortureTest, FailureReportCarriesSchedule) {
+  TortureOptions options;
+  options.seed = 42;
+  options.path = TempPath("torture_report.qdb");
+  TortureReport report = RunCrashSchedule(options);
+  EXPECT_TRUE(report.ok) << report.detail;
+  // The schedule dump is always present so any failure is replayable.
+  EXPECT_NE(report.schedule.find("FaultInjector schedule"), std::string::npos);
+  RemoveDbFiles(options.path);
+}
+
+}  // namespace
+}  // namespace qatk::db

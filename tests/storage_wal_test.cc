@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 
+#include "common/fault.h"
 #include "storage/database.h"
 #include "storage/wal.h"
 
@@ -297,6 +299,117 @@ TEST(CrashRecoveryTest, RepeatedCrashCycles) {
   auto db = Database::OpenFile(path, 64);
   ASSERT_TRUE(db.ok());
   EXPECT_EQ(*(*db)->CountRows("t"), expected);
+  RemoveDbFiles(path);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail coverage: every record type, every byte offset
+// ---------------------------------------------------------------------------
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(WalFileTest, TornTailAtEveryByteOffsetForEveryRecordType) {
+  const WalRecordType kAllTypes[] = {
+      WalRecordType::kCreateTable, WalRecordType::kCreateIndex,
+      WalRecordType::kInsert, WalRecordType::kDelete, WalRecordType::kUpdate,
+  };
+  for (WalRecordType type : kAllTypes) {
+    std::string path = TempPath(
+        "wal_torn_all_" +
+        std::to_string(static_cast<unsigned>(type)) + ".wal");
+    std::remove(path.c_str());
+    {
+      auto wal = WalFile::Open(path);
+      ASSERT_TRUE(wal.ok());
+      ASSERT_TRUE((*wal)->Append(WalRecordType::kInsert, "first").ok());
+      ASSERT_TRUE((*wal)->Append(WalRecordType::kUpdate, "second").ok());
+      ASSERT_TRUE((*wal)->Append(type, "final-record-payload").ok());
+    }
+    std::string full = SlurpFile(path);
+    // Frame layout: [len u32][type u8][payload][crc u32].
+    size_t final_frame = 4 + 1 + std::strlen("final-record-payload") + 4;
+    ASSERT_GT(full.size(), final_frame);
+    size_t prefix = full.size() - final_frame;
+    // Cut the log at every byte of the final frame: from "frame entirely
+    // gone" up to "one byte short of intact". ReadAll must return exactly
+    // the two intact records every time — never an error, never a
+    // half-parsed third record.
+    for (size_t cut = prefix; cut < full.size(); ++cut) {
+      WriteBytes(path, full.substr(0, cut));
+      auto wal = WalFile::Open(path);
+      ASSERT_TRUE(wal.ok());
+      auto records = (*wal)->ReadAll();
+      ASSERT_TRUE(records.ok())
+          << "type " << static_cast<unsigned>(type) << " cut at " << cut;
+      ASSERT_EQ(records->size(), 2u)
+          << "type " << static_cast<unsigned>(type) << " cut at " << cut;
+      EXPECT_EQ((*records)[0].payload, "first");
+      EXPECT_EQ((*records)[1].payload, "second");
+    }
+    // Sanity: the untruncated log still yields all three.
+    WriteBytes(path, full);
+    auto wal = WalFile::Open(path);
+    ASSERT_TRUE(wal.ok());
+    auto records = (*wal)->ReadAll();
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 3u);
+    EXPECT_EQ((*records)[2].type, type);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CrashRecoveryTest, CrashBetweenWalTruncateAndJournalReset) {
+  // Checkpoint() flushes pages, truncates the WAL, then resets the
+  // journal. A crash inside that window leaves a dirty journal next to an
+  // empty WAL; rolling the journal back there would undo the freshly
+  // committed checkpoint with no redo log to rebuild it. Recovery must
+  // recognize the state and keep the flushed pages.
+  std::string path = TempPath("crash_mid_ckpt.qdb");
+  RemoveDbFiles(path);
+  FaultInjector fault;
+  // journal.begin fires at: initial creation Begin(0), creation-checkpoint
+  // Begin, and then the explicit Checkpoint below — countdown 2 crashes
+  // the third, after its WAL truncation already happened.
+  fault.AddFault({"journal.begin", 2, FaultKind::kCrash, 0.0});
+  {
+    Database::OpenOptions open;
+    open.pool_pages = 8;  // Evictions populate the journal.
+    open.fault = &fault;
+    auto db = Database::OpenFile(path, open);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->CreateTable("t", TestSchema()).ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*db)->Insert("t", Row("k" + std::to_string(i), i)).ok());
+    }
+    Status st = (*db)->Checkpoint();
+    ASSERT_FALSE(st.ok()) << "checkpoint must hit the injected crash";
+    ASSERT_TRUE(fault.crashed());
+  }
+  // Confirm the crash really landed inside the window: WAL empty, journal
+  // still carrying the pre-checkpoint images.
+  {
+    std::ifstream wal(path + ".wal", std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(wal.good());
+    EXPECT_EQ(wal.tellg(), std::streampos(0));
+    std::ifstream journal(path + ".journal", std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(journal.good());
+    EXPECT_GT(journal.tellg(), std::streampos(16));
+  }
+  auto db = Database::OpenFile(path, 64);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto rows = Snapshot(db->get(), "t");
+  EXPECT_EQ(rows.size(), 200u) << "mid-checkpoint crash lost committed rows";
+  EXPECT_EQ(rows["k123"], 123);
   RemoveDbFiles(path);
 }
 
