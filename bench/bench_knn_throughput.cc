@@ -1,0 +1,318 @@
+// Serving-throughput bench for the frozen CSR kNN index (the §5.2.2
+// runtime-feasibility argument, taken to serving scale): classification
+// queries/sec and latency percentiles for the brute-force scorer
+// (candidate materialization + per-candidate sorted merges) vs the
+// frozen-index scorer (term-at-a-time accumulation + bounded top-k heap),
+// plus multi-thread scaling of the indexed path.
+//
+// Before timing anything it proves both paths produce bit-identical
+// rankings on every probe for all four similarity measures. Emits a
+// machine-readable BENCH_knn.json and exits nonzero when the indexed path
+// fails to beat brute force — the perf-smoke gate in scripts/check.sh.
+//
+// Usage: bench_knn_throughput [--quick] [--out=BENCH_knn.json] [--threads=N]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "common/thread_pool.h"
+#include "core/classifier.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/data_bundle.h"
+#include "kb/features.h"
+#include "kb/frozen_index.h"
+#include "kb/knowledge_base.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Probe {
+  const std::string* part_id;
+  std::vector<int64_t> features;
+};
+
+struct LatencyStats {
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  size_t queries = 0;
+};
+
+/// Runs `passes` untimed-per-query sweeps of fn(probe_index) for the
+/// throughput number (wall clock around whole sweeps only, so qps carries
+/// no per-query timer overhead), then one instrumented sweep for the
+/// latency percentiles. Both the brute and indexed paths are measured this
+/// same way, so the comparison stays apples-to-apples.
+template <typename Fn>
+LatencyStats Measure(size_t passes, size_t num_probes, Fn&& fn) {
+  LatencyStats stats;
+  stats.queries = passes * num_probes;
+  const auto begin = Clock::now();
+  for (size_t pass = 0; pass < passes; ++pass) {
+    for (size_t i = 0; i < num_probes; ++i) fn(i);
+  }
+  const auto end = Clock::now();
+  const double seconds = std::chrono::duration<double>(end - begin).count();
+  stats.qps = seconds > 0 ? static_cast<double>(stats.queries) / seconds : 0;
+
+  std::vector<double> latencies;
+  latencies.reserve(num_probes);
+  for (size_t i = 0; i < num_probes; ++i) {
+    const auto q0 = Clock::now();
+    fn(i);
+    const auto q1 = Clock::now();
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(q1 - q0).count());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    stats.p50_us = latencies[latencies.size() / 2];
+    stats.p99_us = latencies[latencies.size() * 99 / 100];
+  }
+  return stats;
+}
+
+struct ModelResult {
+  const char* name;
+  size_t nodes = 0;
+  size_t parts = 0;
+  size_t postings = 0;
+  size_t probes = 0;
+  LatencyStats brute;
+  LatencyStats indexed;
+  double speedup = 0;
+  std::vector<std::pair<size_t, double>> scaling;  // (threads, qps)
+};
+
+void WriteJson(const char* path, bool quick, size_t bundles, size_t learnable,
+               const std::vector<ModelResult>& results) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"knn_throughput\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"similarity\": \"jaccard\",\n  \"max_nodes\": 25,\n");
+  std::fprintf(out,
+               "  \"corpus\": {\"bundles\": %zu, \"learnable\": %zu},\n",
+               bundles, learnable);
+  std::fprintf(out, "  \"results\": [");
+  for (size_t m = 0; m < results.size(); ++m) {
+    const ModelResult& r = results[m];
+    std::fprintf(out, "%s\n    {\n", m == 0 ? "" : ",");
+    std::fprintf(out, "      \"model\": \"%s\",\n", r.name);
+    std::fprintf(out,
+                 "      \"nodes\": %zu, \"parts\": %zu, \"postings\": %zu, "
+                 "\"probes\": %zu,\n",
+                 r.nodes, r.parts, r.postings, r.probes);
+    std::fprintf(out,
+                 "      \"brute\": {\"qps\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f},\n",
+                 r.brute.qps, r.brute.p50_us, r.brute.p99_us);
+    std::fprintf(out,
+                 "      \"indexed\": {\"qps\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f},\n",
+                 r.indexed.qps, r.indexed.p50_us, r.indexed.p99_us);
+    std::fprintf(out, "      \"speedup\": %.2f,\n", r.speedup);
+    std::fprintf(out, "      \"scaling\": [");
+    for (size_t s = 0; s < r.scaling.size(); ++s) {
+      std::fprintf(out, "%s{\"threads\": %zu, \"qps\": %.1f}",
+                   s == 0 ? "" : ", ", r.scaling[s].first,
+                   r.scaling[s].second);
+    }
+    std::fprintf(out, "]\n    }");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nmachine-readable results written to %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_knn.json";
+  size_t max_threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      max_threads = static_cast<size_t>(std::atol(argv[i] + 10));
+      if (max_threads == 0) max_threads = qatk::ThreadPool::DefaultThreads();
+    }
+  }
+
+  std::printf("serving-throughput bench: frozen CSR index vs brute-force "
+              "kNN scoring%s\n\n",
+              quick ? " (--quick)" : "");
+
+  qatk::datagen::DomainWorld world;
+  qatk::datagen::OemCorpusGenerator generator(&world);
+  qatk::kb::Corpus corpus = generator.Generate();
+  std::vector<const qatk::kb::DataBundle*> bundles =
+      corpus.LearnableBundles();
+  QATK_CHECK(!bundles.empty());
+
+  const qatk::core::RankedKnnClassifier classifier(
+      {qatk::core::SimilarityMeasure::kJaccard, 25});
+  const qatk::core::SimilarityMeasure all_measures[] = {
+      qatk::core::SimilarityMeasure::kJaccard,
+      qatk::core::SimilarityMeasure::kOverlap,
+      qatk::core::SimilarityMeasure::kDice,
+      qatk::core::SimilarityMeasure::kCosine,
+  };
+
+  struct ModelSpec {
+    qatk::kb::FeatureModel model;
+    const char* name;
+  };
+  const ModelSpec specs[] = {
+      {qatk::kb::FeatureModel::kBagOfConcepts, "bag-of-concepts"},
+      {qatk::kb::FeatureModel::kBagOfWords, "bag-of-words"},
+  };
+
+  std::vector<ModelResult> results;
+  bool indexed_won = true;
+  for (const ModelSpec& spec : specs) {
+    // Train one knowledge base on the full learnable corpus (the serving
+    // scenario: train once, then answer probes).
+    qatk::kb::FeatureVocabulary vocabulary;
+    qatk::kb::FeatureExtractor extractor(spec.model, &world.taxonomy(),
+                                         &vocabulary);
+    qatk::kb::KnowledgeBase knowledge;
+    std::vector<Probe> probes;
+    probes.reserve(bundles.size());
+    for (const qatk::kb::DataBundle* bundle : bundles) {
+      auto train = extractor.Extract(qatk::kb::ComposeDocument(
+          *bundle, qatk::kb::kTrainSources, corpus));
+      train.status().Abort();
+      knowledge.AddInstance(bundle->part_id, bundle->error_code,
+                            std::move(*train));
+      auto probe = extractor.Extract(qatk::kb::ComposeDocument(
+          *bundle, qatk::kb::kTestSources, corpus));
+      probe.status().Abort();
+      probes.push_back({&bundle->part_id, std::move(*probe)});
+    }
+    qatk::kb::FrozenIndex index = qatk::kb::FrozenIndex::Build(knowledge);
+
+    ModelResult result;
+    result.name = spec.name;
+    result.nodes = index.num_nodes();
+    result.parts = index.num_parts();
+    result.postings = index.num_postings();
+    result.probes = probes.size();
+
+    // Equivalence gate before any timing: every probe, all four measures.
+    qatk::kb::FrozenIndex::Scratch scratch;
+    for (const Probe& probe : probes) {
+      for (qatk::core::SimilarityMeasure measure : all_measures) {
+        qatk::core::RankedKnnClassifier check({measure, 25});
+        auto brute = check.Classify(knowledge, *probe.part_id,
+                                    probe.features);
+        auto indexed =
+            check.Classify(index, *probe.part_id, probe.features, &scratch);
+        if (brute != indexed) {
+          std::fprintf(stderr,
+                       "FATAL: indexed ranking diverged from brute force "
+                       "(model=%s measure=%s part=%s)\n",
+                       spec.name,
+                       qatk::core::SimilarityMeasureToString(measure),
+                       probe.part_id->c_str());
+          return 2;
+        }
+      }
+    }
+
+    const size_t brute_passes = 1;
+    const size_t indexed_passes = quick ? 4 : 16;
+    size_t sink = 0;  // Defeats dead-code elimination of the scoring.
+    result.brute = Measure(brute_passes, probes.size(), [&](size_t i) {
+      sink += classifier
+                  .Classify(knowledge, *probes[i].part_id,
+                            probes[i].features)
+                  .size();
+    });
+    result.indexed = Measure(indexed_passes, probes.size(), [&](size_t i) {
+      sink += classifier
+                  .Classify(index, *probes[i].part_id, probes[i].features,
+                            &scratch)
+                  .size();
+    });
+    result.speedup = result.brute.qps > 0
+                         ? result.indexed.qps / result.brute.qps
+                         : 0;
+    indexed_won = indexed_won && result.indexed.qps > result.brute.qps;
+
+    // Multi-thread scaling of the indexed path: T workers sweep the whole
+    // probe set concurrently, each with its own scratch accumulator.
+    std::vector<size_t> thread_counts;
+    for (size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+    if (thread_counts.back() != max_threads) {
+      thread_counts.push_back(max_threads);
+    }
+    for (size_t t : thread_counts) {
+      const size_t sweeps = t * (quick ? 2 : 8);
+      std::vector<size_t> sweep_sinks(sweeps, 0);
+      const auto begin = Clock::now();
+      qatk::ParallelFor(t, sweeps, [&](size_t w) {
+        qatk::kb::FrozenIndex::Scratch local;
+        size_t local_sink = 0;
+        for (const Probe& probe : probes) {
+          local_sink += classifier
+                            .Classify(index, *probe.part_id, probe.features,
+                                      &local)
+                            .size();
+        }
+        sweep_sinks[w] = local_sink;
+      });
+      const auto end = Clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - begin).count();
+      result.scaling.push_back(
+          {t, static_cast<double>(sweeps * probes.size()) / seconds});
+      for (size_t s : sweep_sinks) sink += s;
+    }
+    if (sink == 0) std::printf("(empty rankings)\n");
+
+    std::printf("%s: %zu nodes, %zu parts, %zu postings, %zu probes\n",
+                spec.name, result.nodes, result.parts, result.postings,
+                result.probes);
+    std::printf("  %-12s %12s %10s %10s\n", "path", "queries/s", "p50 us",
+                "p99 us");
+    std::printf("  %-12s %12.0f %10.2f %10.2f\n", "brute-force",
+                result.brute.qps, result.brute.p50_us, result.brute.p99_us);
+    std::printf("  %-12s %12.0f %10.2f %10.2f\n", "indexed",
+                result.indexed.qps, result.indexed.p50_us,
+                result.indexed.p99_us);
+    std::printf("  single-thread speedup: %.2fx\n", result.speedup);
+    std::printf("  indexed scaling:");
+    for (const auto& [t, qps] : result.scaling) {
+      std::printf("  %zut=%.0f q/s", t, qps);
+    }
+    std::printf("\n\n");
+    results.push_back(std::move(result));
+  }
+
+  WriteJson(out_path.c_str(), quick, corpus.bundles.size(), bundles.size(),
+            results);
+
+  if (!indexed_won) {
+    std::fprintf(stderr,
+                 "FAIL: indexed scoring is slower than brute force\n");
+    return 1;
+  }
+  std::printf("OK: indexed path beats brute force on every model\n");
+  return 0;
+}

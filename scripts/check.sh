@@ -1,35 +1,51 @@
 #!/usr/bin/env bash
-# CI check: build and run the tier-1 test suite under sanitizers.
+# CI check: build and run the tier-1 test suite under sanitizers, then a
+# Release-mode perf smoke.
 #
-# Two passes, in sequence:
+# Stages, in sequence:
 #   1. address,undefined  — memory errors, UB, leaks
 #   2. thread             — data races in the serving / thread-pool paths
+#   3. perf               — Release build of bench_knn_throughput --quick;
+#                           proves indexed == brute rankings bit-for-bit and
+#                           fails if the frozen index is slower than brute
+#                           force. Writes BENCH_knn.json at the repo root.
 #
-# Each pass gets its own build tree under build-san/ so the sanitizer
-# runtimes never mix. Usage:
-#   scripts/check.sh            # both passes
+# Each sanitizer pass gets its own build tree under build-san/ so the
+# sanitizer runtimes never mix; the perf stage uses build-perf/. Usage:
+#   scripts/check.sh            # all stages
 #   scripts/check.sh address,undefined
 #   scripts/check.sh thread
+#   scripts/check.sh perf       # perf smoke only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-PASSES=("${1:-address,undefined}")
+STAGES=("${1:-address,undefined}")
 if [[ $# -eq 0 ]]; then
-  PASSES=("address,undefined" "thread")
+  STAGES=("address,undefined" "thread" "perf")
 fi
 
-for SAN in "${PASSES[@]}"; do
+for STAGE in "${STAGES[@]}"; do
+  if [[ "${STAGE}" == "perf" ]]; then
+    BUILD_DIR="build-perf"
+    echo "=== perf smoke: bench_knn_throughput --quick (build: ${BUILD_DIR}) ==="
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_knn_throughput
+    # Exits 2 if indexed rankings diverge from brute force, 1 if the
+    # indexed path is slower; either fails the check via errexit.
+    "${BUILD_DIR}/bench/bench_knn_throughput" --quick --out=BENCH_knn.json
+    continue
+  fi
   # A comma-separated sanitizer list is a valid -fsanitize= value but not a
   # valid directory name; flatten it for the build tree.
-  BUILD_DIR="build-san/${SAN//,/+}"
-  echo "=== sanitizer pass: ${SAN} (build: ${BUILD_DIR}) ==="
+  BUILD_DIR="build-san/${STAGE//,/+}"
+  echo "=== sanitizer pass: ${STAGE} (build: ${BUILD_DIR}) ==="
   cmake -B "${BUILD_DIR}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DQATK_SANITIZE="${SAN}" >/dev/null
+    -DQATK_SANITIZE="${STAGE}" >/dev/null
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 done
 
-echo "=== all sanitizer passes clean ==="
+echo "=== all check stages clean ==="

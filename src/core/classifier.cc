@@ -50,6 +50,72 @@ std::vector<ScoredCode> RankedKnnClassifier::Classify(
   return Rank(features, knowledge.SelectCandidates(part_id, features));
 }
 
+std::vector<ScoredCode> RankedKnnClassifier::Classify(
+    const kb::FrozenIndex& index, const std::string& part_id,
+    const std::vector<int64_t>& features, kb::FrozenIndex::Scratch* scratch,
+    size_t* num_candidates) const {
+  const bool known_part = index.AccumulateShared(part_id, features, scratch);
+  if (!known_part) index.AccumulateSharedAllNodes(features, scratch);
+  if (num_candidates != nullptr) {
+    *num_candidates = known_part ? scratch->touched.size() : index.num_nodes();
+  }
+  if (config_.max_nodes == 0) return {};
+
+  // An Item is (score, node). In Rank, candidates arrive in ascending
+  // node-index order on both paths (sorted hits / AllNodes), so its
+  // (score desc, arrival order asc) comparison is the total order
+  // (score desc, node asc) — which makes the bounded-heap selection here
+  // pick the exact same top max_nodes.
+  using Item = std::pair<double, uint32_t>;
+  auto better = [](const Item& a, const Item& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  const size_t na = features.size();
+  // Min-heap under `better`: the worst kept item sits at the front. Lives
+  // in the scratch so repeated queries never allocate.
+  std::vector<Item>& heap = scratch->heap;
+  heap.clear();
+  auto offer = [&](uint32_t node, uint32_t shared) {
+    Item item{SimilarityFromCounts(config_.similarity, shared, na,
+                                   index.node_feature_count(node)),
+              node};
+    if (heap.size() < config_.max_nodes) {
+      heap.push_back(item);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(item, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = item;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  };
+  if (known_part) {
+    for (uint32_t node : scratch->touched) offer(node, scratch->shared[node]);
+  } else {
+    // Unknown part: every node is a candidate, zero-shared ones included
+    // (they can still fill the tail of the top list with score 0).
+    const uint32_t n = static_cast<uint32_t>(index.num_nodes());
+    for (uint32_t node = 0; node < n; ++node) {
+      offer(node, kb::FrozenIndex::SharedCount(*scratch, node));
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), better);  // Best first.
+
+  std::vector<ScoredCode> ranked;
+  // Distinct codes keep the score of their best node. At most max_nodes
+  // (25) survivors, so a linear scan over seen code ids beats hashing.
+  std::vector<uint32_t>& seen = scratch->seen_codes;
+  seen.clear();
+  for (const Item& item : heap) {
+    const uint32_t code = index.node_code_id(item.second);
+    if (std::find(seen.begin(), seen.end(), code) == seen.end()) {
+      seen.push_back(code);
+      ranked.push_back({index.node_error_code(item.second), item.first});
+    }
+  }
+  return ranked;
+}
+
 size_t RankOf(const std::vector<ScoredCode>& ranked,
               const std::string& truth) {
   for (size_t i = 0; i < ranked.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/similarity.h"
+#include "kb/frozen_index.h"
 #include "kb/knowledge_base.h"
 
 namespace qatk::core {
@@ -55,9 +56,24 @@ class RankedKnnClassifier {
       const std::vector<const kb::KnowledgeNode*>& candidates) const;
 
   /// Convenience: candidate selection (Fig. 5) + ranking in one call.
+  /// This is the brute-force reference path: it materializes the candidate
+  /// set and re-merges every candidate's sorted feature vector.
   std::vector<ScoredCode> Classify(const kb::KnowledgeBase& knowledge,
                                    const std::string& part_id,
                                    const std::vector<int64_t>& features) const;
+
+  /// Indexed path: term-at-a-time accumulation over the frozen CSR index
+  /// plus a bounded top-max_nodes heap — O(postings touched) instead of
+  /// O(candidates × merge). Bit-identical to the brute-force Classify:
+  /// same scores, same arrival-order tie-breaking, same unknown-part
+  /// all-nodes fallback. `scratch` is the caller's (typically per-thread)
+  /// accumulator; when `num_candidates` is non-null it receives the
+  /// candidate-set size the brute-force path would have scored.
+  std::vector<ScoredCode> Classify(const kb::FrozenIndex& index,
+                                   const std::string& part_id,
+                                   const std::vector<int64_t>& features,
+                                   kb::FrozenIndex::Scratch* scratch,
+                                   size_t* num_candidates = nullptr) const;
 
   const Config& config() const { return config_; }
 

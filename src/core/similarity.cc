@@ -45,10 +45,16 @@ size_t IntersectionSize(const std::vector<int64_t>& a,
 
 double Similarity(SimilarityMeasure measure, const std::vector<int64_t>& a,
                   const std::vector<int64_t>& b) {
-  if (a.empty() && b.empty()) return 0.0;
-  double shared = static_cast<double>(IntersectionSize(a, b));
-  double na = static_cast<double>(a.size());
-  double nb = static_cast<double>(b.size());
+  return SimilarityFromCounts(measure, IntersectionSize(a, b), a.size(),
+                              b.size());
+}
+
+double SimilarityFromCounts(SimilarityMeasure measure, size_t shared_count,
+                            size_t size_a, size_t size_b) {
+  if (size_a == 0 && size_b == 0) return 0.0;
+  double shared = static_cast<double>(shared_count);
+  double na = static_cast<double>(size_a);
+  double nb = static_cast<double>(size_b);
   switch (measure) {
     case SimilarityMeasure::kJaccard: {
       double united = na + nb - shared;

@@ -33,6 +33,14 @@ size_t IntersectionSize(const std::vector<int64_t>& a,
 double Similarity(SimilarityMeasure measure, const std::vector<int64_t>& a,
                   const std::vector<int64_t>& b);
 
+/// Same computation from pre-counted set sizes: all four measures depend
+/// only on (|A∩B|, |A|, |B|), which is what lets the frozen-index path
+/// replace the per-candidate merge with an accumulated shared count.
+/// Bit-identical to Similarity on the same counts (same conversions, same
+/// operation order).
+double SimilarityFromCounts(SimilarityMeasure measure, size_t shared_count,
+                            size_t size_a, size_t size_b);
+
 }  // namespace qatk::core
 
 #endif  // QATK_CORE_SIMILARITY_H_

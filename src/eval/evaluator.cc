@@ -12,6 +12,7 @@
 #include "core/classifier.h"
 #include "eval/folds.h"
 #include "eval/metrics.h"
+#include "kb/frozen_index.h"
 #include "kb/knowledge_base.h"
 
 namespace qatk::eval {
@@ -230,6 +231,17 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
                                features[model].train[i]);
       }
     }
+    // Freeze each fold's knowledge bases into CSR indexes; the fold-local
+    // epoch-tagged scratch accumulators are reused across every probe of
+    // the fold (no per-query clearing or allocation).
+    std::map<kb::FeatureModel, kb::FrozenIndex> indexes;
+    std::map<kb::FeatureModel, kb::FrozenIndex::Scratch> scratches;
+    if (config.use_frozen_index) {
+      for (kb::FeatureModel model : models) {
+        indexes.emplace(model, kb::FrozenIndex::Build(kbs[model]));
+        scratches[model];
+      }
+    }
 
     // Test phase.
     core::CandidateSetBaseline candidate_baseline;
@@ -250,22 +262,30 @@ Result<EvalReport> Evaluator::Run(const EvalConfig& config) const {
         for (const VariantSpec& variant : config.variants) {
           const std::vector<int64_t>& probe =
               features[variant.model].probe[mask][i];
-          const kb::KnowledgeBase& knowledge = kbs[variant.model];
           core::RankedKnnClassifier classifier(
               {variant.similarity, config.max_nodes});
 
+          size_t num_candidates = 0;
+          std::vector<core::ScoredCode> ranked;
           auto start = Clock::now();
-          std::vector<const kb::KnowledgeNode*> candidates =
-              knowledge.SelectCandidates(bundle.part_id, probe);
-          std::vector<core::ScoredCode> ranked =
-              classifier.Rank(probe, candidates);
+          if (config.use_frozen_index) {
+            ranked = classifier.Classify(indexes.at(variant.model),
+                                         bundle.part_id, probe,
+                                         &scratches[variant.model],
+                                         &num_candidates);
+          } else {
+            std::vector<const kb::KnowledgeNode*> candidates =
+                kbs[variant.model].SelectCandidates(bundle.part_id, probe);
+            ranked = classifier.Rank(probe, candidates);
+            num_candidates = candidates.size();
+          }
           auto end = Clock::now();
 
           curve(variant.Name(), mask)
               .Observe(fold, core::RankOf(ranked, bundle.error_code));
           CurveStats& cs = local.stats[CurveKey{variant.Name(), mask}];
           cs.seconds += std::chrono::duration<double>(end - start).count();
-          cs.candidates += candidates.size();
+          cs.candidates += num_candidates;
           ++cs.calls;
         }
 

@@ -41,6 +41,12 @@ struct EvalConfig {
   };
   bool include_frequency_baseline = true;
   bool include_candidate_baseline = true;
+  /// Classify through a per-fold frozen CSR index (term-at-a-time
+  /// accumulation) instead of brute-force candidate materialization +
+  /// per-candidate merges. Rankings are bit-identical either way (enforced
+  /// by tests/frozen_index_test.cc); only the timing columns change. False
+  /// keeps the brute-force path as the reference oracle for benchmarks.
+  bool use_frozen_index = true;
   /// Worker threads for feature extraction and the per-fold CV loop;
   /// 1 = fully sequential, 0 = hardware concurrency. Accuracy and MRR are
   /// identical for every value (per-fold accumulators merge exactly, see

@@ -9,8 +9,14 @@ namespace qatk::kb {
 std::string KnowledgeBase::ConfigKey(const std::string& part_id,
                                      const std::string& error_code,
                                      const std::vector<int64_t>& features) {
-  std::string key = part_id;
-  key.push_back('\x1f');
+  // The free-form ids are length-prefixed: a bare separator would let
+  // ("a\x1fb", "c") and ("a", "b\x1fc") collide into one node. The feature
+  // suffix needs no prefixes — decimal digits can't contain '\x1f'.
+  std::string key = std::to_string(part_id.size());
+  key.push_back(':');
+  key += part_id;
+  key += std::to_string(error_code.size());
+  key.push_back(':');
   key += error_code;
   for (int64_t f : features) {
     key.push_back('\x1f');
@@ -40,6 +46,8 @@ void KnowledgeBase::AddInstance(const std::string& part_id,
   by_part_[part_id].push_back(index);
   auto& part_postings = postings_[part_id];
   for (int64_t f : nodes_[index].features) {
+    // `index` grows monotonically, so every posting list stays sorted by
+    // node index; SelectCandidates' linear merge relies on this.
     part_postings[f].push_back(index);
   }
 }
@@ -52,14 +60,54 @@ std::vector<const KnowledgeNode*> KnowledgeBase::SelectCandidates(
     // set" (§4.3).
     return AllNodes();
   }
-  std::vector<size_t> hits;
+  // Posting lists are append-only with monotonically growing node indices
+  // (AddInstance), so each list is already sorted; deduplication is a
+  // linear k-way merge instead of a per-query sort + unique.
+  std::vector<const std::vector<size_t>*> lists;
+  lists.reserve(features.size());
+  size_t total = 0;
   for (int64_t f : features) {
     auto post_it = part_it->second.find(f);
     if (post_it == part_it->second.end()) continue;
-    hits.insert(hits.end(), post_it->second.begin(), post_it->second.end());
+    lists.push_back(&post_it->second);
+    total += post_it->second.size();
   }
-  std::sort(hits.begin(), hits.end());
-  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  std::vector<size_t> hits;
+  hits.reserve(total);
+  if (lists.size() == 1) {
+    // A single list is already sorted and duplicate-free (a node's feature
+    // set is deduplicated, so it posts at most once per feature).
+    hits = *lists[0];
+  } else if (!lists.empty()) {
+    // Heap of (next value, list) cursors; pop ascending, skip repeats.
+    struct Cursor {
+      size_t value;
+      size_t list;
+      size_t pos;
+    };
+    auto later = [](const Cursor& a, const Cursor& b) {
+      return a.value > b.value;  // Min-heap on value.
+    };
+    std::vector<Cursor> heap;
+    heap.reserve(lists.size());
+    for (size_t l = 0; l < lists.size(); ++l) {
+      heap.push_back({(*lists[l])[0], l, 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      Cursor cursor = heap.back();
+      heap.pop_back();
+      if (hits.empty() || hits.back() != cursor.value) {
+        hits.push_back(cursor.value);
+      }
+      if (++cursor.pos < lists[cursor.list]->size()) {
+        cursor.value = (*lists[cursor.list])[cursor.pos];
+        heap.push_back(cursor);
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+  }
   std::vector<const KnowledgeNode*> out;
   out.reserve(hits.size());
   for (size_t index : hits) out.push_back(&nodes_[index]);

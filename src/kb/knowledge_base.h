@@ -70,7 +70,8 @@ class KnowledgeBase {
   std::vector<KnowledgeNode> nodes_;
   size_t num_instances_ = 0;
   std::unordered_map<std::string, std::vector<size_t>> by_part_;
-  /// part id -> feature -> node indices (posting lists).
+  /// part id -> feature -> node indices (posting lists), each list in
+  /// ascending node-index order (append-only inserts).
   std::unordered_map<std::string,
                      std::unordered_map<int64_t, std::vector<size_t>>>
       postings_;

@@ -45,6 +45,10 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
     frequency.AddObservation(bundle.part_id, bundle.error_code);
   }
 
+  // Freeze the CSR index off the new knowledge base, still outside the
+  // lock: serving threads keep reading the old index until the swap.
+  kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
+
   std::unique_lock<std::shared_mutex> lock(mutex_);
   if (!allow_retrain && trained_.load(std::memory_order_relaxed)) {
     return Status::Invalid("service already trained");
@@ -52,6 +56,7 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
   part_descriptions_ = corpus.part_descriptions;
   error_descriptions_ = corpus.error_descriptions;
   knowledge_ = std::move(knowledge);
+  index_ = std::move(index);
   vocabulary_ = std::move(vocabulary);
   frequency_ = std::move(frequency);
   // The writer extractor must intern into the (now swapped) member
@@ -61,22 +66,24 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
       options_.model, taxonomy_, &vocabulary_);
   {
     std::lock_guard<std::mutex> cache_lock(extractor_cache_mutex_);
-    reader_extractors_.clear();
+    reader_states_.clear();
   }
   trained_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
-kb::FeatureExtractor* RecommendationService::ThreadLocalExtractor() const {
+RecommendationService::ReaderState* RecommendationService::ThreadLocalState()
+    const {
   std::lock_guard<std::mutex> lock(extractor_cache_mutex_);
-  std::unique_ptr<kb::FeatureExtractor>& slot =
-      reader_extractors_[std::this_thread::get_id()];
+  std::unique_ptr<ReaderState>& slot =
+      reader_states_[std::this_thread::get_id()];
   if (slot == nullptr) {
+    slot = std::make_unique<ReaderState>();
     // Frozen (const-vocabulary) extractor: reads vocabulary_ but can never
     // intern, so concurrent readers are safe under the shared lock. The
     // const overload is selected because `this` is const here.
-    slot = std::make_unique<kb::FeatureExtractor>(options_.model, taxonomy_,
-                                                  &vocabulary_);
+    slot->extractor = std::make_unique<kb::FeatureExtractor>(
+        options_.model, taxonomy_, &vocabulary_);
   }
   return slot.get();
 }
@@ -104,11 +111,11 @@ RecommendationService::RecommendForText(const std::string& part_id,
 Result<RecommendationService::Recommendation>
 RecommendationService::RecommendForTextLocked(const std::string& part_id,
                                               const std::string& text) const {
-  kb::FeatureExtractor* extractor = ThreadLocalExtractor();
+  ReaderState* state = ThreadLocalState();
   QATK_ASSIGN_OR_RETURN(std::vector<int64_t> features,
-                        extractor->Extract(text));
+                        state->extractor->Extract(text));
   std::vector<core::ScoredCode> ranked =
-      classifier_.Classify(knowledge_, part_id, features);
+      classifier_.Classify(index_, part_id, features, &state->scratch);
   Recommendation recommendation;
   recommendation.truncated = ranked.size() > options_.top_n;
   if (recommendation.truncated) ranked.resize(options_.top_n);
@@ -133,6 +140,9 @@ Status RecommendationService::ConfirmAssignment(
       writer_extractor_->Extract(
           kb::ComposeDocument(coded, kb::kTrainSources, context)));
   knowledge_.AddInstance(bundle.part_id, error_code, std::move(features));
+  // The CSR snapshot is immutable; fold the confirmed instance in by
+  // re-freezing under the exclusive lock so the next Recommend sees it.
+  index_ = kb::FrozenIndex::Build(knowledge_);
   frequency_.AddObservation(bundle.part_id, error_code);
   return Status::OK();
 }

@@ -17,6 +17,7 @@
 #include "core/classifier.h"
 #include "kb/data_bundle.h"
 #include "kb/features.h"
+#include "kb/frozen_index.h"
 #include "kb/knowledge_base.h"
 #include "taxonomy/taxonomy.h"
 
@@ -39,6 +40,13 @@ namespace qatk::quest {
 /// path extracts features through a per-thread frozen-vocabulary
 /// FeatureExtractor (built lazily, cached for the thread's lifetime), so
 /// the tokenizer/annotator stack is not reconstructed per request.
+///
+/// Classification serves from a frozen CSR index (kb::FrozenIndex) built
+/// inside Train / Retrain / ConfirmAssignment while the exclusive lock is
+/// held, then read lock-free by concurrent Recommend calls under the
+/// shared lock: the index is immutable between writer swaps, and each
+/// serving thread scores through its own epoch-tagged scratch accumulator
+/// cached next to its extractor.
 class RecommendationService {
  public:
   struct Options {
@@ -116,6 +124,11 @@ class RecommendationService {
   /// synchronized: call only while no writer is active.
   const kb::KnowledgeBase& knowledge() const { return knowledge_; }
 
+  /// The frozen CSR index currently serving (rebuilt on every successful
+  /// Train / Retrain / ConfirmAssignment). Same synchronization caveat as
+  /// knowledge().
+  const kb::FrozenIndex& frozen_index() const { return index_; }
+
  private:
   /// Shared body of Train/Retrain: builds the full model into locals,
   /// then swaps it into the members under the exclusive lock.
@@ -129,10 +142,19 @@ class RecommendationService {
   std::vector<core::ScoredCode> FullListForPartLocked(
       const std::string& part_id) const;
 
-  /// Returns this thread's cached frozen-vocabulary extractor, building it
-  /// on first use. Caller must hold `mutex_` at least shared (the
-  /// extractor reads `vocabulary_`).
-  kb::FeatureExtractor* ThreadLocalExtractor() const;
+  /// Per-serving-thread state: a frozen-vocabulary extractor plus the
+  /// epoch-tagged scoring scratch. Owned by exactly one thread, so the
+  /// scratch is mutated without further locking while the shared lock
+  /// keeps the index alive.
+  struct ReaderState {
+    std::unique_ptr<kb::FeatureExtractor> extractor;
+    kb::FrozenIndex::Scratch scratch;
+  };
+
+  /// Returns this thread's cached reader state, building the extractor on
+  /// first use. Caller must hold `mutex_` at least shared (the extractor
+  /// reads `vocabulary_`).
+  ReaderState* ThreadLocalState() const;
 
   const tax::Taxonomy* taxonomy_;
   Options options_;
@@ -142,6 +164,8 @@ class RecommendationService {
   /// frequency statistics, catalogs). Readers share, writers serialize.
   mutable std::shared_mutex mutex_;
   kb::KnowledgeBase knowledge_;
+  /// Immutable CSR snapshot of knowledge_, swapped by writers only.
+  kb::FrozenIndex index_;
   kb::FeatureVocabulary vocabulary_;
   core::CodeFrequencyBaseline frequency_;
   core::RankedKnnClassifier classifier_;
@@ -153,12 +177,12 @@ class RecommendationService {
   /// Writer-side extractor (interning); built once in Train, reused by
   /// ConfirmAssignment under the exclusive lock.
   std::unique_ptr<kb::FeatureExtractor> writer_extractor_;
-  /// One frozen (read-only) extractor per serving thread, so concurrent
-  /// Recommend calls never share pipeline state nor rebuild it.
+  /// One frozen (read-only) extractor + scoring scratch per serving
+  /// thread, so concurrent Recommend calls never share pipeline or
+  /// accumulator state nor rebuild it.
   mutable std::mutex extractor_cache_mutex_;
-  mutable std::unordered_map<std::thread::id,
-                             std::unique_ptr<kb::FeatureExtractor>>
-      reader_extractors_;
+  mutable std::unordered_map<std::thread::id, std::unique_ptr<ReaderState>>
+      reader_states_;
 };
 
 }  // namespace qatk::quest

@@ -270,6 +270,42 @@ TEST(KnowledgeBaseTest, CandidatesAreDeduplicated) {
   EXPECT_EQ(candidates.size(), 1u);
 }
 
+TEST(KnowledgeBaseTest, SeparatorBytesInIdsDoNotCollideConfigurations) {
+  // The config key length-prefixes the free-form ids, so an id containing
+  // the old '\x1f' separator can never shift the boundary between part id
+  // and error code.
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("a\x1f" "b", "c", {1});
+  knowledge.AddInstance("a", "b\x1f" "c", {1});
+  EXPECT_EQ(knowledge.num_nodes(), 2u);
+  EXPECT_EQ(knowledge.NodesForPart("a").size(), 1u);
+  EXPECT_EQ(knowledge.NodesForPart("a\x1f" "b").size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, LengthPrefixedIdsWithDigitsStayDistinct) {
+  // "1" + "2:..." style ids must not alias the length prefixes themselves.
+  KnowledgeBase knowledge;
+  knowledge.AddInstance("1", "23", {});
+  knowledge.AddInstance("12", "3", {});
+  knowledge.AddInstance("", "123", {});
+  EXPECT_EQ(knowledge.num_nodes(), 3u);
+}
+
+TEST(KnowledgeBaseTest, ManySharedFeaturesStillDeduplicateLinearly) {
+  // Exercises the k-way merge across several posting lists with heavy
+  // overlap: every node shares every probe feature.
+  KnowledgeBase knowledge;
+  for (int n = 0; n < 5; ++n) {
+    knowledge.AddInstance("P1", "E" + std::to_string(n), {1, 2, 3, 4});
+  }
+  auto candidates = knowledge.SelectCandidates("P1", {1, 2, 3, 4});
+  ASSERT_EQ(candidates.size(), 5u);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_EQ(candidates[n]->error_code, "E" + std::to_string(n))
+        << "candidates must stay in knowledge-base insertion order";
+  }
+}
+
 TEST(KnowledgeBaseTest, NodesForPart) {
   KnowledgeBase knowledge;
   knowledge.AddInstance("P1", "E1", {1});
