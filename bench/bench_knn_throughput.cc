@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "common/thread_pool.h"
@@ -95,46 +96,52 @@ struct ModelResult {
 
 void WriteJson(const char* path, bool quick, size_t bundles, size_t learnable,
                const std::vector<ModelResult>& results) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(out, "{\n  \"bench\": \"knn_throughput\",\n");
-  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(out, "  \"similarity\": \"jaccard\",\n  \"max_nodes\": 25,\n");
-  std::fprintf(out,
-               "  \"corpus\": {\"bundles\": %zu, \"learnable\": %zu},\n",
-               bundles, learnable);
-  std::fprintf(out, "  \"results\": [");
-  for (size_t m = 0; m < results.size(); ++m) {
-    const ModelResult& r = results[m];
-    std::fprintf(out, "%s\n    {\n", m == 0 ? "" : ",");
-    std::fprintf(out, "      \"model\": \"%s\",\n", r.name);
-    std::fprintf(out,
-                 "      \"nodes\": %zu, \"parts\": %zu, \"postings\": %zu, "
-                 "\"probes\": %zu,\n",
-                 r.nodes, r.parts, r.postings, r.probes);
-    std::fprintf(out,
-                 "      \"brute\": {\"qps\": %.1f, \"p50_us\": %.2f, "
-                 "\"p99_us\": %.2f},\n",
-                 r.brute.qps, r.brute.p50_us, r.brute.p99_us);
-    std::fprintf(out,
-                 "      \"indexed\": {\"qps\": %.1f, \"p50_us\": %.2f, "
-                 "\"p99_us\": %.2f},\n",
-                 r.indexed.qps, r.indexed.p50_us, r.indexed.p99_us);
-    std::fprintf(out, "      \"speedup\": %.2f,\n", r.speedup);
-    std::fprintf(out, "      \"scaling\": [");
-    for (size_t s = 0; s < r.scaling.size(); ++s) {
-      std::fprintf(out, "%s{\"threads\": %zu, \"qps\": %.1f}",
-                   s == 0 ? "" : ", ", r.scaling[s].first,
-                   r.scaling[s].second);
+  std::string text;
+  qatk::benchutil::JsonWriter json(&text);
+  json.BeginObject();
+  json.Key("bench").Value("knn_throughput");
+  json.Key("quick").Value(quick);
+  json.Key("similarity").Value("jaccard");
+  json.Key("max_nodes").Value(25);
+  json.Key("corpus").BeginObject();
+  json.Key("bundles").Value(static_cast<uint64_t>(bundles));
+  json.Key("learnable").Value(static_cast<uint64_t>(learnable));
+  json.EndObject();
+  json.Key("results").BeginArray();
+  for (const ModelResult& r : results) {
+    json.BeginObject();
+    json.Key("model").Value(r.name);
+    json.Key("nodes").Value(static_cast<uint64_t>(r.nodes));
+    json.Key("parts").Value(static_cast<uint64_t>(r.parts));
+    json.Key("postings").Value(static_cast<uint64_t>(r.postings));
+    json.Key("probes").Value(static_cast<uint64_t>(r.probes));
+    const auto emit_stats = [&json](const char* label,
+                                    const LatencyStats& stats) {
+      json.Key(label).BeginObject();
+      json.Key("qps").Value(stats.qps, 1);
+      json.Key("p50_us").Value(stats.p50_us, 2);
+      json.Key("p99_us").Value(stats.p99_us, 2);
+      json.EndObject();
+    };
+    emit_stats("brute", r.brute);
+    emit_stats("indexed", r.indexed);
+    json.Key("speedup").Value(r.speedup, 2);
+    json.Key("scaling").BeginArray();
+    for (const auto& [threads, qps] : r.scaling) {
+      json.BeginObject();
+      json.Key("threads").Value(static_cast<uint64_t>(threads));
+      json.Key("qps").Value(qps, 1);
+      json.EndObject();
     }
-    std::fprintf(out, "]\n    }");
+    json.EndArray();
+    json.EndObject();
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
-  std::printf("\nmachine-readable results written to %s\n", path);
+  json.EndArray();
+  json.EndObject();
+  json.Finish();
+  if (qatk::benchutil::WriteFile(path, text)) {
+    std::printf("\nmachine-readable results written to %s\n", path);
+  }
 }
 
 }  // namespace

@@ -9,13 +9,23 @@
 #                           proves indexed == brute rankings bit-for-bit and
 #                           fails if the frozen index is slower than brute
 #                           force. Writes BENCH_knn.json at the repo root.
+#   4. serve              — Release build of the epoll serving stack:
+#                           bench_serving_load --quick in-process (wire
+#                           responses must be bit-identical to direct
+#                           Recommend calls; shed/drain/fault gates), then
+#                           a real qatk_serve process on an ephemeral port,
+#                           the bench replayed against it over TCP, and a
+#                           SIGTERM drain that must exit 0. Writes
+#                           BENCH_serving.json at the repo root.
 #
 # Each sanitizer pass gets its own build tree under build-san/ so the
-# sanitizer runtimes never mix; the perf stage uses build-perf/. Usage:
+# sanitizer runtimes never mix; the perf and serve stages share
+# build-perf/. Usage:
 #   scripts/check.sh            # all stages
 #   scripts/check.sh address,undefined
 #   scripts/check.sh thread
 #   scripts/check.sh perf       # perf smoke only
+#   scripts/check.sh serve      # serving stack end-to-end only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +33,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGES=("${1:-address,undefined}")
 if [[ $# -eq 0 ]]; then
-  STAGES=("address,undefined" "thread" "perf")
+  STAGES=("address,undefined" "thread" "perf" "serve")
 fi
 
 for STAGE in "${STAGES[@]}"; do
@@ -35,6 +45,38 @@ for STAGE in "${STAGES[@]}"; do
     # Exits 2 if indexed rankings diverge from brute force, 1 if the
     # indexed path is slower; either fails the check via errexit.
     "${BUILD_DIR}/bench/bench_knn_throughput" --quick --out=BENCH_knn.json
+    continue
+  fi
+  if [[ "${STAGE}" == "serve" ]]; then
+    BUILD_DIR="build-perf"
+    echo "=== serve smoke: bench_serving_load + qatk_serve drain (build: ${BUILD_DIR}) ==="
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving_load qatk_serve
+    # In-process gates: bit-identical wire responses over every held-out
+    # bundle, deterministic shedding, zero-drop drain, fault schedules.
+    "${BUILD_DIR}/bench/bench_serving_load" --quick --out=BENCH_serving.json
+    # Cross-process: a real qatk_serve (independent training of the same
+    # deterministic corpus), the bench replayed over TCP, SIGTERM drain.
+    PORT_FILE="$(mktemp)"
+    rm -f "${PORT_FILE}"
+    "${BUILD_DIR}/src/server/qatk_serve" --port=0 --port-file="${PORT_FILE}" &
+    SERVE_PID=$!
+    for _ in $(seq 1 600); do
+      [[ -f "${PORT_FILE}" ]] && break
+      sleep 0.5
+    done
+    if [[ ! -f "${PORT_FILE}" ]]; then
+      echo "qatk_serve never wrote its port file" >&2
+      kill -9 "${SERVE_PID}" 2>/dev/null || true
+      exit 1
+    fi
+    PORT="$(cat "${PORT_FILE}")"
+    rm -f "${PORT_FILE}"
+    "${BUILD_DIR}/bench/bench_serving_load" --quick --connect="${PORT}" \
+      --out=/dev/null
+    kill -TERM "${SERVE_PID}"
+    # The graceful drain must finish all in-flight work and exit 0.
+    wait "${SERVE_PID}"
     continue
   fi
   # A comma-separated sanitizer list is a valid -fsanitize= value but not a

@@ -1,11 +1,88 @@
 #ifndef QATK_COMMON_LOGGING_H_
 #define QATK_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
 namespace qatk {
+
+/// Severity of a non-fatal QATK_LOG message, ordered by importance.
+enum class LogLevel : int {
+  kInfo = 0,
+  kWarn = 1,
+  kError = 2,
+  /// Threshold-only value: suppresses every QATK_LOG message.
+  kOff = 3,
+};
+
+namespace internal_logging {
+
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
+
+/// Parses the QATK_LOG_LEVEL environment variable ("info", "warn",
+/// "error", "off"; case-sensitive). Unset or unrecognized values fall
+/// back to kWarn so library INFO chatter stays quiet by default.
+inline LogLevel LevelFromEnv() {
+  const char* env = std::getenv("QATK_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+inline std::atomic<int>& MinLogLevelStore() {
+  static std::atomic<int> store{static_cast<int>(LevelFromEnv())};
+  return store;
+}
+
+/// Accumulates one leveled message and emits it to stderr when destroyed.
+/// The full line is built first and written with a single stream insertion
+/// so concurrent loggers do not interleave mid-line.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) {
+    stream_ << (level == LogLevel::kInfo
+                    ? "I "
+                    : level == LogLevel::kWarn ? "W " : "E ")
+            << file << ":" << line << ": ";
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Messages below `level` are dropped; overrides QATK_LOG_LEVEL.
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::MinLogLevelStore().store(static_cast<int>(level),
+                                             std::memory_order_relaxed);
+}
+
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(internal_logging::MinLogLevelStore().load(
+      std::memory_order_relaxed));
+}
+
+/// True when a message at `level` would be emitted.
+inline bool LogEnabled(LogLevel level) {
+  return level >= MinLogLevel() && level != LogLevel::kOff;
+}
+
 namespace internal_logging {
 
 /// Accumulates a fatal message and aborts the process when destroyed.
@@ -36,6 +113,19 @@ class Voidify {
 
 }  // namespace internal_logging
 }  // namespace qatk
+
+/// Non-fatal leveled logging to stderr, filtered by the threshold from
+/// QATK_LOG_LEVEL (default: warn) or SetMinLogLevel. Streams like
+/// QATK_CHECK: QATK_LOG(WARN) << "shedding, in-flight=" << n;
+/// The streamed expressions are not evaluated when the level is disabled.
+#define QATK_LOG(severity)                                               \
+  !::qatk::LogEnabled(::qatk::internal_logging::kLog##severity)          \
+      ? (void)0                                                          \
+      : ::qatk::internal_logging::Voidify() &                            \
+            ::qatk::internal_logging::LogMessage(                        \
+                ::qatk::internal_logging::kLog##severity, __FILE__,      \
+                __LINE__)                                                \
+                .stream()
 
 /// Aborts with a message when `condition` is false. Active in all builds;
 /// reserve for invariants whose violation would corrupt data. Supports

@@ -1,16 +1,48 @@
 #include "common/retry.h"
 
+#include <cstdint>
 #include <thread>
 
 namespace qatk {
+namespace {
+
+/// SplitMix64: a stateless, high-quality 64-bit mixer. Feeding it
+/// seed + attempt yields an independent-looking value per retry without
+/// carrying any RNG state inside the (const) policy.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 bool IsTransient(const Status& status) {
-  return status.code() == StatusCode::kUnavailable;
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+std::chrono::microseconds RetryPolicy::BackoffDelay(int attempt) const {
+  if (options_.base_backoff.count() <= 0) return std::chrono::microseconds{0};
+  const std::chrono::microseconds base =
+      options_.base_backoff * (1LL << (attempt - 1));
+  if (options_.jitter <= 0) return base;
+  // u in [0, 1): top 53 bits of the mix, scaled.
+  const double u =
+      static_cast<double>(SplitMix64(options_.seed + static_cast<uint64_t>(
+                                                         attempt)) >>
+                          11) *
+      (1.0 / 9007199254740992.0);
+  const double scaled =
+      static_cast<double>(base.count()) * (1.0 + options_.jitter * u);
+  return std::chrono::microseconds{static_cast<int64_t>(scaled)};
 }
 
 void RetryPolicy::Backoff(int attempt) const {
-  if (options_.base_backoff.count() <= 0) return;
-  std::this_thread::sleep_for(options_.base_backoff * (1LL << (attempt - 1)));
+  const std::chrono::microseconds delay = BackoffDelay(attempt);
+  if (delay.count() <= 0) return;
+  std::this_thread::sleep_for(delay);
 }
 
 }  // namespace qatk

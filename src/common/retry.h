@@ -9,9 +9,12 @@
 namespace qatk {
 
 /// True when retrying the failed operation may succeed. Only
-/// StatusCode::kUnavailable is transient; every other error either cannot
-/// be fixed by retrying (Invalid, KeyError, DataLoss, ...) or must not be
-/// blindly retried (IOError on a log append whose tail is indeterminate).
+/// StatusCode::kUnavailable (load or an injected transient fault) and
+/// StatusCode::kDeadlineExceeded (a request budget that expired under
+/// load; a fresh budget may fit) are transient; every other error either
+/// cannot be fixed by retrying (Invalid, KeyError, DataLoss, ...) or must
+/// not be blindly retried (IOError on a log append whose tail is
+/// indeterminate).
 bool IsTransient(const Status& status);
 
 /// \brief Bounded, deterministically backed-off retry loop for idempotent
@@ -30,6 +33,14 @@ class RetryPolicy {
     int max_attempts = 3;
     /// Delay before the first retry; doubles each further retry.
     std::chrono::microseconds base_backoff{50};
+    /// Deterministic de-synchronization: retry `n` sleeps
+    /// base * 2^(n-1) * (1 + jitter * u_n) where u_n in [0, 1) is derived
+    /// from (seed, n) by SplitMix64 — no global RNG state, so a given
+    /// (options, seed) pair always produces the identical delay sequence
+    /// and fault-injection runs stay replayable. 0 (default) disables
+    /// jitter and reproduces the original fixed schedule.
+    double jitter = 0.0;
+    uint64_t seed = 0;
   };
 
   RetryPolicy() : RetryPolicy(Options()) {}
@@ -52,6 +63,12 @@ class RetryPolicy {
 
   const Options& options() const { return options_; }
 
+  /// The exact delay slept before retry `attempt` (1-based). Pure:
+  /// depends only on the options, so tests can assert the whole schedule
+  /// without sleeping. Bounded by
+  /// [base * 2^(attempt-1), base * 2^(attempt-1) * (1 + jitter)).
+  std::chrono::microseconds BackoffDelay(int attempt) const;
+
  private:
   static const Status& StatusOf(const Status& status) { return status; }
   template <typename T>
@@ -59,7 +76,7 @@ class RetryPolicy {
     return result.status();
   }
 
-  /// Sleeps base_backoff * 2^(attempt-1).
+  /// Sleeps BackoffDelay(attempt).
   void Backoff(int attempt) const;
 
   Options options_;

@@ -26,6 +26,11 @@ enum class StatusCode {
   /// Unrecoverable corruption detected: stored bytes fail their checksum
   /// or invariant and the original data cannot be reconstructed.
   kDataLoss,
+  /// The operation's deadline expired before it could run to completion
+  /// (serving-side admission control, request budgets). Like kUnavailable
+  /// it is a load/timing failure, not a logic error: retrying with a fresh
+  /// budget may succeed, so RetryPolicy classifies it as transient.
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid", ...).
@@ -77,6 +82,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalid() const { return code_ == StatusCode::kInvalid; }
@@ -90,6 +98,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/logging.h"
+
 namespace qatk::quest {
 
 RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
@@ -69,6 +71,10 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
     reader_states_.clear();
   }
   trained_.store(true, std::memory_order_release);
+  QATK_LOG(INFO) << (allow_retrain ? "retrained" : "trained")
+                 << " recommendation service: " << index_.num_nodes()
+                 << " nodes, " << index_.num_parts() << " parts, "
+                 << index_.num_postings() << " postings";
   return Status::OK();
 }
 

@@ -1,0 +1,144 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qatk::server {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      read_buf_(std::move(other.read_buf_)),
+      max_frame_bytes_(other.max_frame_bytes_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    read_buf_ = std::move(other.read_buf_);
+    max_frame_bytes_ = other.max_frame_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Invalid("cannot parse host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::IOError("connect to " + host + ":" +
+                           std::to_string(port) + " failed: " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buf_.clear();
+}
+
+Status Client::Send(int64_t id, std::string_view method, const Json& params,
+                    int64_t deadline_ms) {
+  std::string bytes;
+  AppendFrame(EncodeRequest(id, method, params, deadline_ms), &bytes);
+  return SendRaw(bytes);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Invalid("client is not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("write failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::ReceiveFrame() {
+  if (fd_ < 0) return Status::Invalid("client is not connected");
+  char buf[65536];
+  for (;;) {
+    FrameDecode decode = DecodeFrame(read_buf_, max_frame_bytes_);
+    if (decode.state == FrameDecode::State::kFrame) {
+      std::string payload(decode.payload);
+      read_buf_.erase(0, decode.consumed);
+      return payload;
+    }
+    if (decode.state == FrameDecode::State::kError) {
+      return Status::Invalid("bad frame from server: " + decode.error);
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      read_buf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server" +
+                             (read_buf_.empty()
+                                  ? std::string()
+                                  : " mid-frame (" +
+                                        std::to_string(read_buf_.size()) +
+                                        " stray bytes)"));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("read timed out");
+    }
+    return Status::IOError(std::string("read failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+Result<Response> Client::Receive() {
+  QATK_ASSIGN_OR_RETURN(std::string payload, ReceiveFrame());
+  return ParseResponse(payload);
+}
+
+Result<Response> Client::Call(int64_t id, std::string_view method,
+                              const Json& params, int64_t deadline_ms) {
+  QATK_RETURN_NOT_OK(Send(id, method, params, deadline_ms));
+  return Receive();
+}
+
+}  // namespace qatk::server

@@ -1,0 +1,67 @@
+#ifndef QATK_SERVER_CLIENT_H_
+#define QATK_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace qatk::server {
+
+/// \brief Minimal blocking TCP client for the QUEST wire protocol.
+///
+/// Intended for tests, the load bench, and command-line poking — it is a
+/// protocol reference implementation, not a production client (one
+/// in-order connection, no reconnect). Supports pipelining: send any
+/// number of requests with Send/SendRaw, then collect responses in order
+/// with Receive. Not thread-safe.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. `timeout_ms` bounds each subsequent blocking
+  /// read/write; <= 0 means no timeout.
+  Status Connect(const std::string& host, uint16_t port,
+                 int timeout_ms = 5000);
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// Frames and writes one request payload (does not wait for the reply).
+  Status Send(int64_t id, std::string_view method, const Json& params,
+              int64_t deadline_ms = -1);
+
+  /// Writes pre-encoded bytes verbatim (already framed). Lets benches
+  /// pre-encode hot-path requests and lets tests send malformed frames.
+  Status SendRaw(std::string_view bytes);
+
+  /// Blocks until one full response frame arrives and parses it.
+  Result<Response> Receive();
+
+  /// Blocks until one full frame arrives; returns the raw JSON payload
+  /// without parsing (bench hot path, torn-frame tests).
+  Result<std::string> ReceiveFrame();
+
+  /// Send + Receive for the common unary case.
+  Result<Response> Call(int64_t id, std::string_view method,
+                        const Json& params, int64_t deadline_ms = -1);
+
+ private:
+  int fd_ = -1;
+  std::string read_buf_;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace qatk::server
+
+#endif  // QATK_SERVER_CLIENT_H_

@@ -1,0 +1,69 @@
+#ifndef QATK_SERVER_DEMO_CORPUS_H_
+#define QATK_SERVER_DEMO_CORPUS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "kb/data_bundle.h"
+
+namespace qatk::server {
+
+/// Deterministic synthetic world used by `qatk_serve` and by
+/// `bench_serving_load`. Both sides build the exact same corpus from these
+/// fixed seeds, which is what lets the bench verify that responses
+/// received over the wire are bit-identical to a direct in-process
+/// Recommend() against its own independently trained model.
+inline datagen::WorldConfig DemoWorldConfig() {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 20;
+  config.small_parts = 2;
+  config.num_components = 80;
+  config.num_symptoms = 70;
+  config.num_locations = 20;
+  config.num_solutions = 20;
+  config.components_per_part = 6;
+  return config;
+}
+
+inline datagen::OemConfig DemoOemConfig(size_t num_bundles) {
+  datagen::OemConfig config;
+  config.num_bundles = num_bundles;
+  return config;
+}
+
+/// Both sides generate kDemoTrainBundles + kDemoHeldOutBundles bundles in
+/// one deterministic run, train on the first kDemoTrainBundles, and treat
+/// the tail as held-out replay traffic. Splitting one generation (rather
+/// than generating two different sizes) is what guarantees the prefixes
+/// match bundle-for-bundle.
+inline constexpr size_t kDemoTrainBundles = 2000;
+inline constexpr size_t kDemoHeldOutBundles = 1200;
+
+struct DemoSplit {
+  kb::Corpus train;                     ///< First kDemoTrainBundles.
+  std::vector<kb::DataBundle> heldout;  ///< Replay traffic.
+};
+
+inline DemoSplit GenerateDemoSplit(const datagen::DomainWorld& world) {
+  datagen::OemCorpusGenerator generator(
+      &world, DemoOemConfig(kDemoTrainBundles + kDemoHeldOutBundles));
+  kb::Corpus full = generator.Generate();
+  DemoSplit split;
+  split.heldout.assign(full.bundles.begin() + kDemoTrainBundles,
+                       full.bundles.end());
+  full.bundles.resize(kDemoTrainBundles);
+  split.train = std::move(full);
+  return split;
+}
+
+}  // namespace qatk::server
+
+#endif  // QATK_SERVER_DEMO_CORPUS_H_

@@ -1,0 +1,116 @@
+#ifndef QATK_SERVER_JSON_H_
+#define QATK_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qatk::server {
+
+/// \brief Minimal, dependency-free JSON document model for the wire
+/// protocol: parse, navigate, build, serialize.
+///
+/// Design points that matter for the protocol:
+///  * Objects preserve insertion order (a vector of pairs, not a map), so
+///    encoded requests/responses are byte-deterministic and diffable;
+///    lookups are linear, which is fine for the handful of keys a frame
+///    carries.
+///  * Numbers are doubles emitted with up to 17 significant digits, so a
+///    similarity score survives encode -> parse bit-for-bit (IEEE-754
+///    doubles round-trip exactly through 17 digits); integral values in
+///    the int64 range print without an exponent or trailing ".0".
+///  * Parse enforces a nesting-depth cap and rejects trailing garbage, so
+///    a hostile frame cannot stack-overflow the server or smuggle bytes.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (object, array, or scalar). Fails
+  /// with Invalid naming the byte offset of the first error.
+  static Result<Json> Parse(std::string_view text);
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int64_t value)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::string value)  // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value)  // NOLINT
+      : type_(Type::kString), string_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+
+  static Json Object() {
+    Json json;
+    json.type_ = Type::kObject;
+    return json;
+  }
+  static Json Array() {
+    Json json;
+    json.type_ = Type::kArray;
+    return json;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Typed member accessors with defaults, for tolerant decoding.
+  std::string GetString(std::string_view key,
+                        std::string fallback = std::string()) const;
+  double GetNumber(std::string_view key, double fallback = 0) const;
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  /// Appends/overwrites an object member (first write wins position).
+  Json& Set(std::string key, Json value);
+  /// Appends an array element.
+  Json& Append(Json value);
+
+  /// Serializes compactly (no whitespace). Deterministic: member order is
+  /// insertion order.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// control characters as \uXXXX). Shared by Json::Dump and any hand-rolled
+/// emitter that must stay wire-compatible.
+void JsonEscape(std::string_view text, std::string* out);
+
+/// Formats a double the way Json::Dump does: integral int64-range values
+/// as integers, everything else with up to 17 significant digits so the
+/// value round-trips exactly.
+std::string JsonNumberToString(double value);
+
+}  // namespace qatk::server
+
+#endif  // QATK_SERVER_JSON_H_

@@ -1,0 +1,262 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+namespace qatk::server {
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>((len >> 24) & 0xFF));
+  out->push_back(static_cast<char>((len >> 16) & 0xFF));
+  out->push_back(static_cast<char>((len >> 8) & 0xFF));
+  out->push_back(static_cast<char>(len & 0xFF));
+  out->append(payload);
+}
+
+FrameDecode DecodeFrame(std::string_view buffer, size_t max_frame_bytes) {
+  FrameDecode decode;
+  if (buffer.size() < kLengthPrefixBytes) {
+    decode.state = FrameDecode::State::kNeedMore;
+    return decode;
+  }
+  const uint32_t len =
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer[0])) << 24) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer[1])) << 16) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(buffer[2])) << 8) |
+      static_cast<uint32_t>(static_cast<unsigned char>(buffer[3]));
+  if (len == 0) {
+    decode.state = FrameDecode::State::kError;
+    decode.error = "zero-length frame";
+    return decode;
+  }
+  if (len > max_frame_bytes) {
+    decode.state = FrameDecode::State::kError;
+    decode.error = "frame of " + std::to_string(len) +
+                   " bytes exceeds the " + std::to_string(max_frame_bytes) +
+                   "-byte cap";
+    return decode;
+  }
+  if (buffer.size() < kLengthPrefixBytes + len) {
+    decode.state = FrameDecode::State::kNeedMore;
+    return decode;
+  }
+  decode.state = FrameDecode::State::kFrame;
+  decode.payload = buffer.substr(kLengthPrefixBytes, len);
+  decode.consumed = kLengthPrefixBytes + len;
+  return decode;
+}
+
+namespace {
+
+struct MethodName {
+  Method method;
+  const char* name;
+};
+
+constexpr MethodName kMethodNames[] = {
+    {Method::kRecommend, "Recommend"},
+    {Method::kRecommendForText, "RecommendForText"},
+    {Method::kFullListForPart, "FullListForPart"},
+    {Method::kDescribeCode, "DescribeCode"},
+    {Method::kConfirmAssignment, "ConfirmAssignment"},
+    {Method::kDefineErrorCode, "DefineErrorCode"},
+    {Method::kHealth, "Health"},
+    {Method::kStats, "Stats"},
+};
+
+Json ScoredCodesToJson(const std::vector<core::ScoredCode>& codes) {
+  Json array = Json::Array();
+  for (const core::ScoredCode& scored : codes) {
+    Json entry = Json::Object();
+    entry.Set("code", Json(scored.error_code));
+    entry.Set("score", Json(scored.score));
+    array.Append(std::move(entry));
+  }
+  return array;
+}
+
+}  // namespace
+
+const char* MethodToString(Method method) {
+  for (const MethodName& entry : kMethodNames) {
+    if (entry.method == method) return entry.name;
+  }
+  return "Unknown";
+}
+
+Method MethodFromString(std::string_view name) {
+  for (const MethodName& entry : kMethodNames) {
+    if (name == entry.name) return entry.method;
+  }
+  return Method::kUnknown;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  QATK_ASSIGN_OR_RETURN(Json document, Json::Parse(payload));
+  if (!document.is_object()) {
+    return Status::Invalid("request payload is not a JSON object");
+  }
+  const Json* method = document.Find("method");
+  if (method == nullptr || !method->is_string()) {
+    return Status::Invalid("request is missing a string \"method\"");
+  }
+  Request request;
+  request.id = document.GetInt("id", 0);
+  request.method_name = method->string_value();
+  request.method = MethodFromString(request.method_name);
+  request.deadline_ms = document.GetInt("deadline_ms", -1);
+  const Json* params = document.Find("params");
+  request.params =
+      (params != nullptr && params->is_object()) ? *params : Json::Object();
+  return request;
+}
+
+std::string EncodeRequest(int64_t id, std::string_view method,
+                          const Json& params, int64_t deadline_ms) {
+  Json document = Json::Object();
+  document.Set("id", Json(id));
+  document.Set("method", Json(method));
+  if (deadline_ms >= 0) document.Set("deadline_ms", Json(deadline_ms));
+  document.Set("params", params);
+  return document.Dump();
+}
+
+std::string EncodeResponse(int64_t id, const Status& status,
+                           const Json& result) {
+  Json document = Json::Object();
+  document.Set("id", Json(id));
+  document.Set("code", Json(StatusCodeToString(status.code())));
+  document.Set("message", Json(status.message()));
+  document.Set("result", status.ok() ? result : Json());
+  return document.Dump();
+}
+
+Result<Response> ParseResponse(std::string_view payload) {
+  QATK_ASSIGN_OR_RETURN(Json document, Json::Parse(payload));
+  if (!document.is_object()) {
+    return Status::Invalid("response payload is not a JSON object");
+  }
+  Response response;
+  response.id = document.GetInt("id", 0);
+  const std::string code = document.GetString("code", "Internal");
+  response.code = StatusCode::kInternal;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
+    if (code == StatusCodeToString(static_cast<StatusCode>(c))) {
+      response.code = static_cast<StatusCode>(c);
+      break;
+    }
+  }
+  response.message = document.GetString("message");
+  const Json* result = document.Find("result");
+  if (result != nullptr) response.result = *result;
+  return response;
+}
+
+kb::DataBundle BundleFromParams(const Json& params) {
+  kb::DataBundle bundle;
+  bundle.reference_number = params.GetString("reference_number");
+  bundle.article_code = params.GetString("article_code");
+  bundle.part_id = params.GetString("part_id");
+  bundle.error_code = params.GetString("error_code");
+  bundle.responsibility_code = params.GetString("responsibility_code");
+  bundle.mechanic_report = params.GetString("mechanic_report");
+  bundle.initial_oem_report = params.GetString("initial_oem_report");
+  bundle.supplier_report = params.GetString("supplier_report");
+  bundle.final_oem_report = params.GetString("final_oem_report");
+  return bundle;
+}
+
+Json BundleToParams(const kb::DataBundle& bundle) {
+  Json params = Json::Object();
+  params.Set("reference_number", Json(bundle.reference_number));
+  params.Set("article_code", Json(bundle.article_code));
+  params.Set("part_id", Json(bundle.part_id));
+  params.Set("error_code", Json(bundle.error_code));
+  params.Set("responsibility_code", Json(bundle.responsibility_code));
+  params.Set("mechanic_report", Json(bundle.mechanic_report));
+  params.Set("initial_oem_report", Json(bundle.initial_oem_report));
+  params.Set("supplier_report", Json(bundle.supplier_report));
+  params.Set("final_oem_report", Json(bundle.final_oem_report));
+  return params;
+}
+
+Json RecommendationToJson(
+    const quest::RecommendationService::Recommendation& recommendation) {
+  Json result = Json::Object();
+  result.Set("top", ScoredCodesToJson(recommendation.top));
+  result.Set("truncated", Json(recommendation.truncated));
+  return result;
+}
+
+Response Dispatch(quest::RecommendationService* service,
+                  const Request& request) {
+  Response response;
+  response.id = request.id;
+  Status status;
+  Json result = Json::Object();
+  switch (request.method) {
+    case Method::kRecommend: {
+      auto recommendation =
+          service->Recommend(BundleFromParams(request.params));
+      status = recommendation.status();
+      if (recommendation.ok()) {
+        result = RecommendationToJson(*recommendation);
+      }
+      break;
+    }
+    case Method::kRecommendForText: {
+      auto recommendation = service->RecommendForText(
+          request.params.GetString("part_id"),
+          request.params.GetString("text"));
+      status = recommendation.status();
+      if (recommendation.ok()) {
+        result = RecommendationToJson(*recommendation);
+      }
+      break;
+    }
+    case Method::kFullListForPart: {
+      result.Set("codes", ScoredCodesToJson(service->FullListForPart(
+                      request.params.GetString("part_id"))));
+      break;
+    }
+    case Method::kDescribeCode: {
+      auto description =
+          service->DescribeCode(request.params.GetString("code"));
+      status = description.status();
+      if (description.ok()) {
+        result.Set("description", Json(*description));
+      }
+      break;
+    }
+    case Method::kConfirmAssignment: {
+      status = service->ConfirmAssignment(
+          BundleFromParams(request.params),
+          request.params.GetString("error_code"));
+      break;
+    }
+    case Method::kDefineErrorCode: {
+      status = service->DefineErrorCode(
+          request.params.GetString("part_id"),
+          request.params.GetString("code"),
+          request.params.GetString("description"));
+      break;
+    }
+    case Method::kHealth:
+    case Method::kStats:
+      // Server-level methods: the event loop answers these from its own
+      // counters before ever reaching Dispatch.
+      status = Status::Invalid("method '" + request.method_name +
+                               "' requires a server context");
+      break;
+    case Method::kUnknown:
+      status = Status::Invalid("unknown method '" + request.method_name +
+                               "'");
+      break;
+  }
+  response.code = status.code();
+  response.message = status.message();
+  response.result = std::move(result);
+  return response;
+}
+
+}  // namespace qatk::server

@@ -1,0 +1,142 @@
+#ifndef QATK_SERVER_PROTOCOL_H_
+#define QATK_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "kb/data_bundle.h"
+#include "quest/recommendation_service.h"
+#include "server/json.h"
+
+namespace qatk::server {
+
+/// \brief Wire format of the QUEST serving protocol, fully decoupled from
+/// sockets so every layer is unit-testable on plain byte buffers.
+///
+/// Framing: each message is a 4-byte big-endian unsigned payload length
+/// followed by that many bytes of UTF-8 JSON. Zero-length frames are a
+/// protocol error (there is no heartbeat at this layer; use the Health
+/// method). Lengths above the configured cap are rejected before any
+/// allocation, so a hostile prefix cannot balloon memory.
+///
+/// Request payload:   {"id": <int>, "method": "<name>",
+///                     "deadline_ms": <int, optional>,
+///                     "params": {...}}
+/// Response payload:  {"id": <int>, "code": "<StatusCode name>",
+///                     "message": "<error text, empty when OK>",
+///                     "result": {...} | null}
+///
+/// `id` is an opaque client token echoed verbatim — with pipelining the
+/// client matches responses to requests by id (responses on one
+/// connection always arrive in request order).
+
+/// Byte size of the length prefix.
+inline constexpr size_t kLengthPrefixBytes = 4;
+
+/// Default cap on a frame payload; a prefix above the cap closes the
+/// connection (after an error response) rather than allocating.
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Appends one length-prefixed frame carrying `payload` to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Attempt to decode one frame from the front of `buffer`.
+struct FrameDecode {
+  enum class State {
+    kFrame,     ///< One complete frame: `payload` + `consumed` are set.
+    kNeedMore,  ///< The buffer holds only a prefix of a frame.
+    kError,     ///< Unrecoverable framing error (oversized/zero length).
+  };
+  State state = State::kNeedMore;
+  std::string_view payload;  ///< Valid only while `buffer` is unchanged.
+  size_t consumed = 0;       ///< Bytes to drop from the front of `buffer`.
+  std::string error;
+};
+FrameDecode DecodeFrame(std::string_view buffer,
+                        size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Protocol methods. kUnknown is carried (not rejected) by ParseRequest so
+/// the server can answer with a proper per-request error response.
+enum class Method {
+  kUnknown,
+  kRecommend,
+  kRecommendForText,
+  kFullListForPart,
+  kDescribeCode,
+  kConfirmAssignment,
+  kDefineErrorCode,
+  kHealth,
+  kStats,
+};
+
+const char* MethodToString(Method method);
+Method MethodFromString(std::string_view name);
+
+/// One decoded request.
+struct Request {
+  int64_t id = 0;
+  std::string method_name;
+  Method method = Method::kUnknown;
+  /// Per-request deadline budget in milliseconds, measured by the server
+  /// from the moment the request's bytes were read off the socket; < 0
+  /// means no deadline.
+  int64_t deadline_ms = -1;
+  Json params;  ///< Always an object (possibly empty).
+};
+
+/// Parses a request payload. Fails only on malformed JSON, a non-object
+/// document, or a missing/non-string "method"; an unrecognized method name
+/// parses fine with method == kUnknown.
+Result<Request> ParseRequest(std::string_view payload);
+
+/// Client-side encoder: one request payload (not yet framed).
+std::string EncodeRequest(int64_t id, std::string_view method,
+                          const Json& params, int64_t deadline_ms = -1);
+
+/// One decoded response.
+struct Response {
+  int64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  Json result;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Server-side encoder: one response payload (not yet framed).
+std::string EncodeResponse(int64_t id, const Status& status,
+                           const Json& result);
+
+/// Parses a response payload (client side). Unknown code names map to
+/// kInternal rather than failing, so a newer server never strands an older
+/// client without an error message.
+Result<Response> ParseResponse(std::string_view payload);
+
+/// Builds a kb::DataBundle from request params (all fields optional
+/// strings; unknown keys ignored). Train-only fields (final report, error
+/// code) are accepted so ConfirmAssignment can carry them.
+kb::DataBundle BundleFromParams(const Json& params);
+
+/// Client-side inverse of BundleFromParams: params carrying every bundle
+/// field (empty fields included, harmless). BundleFromParams(
+/// BundleToParams(b)) == b.
+Json BundleToParams(const kb::DataBundle& bundle);
+
+/// JSON shape of one ranked recommendation list.
+Json RecommendationToJson(
+    const quest::RecommendationService::Recommendation& recommendation);
+
+/// Executes one already-parsed service request against `service` and
+/// returns the full response (id echoed, status mapped). Handles exactly
+/// the service-backed methods; kHealth/kStats are server-level and must be
+/// intercepted by the caller, which owns those counters (they fall through
+/// to an Invalid response here). Pure request -> response: no sockets, no
+/// server state, unit-testable directly.
+Response Dispatch(quest::RecommendationService* service,
+                  const Request& request);
+
+}  // namespace qatk::server
+
+#endif  // QATK_SERVER_PROTOCOL_H_

@@ -1,0 +1,139 @@
+// qatk_serve: train the QUEST recommendation service on the deterministic
+// demo corpus, then serve it over TCP (length-prefixed JSON protocol, see
+// src/server/protocol.h). SIGTERM/SIGINT triggers a graceful drain: the
+// listener closes, every request already received is answered and flushed,
+// then the process exits 0 (nonzero only if the drain timed out and
+// dropped in-flight responses).
+//
+// Usage:
+//   qatk_serve [--host=127.0.0.1] [--port=0] [--threads=1]
+//              [--max-in-flight=1024] [--idle-timeout-ms=60000]
+//              [--drain-timeout-ms=10000] [--port-file=PATH]
+//
+// --port=0 binds an ephemeral port; --port-file writes the bound port to
+// PATH once the server is accepting (how scripts/check.sh finds it).
+//
+// Quick poke with nc (frames are 4-byte big-endian length + JSON):
+//   printf '{"id":1,"method":"Health","params":{}}' | awk '{
+//     printf "%c%c%c%c%s", 0, 0, 0, length($0), $0 }' | nc 127.0.0.1 PORT
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "datagen/world.h"
+#include "quest/recommendation_service.h"
+#include "server/demo_corpus.h"
+#include "server/server.h"
+
+namespace {
+
+qatk::server::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  // RequestDrain is async-signal-safe (atomic store + eventfd writes).
+  if (g_server != nullptr) g_server->RequestDrain();
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qatk::server::Server::Options options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::stoi(value));
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      options.threads = static_cast<size_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--max-in-flight", &value)) {
+      options.max_in_flight = static_cast<size_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--idle-timeout-ms", &value)) {
+      options.idle_timeout_ms = std::stoi(value);
+    } else if (ParseFlag(argv[i], "--drain-timeout-ms", &value)) {
+      options.drain_timeout_ms = std::stoi(value);
+    } else if (ParseFlag(argv[i], "--port-file", &value)) {
+      port_file = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "building demo world + corpus...\n");
+  qatk::datagen::DomainWorld world(qatk::server::DemoWorldConfig());
+  qatk::server::DemoSplit split = qatk::server::GenerateDemoSplit(world);
+  qatk::quest::RecommendationService service(&world.taxonomy(), {});
+  qatk::Status trained = service.Train(split.train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  qatk::server::Server server(&service, options);
+  qatk::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on %s:%u (%zu thread%s)\n",
+               options.host.c_str(), server.port(), options.threads,
+               options.threads == 1 ? "" : "s");
+  if (!port_file.empty()) {
+    // Write to a temp name then rename, so a poller never reads a
+    // half-written port.
+    const std::string tmp = port_file + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "cannot rename port file into place\n");
+      return 1;
+    }
+  }
+
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  const qatk::Status drained = server.Wait();
+  const qatk::server::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "drained: accepted=%llu requests=%llu ok=%llu error=%llu "
+               "shed=%llu deadline_exceeded=%llu protocol_errors=%llu "
+               "drain_dropped=%llu\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.responses_ok),
+               static_cast<unsigned long long>(stats.responses_error),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.drain_dropped));
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain incomplete: %s\n",
+                 drained.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

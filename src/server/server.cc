@@ -1,0 +1,783 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace qatk::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+      .count();
+}
+
+/// One TCP connection, owned by exactly one event loop for its lifetime.
+struct Conn {
+  int fd = -1;
+  std::string read_buf;
+  /// Pending outgoing bytes; `write_off` is the already-flushed prefix
+  /// (erased lazily so steady-state flushing never memmoves).
+  std::string write_buf;
+  size_t write_off = 0;
+  /// Running byte counters over the connection lifetime, used to map
+  /// flush progress onto queued responses.
+  uint64_t enqueued_total = 0;
+  uint64_t flushed_total = 0;
+  /// (end offset in enqueued_total, counted in the in-flight gauge) per
+  /// queued response, in order. Popped as flush progress passes them.
+  std::deque<std::pair<uint64_t, bool>> pending;
+  Clock::time_point last_active;
+  bool want_write = false;        ///< EPOLLOUT currently armed.
+  bool close_after_flush = false; ///< Fatal framing error: answer, close.
+  bool read_shutdown = false;     ///< Peer EOF or drain cutoff reached.
+};
+
+}  // namespace
+
+struct Server::Impl {
+  quest::RecommendationService* service = nullptr;
+  Options options;
+  Server* self = nullptr;
+
+  int listen_fd = -1;
+
+  struct Loop {
+    size_t index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    std::thread thread;
+    bool drain_seen = false;
+    Clock::time_point drain_start;
+  };
+  std::vector<std::unique_ptr<Loop>> loops;
+  size_t next_loop = 0;  // Round-robin accept distribution; loop 0 only.
+
+  std::atomic<size_t> in_flight{0};
+  std::mutex fault_mutex;
+  bool started = false;
+  bool joined = false;
+
+  // Counters (relaxed: monotone gauges, no ordering required).
+  std::atomic<uint64_t> accepted{0}, closed{0}, requests{0},
+      responses_ok{0}, responses_error{0}, shed{0}, deadline_exceeded{0},
+      protocol_errors{0}, read_faults{0}, write_faults{0}, bytes_read{0},
+      bytes_written{0}, drain_dropped{0};
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    for (auto& loop : loops) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+    }
+  }
+
+  /// Consults the fault injector at `op`; OK when no injector is set.
+  /// `crashed` distinguishes a scripted one-shot kTransient fault (retry
+  /// like EAGAIN) from the injector's post-torn/post-crash state where
+  /// every op fails forever — retrying those would busy-loop, so the
+  /// caller must treat them as permanent.
+  struct FaultDecision {
+    FaultInjector::Decision decision;
+    bool crashed = false;
+  };
+  FaultDecision FaultOn(const char* op) {
+    if (options.fault == nullptr) return {};
+    std::lock_guard<std::mutex> lock(fault_mutex);
+    FaultDecision result;
+    result.decision = options.fault->OnOp(op);
+    result.crashed = options.fault->crashed();
+    return result;
+  }
+
+  bool Draining() const {
+    return self->drain_requested_.load(std::memory_order_acquire);
+  }
+
+  Status Start();
+  void RunLoop(Loop* loop);
+  void AcceptReady(Loop* loop);
+  void Adopt(Loop* loop, int fd);
+  void AdoptInbox(Loop* loop);
+  void BeginDrain(Loop* loop);
+  void DrainConn(Loop* loop, Conn* conn);
+  void CloseConn(Loop* loop, Conn* conn);
+  /// All Handle*/Flush helpers return false when they closed the
+  /// connection (the Conn is destroyed; the caller must not touch it).
+  bool HandleReadable(Loop* loop, Conn* conn);
+  bool ProcessFrames(Loop* loop, Conn* conn);
+  void HandleRequest(Loop* loop, Conn* conn, std::string_view payload,
+                     Clock::time_point arrival);
+  bool FlushWrites(Loop* loop, Conn* conn);
+  void AppendResponse(Conn* conn, const std::string& payload, bool admitted);
+  void ArmWrite(Loop* loop, Conn* conn, bool want);
+  Json HealthJson() const;
+  Json StatsJson() const;
+};
+
+Status Server::Impl::Start() {
+  listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                       0);
+  if (listen_fd < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("cannot parse host '" + options.host + "'");
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("bind to " + options.host + ":" +
+                           std::to_string(options.port) + " failed: " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd, 512) != 0) {
+    return Status::IOError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::IOError("getsockname() failed");
+  }
+  self->port_ = ntohs(bound.sin_port);
+
+  const size_t num_loops = options.threads == 0 ? 1 : options.threads;
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) return Status::IOError("epoll_create1 failed");
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) return Status::IOError("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) !=
+        0) {
+      return Status::IOError("epoll_ctl(wake) failed");
+    }
+    if (i == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.fd = listen_fd;
+      if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd, &lev) != 0) {
+        return Status::IOError("epoll_ctl(listener) failed");
+      }
+    }
+    loops.push_back(std::move(loop));
+  }
+  for (auto& loop : loops) {
+    Loop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { RunLoop(raw); });
+  }
+  started = true;
+  QATK_LOG(INFO) << "qatk server listening on " << options.host << ":"
+                 << self->port_ << " (" << num_loops
+                 << " event-loop thread" << (num_loops == 1 ? "" : "s")
+                 << ")";
+  return Status::OK();
+}
+
+void Server::Impl::RunLoop(Loop* loop) {
+  epoll_event events[64];
+  for (;;) {
+    if (Draining() && !loop->drain_seen) BeginDrain(loop);
+    if (loop->drain_seen) {
+      bool inbox_empty;
+      {
+        std::lock_guard<std::mutex> lock(loop->inbox_mutex);
+        inbox_empty = loop->inbox.empty();
+      }
+      if (loop->conns.empty() && inbox_empty) break;
+      if (options.drain_timeout_ms > 0 &&
+          ElapsedMs(loop->drain_start, Clock::now()) >
+              options.drain_timeout_ms) {
+        // Force close whatever is left; unflushed responses are dropped.
+        AdoptInbox(loop);
+        size_t dropped = 0;
+        while (!loop->conns.empty()) {
+          Conn* conn = loop->conns.begin()->second.get();
+          if (conn->write_off < conn->write_buf.size()) ++dropped;
+          CloseConn(loop, conn);
+        }
+        drain_dropped.fetch_add(dropped, std::memory_order_relaxed);
+        if (dropped > 0) {
+          QATK_LOG(ERROR) << "drain timeout: dropped " << dropped
+                          << " connections with unflushed responses";
+        }
+        break;
+      }
+    }
+    const int n = ::epoll_wait(loop->epoll_fd, events, 64, /*timeout=*/50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      QATK_LOG(ERROR) << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop->wake_fd) {
+        uint64_t token;
+        while (::read(loop->wake_fd, &token, sizeof(token)) > 0) {
+        }
+        AdoptInbox(loop);
+        continue;
+      }
+      // Check the loop index first: only loop 0 may read listen_fd, which
+      // its own BeginDrain writes (-1) without synchronization.
+      if (loop->index == 0 && fd == listen_fd) {
+        AcceptReady(loop);
+        continue;
+      }
+      auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;  // Closed earlier this batch.
+      Conn* conn = it->second.get();
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConn(loop, conn);
+        continue;
+      }
+      bool alive = true;
+      if ((events[i].events & EPOLLIN) != 0 && !conn->read_shutdown) {
+        alive = HandleReadable(loop, conn);
+      }
+      if (alive && (events[i].events & EPOLLOUT) != 0) {
+        FlushWrites(loop, conn);
+      }
+    }
+    // Idle sweep (50 ms granularity).
+    if (options.idle_timeout_ms > 0 && !loop->conns.empty()) {
+      const Clock::time_point now = Clock::now();
+      std::vector<Conn*> idle;
+      for (auto& [fd, conn] : loop->conns) {
+        if (ElapsedMs(conn->last_active, now) > options.idle_timeout_ms) {
+          idle.push_back(conn.get());
+        }
+      }
+      for (Conn* conn : idle) {
+        QATK_LOG(INFO) << "closing idle connection (fd " << conn->fd << ")";
+        CloseConn(loop, conn);
+      }
+    }
+  }
+}
+
+void Server::Impl::AcceptReady(Loop* loop) {
+  for (;;) {
+    if (Draining()) return;
+    FaultDecision fault = FaultOn("server.accept");
+    if (!fault.decision.status.ok()) {
+      read_faults.fetch_add(1, std::memory_order_relaxed);
+      if (!fault.crashed) {
+        // One-shot injected accept failure: leave the pending connection
+        // in the backlog; level-triggered epoll retries next iteration.
+        return;
+      }
+      // Post-crash the injector fails forever; drain the backlog by
+      // accepting and closing, otherwise the level-triggered listener
+      // event would spin.
+      const int doomed = ::accept4(listen_fd, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (doomed < 0) return;
+      ::close(doomed);
+      continue;
+    }
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      QATK_LOG(WARN) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted.fetch_add(1, std::memory_order_relaxed);
+    Loop* target = loops[next_loop % loops.size()].get();
+    ++next_loop;
+    if (target == loop) {
+      Adopt(loop, fd);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target->inbox_mutex);
+        target->inbox.push_back(fd);
+      }
+      const uint64_t token = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(target->wake_fd, &token, sizeof(token));
+    }
+  }
+}
+
+void Server::Impl::Adopt(Loop* loop, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->last_active = Clock::now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    closed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Conn* raw = conn.get();
+  loop->conns.emplace(fd, std::move(conn));
+  if (loop->drain_seen) DrainConn(loop, raw);
+}
+
+void Server::Impl::AdoptInbox(Loop* loop) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(loop->inbox_mutex);
+    fds.swap(loop->inbox);
+  }
+  for (int fd : fds) Adopt(loop, fd);
+}
+
+void Server::Impl::BeginDrain(Loop* loop) {
+  loop->drain_seen = true;
+  loop->drain_start = Clock::now();
+  if (loop->index == 0 && listen_fd >= 0) {
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+    ::close(listen_fd);
+    listen_fd = -1;
+    QATK_LOG(INFO) << "drain: listener closed, finishing "
+                   << "in-flight requests";
+  }
+  AdoptInbox(loop);
+  std::vector<Conn*> conns;
+  conns.reserve(loop->conns.size());
+  for (auto& [fd, conn] : loop->conns) conns.push_back(conn.get());
+  for (Conn* conn : conns) DrainConn(loop, conn);
+}
+
+void Server::Impl::DrainConn(Loop* loop, Conn* conn) {
+  // Final read pull: answer everything that had reached the kernel buffer
+  // by the time the drain was requested, then cut the read side. Requests
+  // arriving later see a closed/half-closed socket, never a dropped
+  // response.
+  if (!conn->read_shutdown) {
+    if (!HandleReadable(loop, conn)) return;  // Closed.
+    conn->read_shutdown = true;
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  if (conn->write_off >= conn->write_buf.size()) {
+    CloseConn(loop, conn);
+  }
+}
+
+void Server::Impl::CloseConn(Loop* loop, Conn* conn) {
+  // Admitted requests whose responses never reached the socket release
+  // their admission slots here.
+  size_t unreleased = 0;
+  for (const auto& [end, admitted] : conn->pending) {
+    if (admitted) ++unreleased;
+  }
+  if (unreleased > 0) {
+    in_flight.fetch_sub(unreleased, std::memory_order_relaxed);
+  }
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  closed.fetch_add(1, std::memory_order_relaxed);
+  loop->conns.erase(conn->fd);
+}
+
+bool Server::Impl::HandleReadable(Loop* loop, Conn* conn) {
+  char buf[65536];
+  bool fault_close = false;
+  for (;;) {
+    if (options.fault != nullptr) {
+      FaultDecision fault = FaultOn("server.read");
+      if (fault.decision.torn) {
+        // Mid-frame disconnect: deliver a prefix of what is readable,
+        // then the connection dies.
+        const size_t cap = fault.decision.TornBytes(sizeof(buf));
+        const ssize_t n = cap == 0 ? 0 : ::read(conn->fd, buf, cap);
+        if (n > 0) {
+          conn->read_buf.append(buf, static_cast<size_t>(n));
+          bytes_read.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+        }
+        fault_close = true;
+        break;
+      }
+      if (!fault.decision.status.ok()) {
+        read_faults.fetch_add(1, std::memory_order_relaxed);
+        if (fault.decision.status.IsUnavailable() && !fault.crashed) {
+          // Transient (EAGAIN-storm) injection: bail out of this read
+          // round; level-triggered epoll re-delivers the readiness.
+          break;
+        }
+        CloseConn(loop, conn);
+        return false;
+      }
+    }
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->read_buf.append(buf, static_cast<size_t>(n));
+      bytes_read.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      conn->last_active = Clock::now();
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_shutdown = true;  // Peer finished sending (EOF).
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(loop, conn);
+    return false;
+  }
+  if (!ProcessFrames(loop, conn)) return false;
+  if (!FlushWrites(loop, conn)) return false;
+  if (fault_close) {
+    CloseConn(loop, conn);
+    return false;
+  }
+  // Slow-client protection: a peer that pipelines requests but does not
+  // drain responses is cut off once the cap is reached.
+  if (conn->write_buf.size() - conn->write_off > options.max_write_buffer) {
+    QATK_LOG(WARN) << "closing slow client: " << conn->write_buf.size()
+                   << " bytes of responses unread";
+    CloseConn(loop, conn);
+    return false;
+  }
+  if (conn->read_shutdown && conn->write_off >= conn->write_buf.size()) {
+    CloseConn(loop, conn);
+    return false;
+  }
+  return true;
+}
+
+bool Server::Impl::ProcessFrames(Loop* loop, Conn* conn) {
+  // Batch execution: every complete frame already buffered is answered
+  // before a single flush, so one readable event costs one write syscall
+  // regardless of pipelining depth.
+  const Clock::time_point arrival = Clock::now();
+  size_t offset = 0;
+  while (offset < conn->read_buf.size()) {
+    FrameDecode decode =
+        DecodeFrame(std::string_view(conn->read_buf).substr(offset),
+                    options.max_frame_bytes);
+    if (decode.state == FrameDecode::State::kNeedMore) break;
+    if (decode.state == FrameDecode::State::kError) {
+      protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      AppendResponse(conn,
+                     EncodeResponse(0, Status::Invalid(decode.error), Json()),
+                     /*admitted=*/false);
+      conn->close_after_flush = true;
+      conn->read_shutdown = true;
+      conn->read_buf.clear();
+      return true;
+    }
+    HandleRequest(loop, conn, decode.payload, arrival);
+    offset += decode.consumed;
+  }
+  if (offset > 0) conn->read_buf.erase(0, offset);
+  return true;
+}
+
+void Server::Impl::HandleRequest(Loop* loop, Conn* conn,
+                                 std::string_view payload,
+                                 Clock::time_point arrival) {
+  (void)loop;
+  requests.fetch_add(1, std::memory_order_relaxed);
+  Result<Request> parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    // The framing is intact, so the connection survives; only this
+    // request is answered with the parse error.
+    protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    responses_error.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(conn, EncodeResponse(0, parsed.status(), Json()),
+                   /*admitted=*/false);
+    return;
+  }
+  const Request& request = *parsed;
+  if (request.method == Method::kHealth) {
+    responses_ok.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(conn,
+                   EncodeResponse(request.id, Status::OK(), HealthJson()),
+                   /*admitted=*/false);
+    return;
+  }
+  if (request.method == Method::kStats) {
+    responses_ok.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(conn,
+                   EncodeResponse(request.id, Status::OK(), StatsJson()),
+                   /*admitted=*/false);
+    return;
+  }
+  if (request.deadline_ms >= 0 &&
+      ElapsedMs(arrival, Clock::now()) >= request.deadline_ms) {
+    deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    responses_error.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(
+        conn,
+        EncodeResponse(request.id,
+                       Status::DeadlineExceeded(
+                           "request expired after " +
+                           std::to_string(request.deadline_ms) +
+                           "ms before execution"),
+                       Json()),
+        /*admitted=*/false);
+    return;
+  }
+  // Admission control: bound the number of admitted-but-unflushed
+  // requests globally; beyond the cap, shed instead of queueing.
+  bool admitted = false;
+  size_t current = in_flight.load(std::memory_order_relaxed);
+  while (current < options.max_in_flight) {
+    if (in_flight.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_relaxed)) {
+      admitted = true;
+      break;
+    }
+  }
+  if (!admitted) {
+    shed.fetch_add(1, std::memory_order_relaxed);
+    responses_error.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(
+        conn,
+        EncodeResponse(request.id,
+                       Status::Unavailable(
+                           "server over capacity (max_in_flight=" +
+                           std::to_string(options.max_in_flight) + ")"),
+                       Json()),
+        /*admitted=*/false);
+    return;
+  }
+  Response response = Dispatch(service, request);
+  (response.ok() ? responses_ok : responses_error)
+      .fetch_add(1, std::memory_order_relaxed);
+  AppendResponse(conn,
+                 EncodeResponse(response.id,
+                                Status(response.code, response.message),
+                                response.result),
+                 /*admitted=*/true);
+}
+
+void Server::Impl::AppendResponse(Conn* conn, const std::string& payload,
+                                  bool admitted) {
+  AppendFrame(payload, &conn->write_buf);
+  conn->enqueued_total += kLengthPrefixBytes + payload.size();
+  conn->pending.emplace_back(conn->enqueued_total, admitted);
+}
+
+void Server::Impl::ArmWrite(Loop* loop, Conn* conn, bool want) {
+  if (conn->want_write == want) return;
+  conn->want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+bool Server::Impl::FlushWrites(Loop* loop, Conn* conn) {
+  auto release_flushed = [this, conn] {
+    size_t released = 0;
+    while (!conn->pending.empty() &&
+           conn->pending.front().first <= conn->flushed_total) {
+      if (conn->pending.front().second) ++released;
+      conn->pending.pop_front();
+    }
+    if (released > 0) {
+      in_flight.fetch_sub(released, std::memory_order_relaxed);
+    }
+  };
+  while (conn->write_off < conn->write_buf.size()) {
+    const char* data = conn->write_buf.data() + conn->write_off;
+    const size_t remaining = conn->write_buf.size() - conn->write_off;
+    if (options.fault != nullptr) {
+      FaultDecision fault = FaultOn("server.write");
+      if (fault.decision.torn) {
+        // Torn write: a prefix of the pending bytes reaches the peer,
+        // then the connection dies mid-frame.
+        const size_t cap = fault.decision.TornBytes(remaining);
+        if (cap > 0) {
+          const ssize_t n = ::write(conn->fd, data, cap);
+          if (n > 0) {
+            conn->write_off += static_cast<size_t>(n);
+            conn->flushed_total += static_cast<uint64_t>(n);
+            bytes_written.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+          }
+        }
+        write_faults.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(loop, conn);
+        return false;
+      }
+      if (!fault.decision.status.ok()) {
+        write_faults.fetch_add(1, std::memory_order_relaxed);
+        if (fault.decision.status.IsUnavailable() && !fault.crashed) {
+          // Transient: pretend the socket is full; EPOLLOUT retries.
+          ArmWrite(loop, conn, true);
+          return true;
+        }
+        CloseConn(loop, conn);
+        return false;
+      }
+    }
+    const ssize_t n = ::write(conn->fd, data, remaining);
+    if (n > 0) {
+      conn->write_off += static_cast<size_t>(n);
+      conn->flushed_total += static_cast<uint64_t>(n);
+      bytes_written.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+      conn->last_active = Clock::now();
+      release_flushed();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ArmWrite(loop, conn, true);
+      // Compact the flushed prefix so a long-lived stalled buffer does
+      // not pin twice the bytes it owes.
+      if (conn->write_off > 0) {
+        conn->write_buf.erase(0, conn->write_off);
+        conn->write_off = 0;
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(loop, conn);  // EPIPE / ECONNRESET / other fatal error.
+    return false;
+  }
+  conn->write_buf.clear();
+  conn->write_off = 0;
+  release_flushed();
+  ArmWrite(loop, conn, false);
+  if (conn->close_after_flush ||
+      (conn->read_shutdown && loop->drain_seen)) {
+    CloseConn(loop, conn);
+    return false;
+  }
+  return true;
+}
+
+Json Server::Impl::HealthJson() const {
+  Json result = Json::Object();
+  result.Set("trained", Json(service->trained()));
+  result.Set("draining", Json(Draining()));
+  result.Set("threads", Json(static_cast<int64_t>(loops.size())));
+  return result;
+}
+
+Json Server::Impl::StatsJson() const {
+  const auto get = [](const std::atomic<uint64_t>& a) {
+    return Json(static_cast<int64_t>(a.load(std::memory_order_relaxed)));
+  };
+  Json result = Json::Object();
+  result.Set("accepted", get(accepted));
+  result.Set("closed", get(closed));
+  result.Set("requests", get(requests));
+  result.Set("responses_ok", get(responses_ok));
+  result.Set("responses_error", get(responses_error));
+  result.Set("shed", get(shed));
+  result.Set("deadline_exceeded", get(deadline_exceeded));
+  result.Set("protocol_errors", get(protocol_errors));
+  result.Set("read_faults", get(read_faults));
+  result.Set("write_faults", get(write_faults));
+  result.Set("bytes_read", get(bytes_read));
+  result.Set("bytes_written", get(bytes_written));
+  result.Set("in_flight", Json(static_cast<int64_t>(
+                  in_flight.load(std::memory_order_relaxed))));
+  return result;
+}
+
+Server::Server(quest::RecommendationService* service, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->service = service;
+  impl_->options = std::move(options);
+  impl_->self = this;
+}
+
+Server::~Server() {
+  if (impl_->started && !impl_->joined) {
+    RequestDrain();
+    const Status status = Wait();
+    static_cast<void>(status);  // Destructor: drops are already counted.
+  }
+}
+
+Status Server::Start() {
+  if (impl_->started) return Status::Invalid("server already started");
+  return impl_->Start();
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  // Only async-signal-safe calls below: SIGTERM handlers route here.
+  const uint64_t token = 1;
+  for (auto& loop : impl_->loops) {
+    [[maybe_unused]] ssize_t n =
+        ::write(loop->wake_fd, &token, sizeof(token));
+  }
+}
+
+Status Server::Wait() {
+  if (!impl_->started) return Status::Invalid("server never started");
+  for (auto& loop : impl_->loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  impl_->joined = true;
+  const uint64_t dropped =
+      impl_->drain_dropped.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    return Status::Unavailable("drain dropped " + std::to_string(dropped) +
+                               " connections with unflushed responses");
+  }
+  return Status::OK();
+}
+
+Status Server::Drain() {
+  RequestDrain();
+  return Wait();
+}
+
+ServerStats Server::stats() const {
+  const Impl& impl = *impl_;
+  ServerStats stats;
+  const auto get = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  stats.accepted = get(impl.accepted);
+  stats.closed = get(impl.closed);
+  stats.requests = get(impl.requests);
+  stats.responses_ok = get(impl.responses_ok);
+  stats.responses_error = get(impl.responses_error);
+  stats.shed = get(impl.shed);
+  stats.deadline_exceeded = get(impl.deadline_exceeded);
+  stats.protocol_errors = get(impl.protocol_errors);
+  stats.read_faults = get(impl.read_faults);
+  stats.write_faults = get(impl.write_faults);
+  stats.bytes_read = get(impl.bytes_read);
+  stats.bytes_written = get(impl.bytes_written);
+  stats.drain_dropped = get(impl.drain_dropped);
+  return stats;
+}
+
+}  // namespace qatk::server

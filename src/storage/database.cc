@@ -103,7 +103,13 @@ Result<std::unique_ptr<Database>> Database::OpenFile(
     // before-images — or truncating to the stale header's page count —
     // would destroy committed state, so both steps are skipped.
     bool mid_checkpoint_crash = !clean && wal_empty;
+    if (mid_checkpoint_crash) {
+      QATK_LOG(WARN) << "recovery: crash inside Checkpoint() detected for '"
+                     << path << "'; keeping flushed pages, skipping rollback";
+    }
     if (!clean && !mid_checkpoint_crash) {
+      QATK_LOG(WARN) << "recovery: rolling back dirty page journal for '"
+                     << path << "'";
       DiskManager* raw = db->disk_.get();
       QATK_RETURN_NOT_OK(db->journal_->Rollback(
           [raw](uint32_t page_id, const char* image) {
@@ -123,6 +129,12 @@ Result<std::unique_ptr<Database>> Database::OpenFile(
           db->journal_->ReadCheckpointNumPages();
       if (checkpoint_pages.ok() &&
           checkpoint_pages.ValueOrDie() <= db->disk_->num_pages()) {
+        if (checkpoint_pages.ValueOrDie() < db->disk_->num_pages()) {
+          QATK_LOG(WARN) << "recovery: truncating '" << path << "' from "
+                         << db->disk_->num_pages() << " to "
+                         << checkpoint_pages.ValueOrDie()
+                         << " pages (post-checkpoint allocations)";
+        }
         QATK_RETURN_NOT_OK(
             db->disk_->Truncate(checkpoint_pages.ValueOrDie()));
       }

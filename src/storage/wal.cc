@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/logging.h"
 #include "storage/page.h"
 
 namespace qatk::db {
@@ -83,21 +84,43 @@ Result<std::vector<WalRecord>> WalFile::ReadAll() {
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
     return Status::IOError("seek failed reading WAL");
   }
+  bool torn_tail = false;
   for (;;) {
     unsigned char header[4];
     size_t got = std::fread(header, 1, 4, file_);
-    if (got < 4) break;  // Clean end or torn length: stop.
+    if (got < 4) {
+      torn_tail = got > 0;  // Clean end (0) or torn length: stop.
+      break;
+    }
     uint32_t len = ReadU32Le(header);
-    if (len == 0 || len > 64u * 1024 * 1024) break;  // Corrupt length.
+    if (len == 0 || len > 64u * 1024 * 1024) {  // Corrupt length.
+      torn_tail = true;
+      break;
+    }
     std::string body(len, '\0');
-    if (std::fread(body.data(), 1, len, file_) != len) break;  // Torn.
+    if (std::fread(body.data(), 1, len, file_) != len) {  // Torn.
+      torn_tail = true;
+      break;
+    }
     unsigned char crc_bytes[4];
-    if (std::fread(crc_bytes, 1, 4, file_) != 4) break;  // Torn.
-    if (ReadU32Le(crc_bytes) != Crc32(body)) break;      // Corrupt.
+    if (std::fread(crc_bytes, 1, 4, file_) != 4) {  // Torn.
+      torn_tail = true;
+      break;
+    }
+    if (ReadU32Le(crc_bytes) != Crc32(body)) {  // Corrupt.
+      torn_tail = true;
+      break;
+    }
     WalRecord record;
     record.type = static_cast<WalRecordType>(body[0]);
     record.payload = body.substr(1);
     records.push_back(std::move(record));
+  }
+  if (torn_tail) {
+    QATK_LOG(WARN) << "WAL '" << path_ << "': torn or corrupt tail after "
+                   << records.size()
+                   << " intact records; discarding the tail (crash-tail "
+                      "contract)";
   }
   return records;
 }

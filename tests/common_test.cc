@@ -363,6 +363,84 @@ TEST(RetryPolicyTest, WorksWithResultValues) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST(RetryPolicyTest, DeadlineExceededIsTransient) {
+  Status deadline = Status::DeadlineExceeded("50ms budget spent queued");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline.ToString().find("DeadlineExceeded"), std::string::npos);
+  EXPECT_TRUE(IsTransient(deadline));
+  EXPECT_TRUE(IsTransient(Status::Unavailable("load")));
+  EXPECT_FALSE(IsTransient(Status::Invalid("bad request")));
+  EXPECT_FALSE(IsTransient(Status::DataLoss("bad checksum")));
+
+  int calls = 0;
+  Status st = FastRetry(3).Run([&]() -> Status {
+    return ++calls < 2 ? Status::DeadlineExceeded("over budget")
+                       : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsDeterministicUnderFixedSeed) {
+  RetryPolicy::Options options;
+  options.max_attempts = 6;
+  options.base_backoff = std::chrono::microseconds(100);
+  options.jitter = 0.5;
+  options.seed = 1234;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    // Same (options, seed) -> identical schedule, no hidden RNG state.
+    EXPECT_EQ(a.BackoffDelay(attempt).count(),
+              b.BackoffDelay(attempt).count())
+        << "attempt " << attempt;
+    // Bounded: base * 2^(n-1) <= delay < base * 2^(n-1) * (1 + jitter).
+    const int64_t floor_us = 100LL << (attempt - 1);
+    const int64_t ceil_us =
+        static_cast<int64_t>(static_cast<double>(floor_us) * 1.5);
+    EXPECT_GE(a.BackoffDelay(attempt).count(), floor_us);
+    EXPECT_LE(a.BackoffDelay(attempt).count(), ceil_us);
+  }
+  // A different seed perturbs at least one delay in the schedule.
+  options.seed = 99;
+  RetryPolicy c(options);
+  bool differs = false;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    differs = differs ||
+              c.BackoffDelay(attempt).count() != a.BackoffDelay(attempt).count();
+  }
+  EXPECT_TRUE(differs);
+  // jitter = 0 reproduces the original fixed exponential schedule.
+  options.jitter = 0;
+  RetryPolicy fixed(options);
+  EXPECT_EQ(fixed.BackoffDelay(1).count(), 100);
+  EXPECT_EQ(fixed.BackoffDelay(3).count(), 400);
+}
+
+// ---------------------------------------------------------------------------
+// Leveled logging
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, ThresholdGatesMessages) {
+  const LogLevel saved = MinLogLevel();
+  SetMinLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetMinLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  // Disabled levels must not evaluate the streamed expressions.
+  int evaluations = 0;
+  QATK_LOG(ERROR) << "never emitted " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+  SetMinLogLevel(LogLevel::kInfo);
+  EXPECT_TRUE(LogEnabled(LogLevel::kInfo));
+  QATK_LOG(INFO) << "visible at info threshold: " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+  SetMinLogLevel(saved);
+}
+
 // ---------------------------------------------------------------------------
 // FaultInjector
 // ---------------------------------------------------------------------------

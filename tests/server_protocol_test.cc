@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "quest/recommendation_service.h"
+#include "server/json.h"
+#include "server/protocol.h"
+
+namespace qatk::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON codec
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":[true,false,null],"c":{"nested":"x"},"d":-2.5})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonTest, MemberOrderIsInsertionOrder) {
+  Json object = Json::Object();
+  object.Set("zebra", Json(static_cast<int64_t>(1)));
+  object.Set("alpha", Json(static_cast<int64_t>(2)));
+  object.Set("mid", Json(static_cast<int64_t>(3)));
+  EXPECT_EQ(object.Dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  object.Set("alpha", Json(static_cast<int64_t>(9)));  // Overwrite in place.
+  EXPECT_EQ(object.Dump(), R"({"zebra":1,"alpha":9,"mid":3})");
+}
+
+TEST(JsonTest, DoubleRoundTripIsBitIdentical) {
+  const double values[] = {0.1,         1.0 / 3.0, 6.02214076e23,
+                           -2.5e-308,   3.14159,   123456789.123456789,
+                           0.0,         -0.0,      42.0};
+  for (const double value : values) {
+    Json document = Json::Object();
+    document.Set("v", Json(value));
+    auto parsed = Json::Parse(document.Dump());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const double back = parsed->GetNumber("v", 12345.0);
+    EXPECT_EQ(std::memcmp(&back, &value, sizeof(double)), 0)
+        << "value " << value << " did not survive the round trip";
+  }
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json document = Json::Object();
+  document.Set("s", Json(std::string("tab\t quote\" back\\ nl\n ctl\x01")));
+  const std::string dumped = document.Dump();
+  auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("s"), "tab\t quote\" back\\ nl\n ctl\x01");
+}
+
+TEST(JsonTest, UnicodeEscapesAndSurrogatePairs) {
+  auto parsed = Json::Parse(R"({"s":"\u00e9\u0416\ud83d\ude00"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->GetString("s"), "\xC3\xA9\xD0\x96\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, MalformedDocumentsRejected) {
+  const char* bad[] = {
+      "",          "{",        "[1,]",     "{\"a\":}",   "tru",
+      "01",        "1.",       "\"\\q\"",  "{\"a\" 1}",  "[1] extra",
+      "\"\\ud83d\"",  // Lone high surrogate.
+      "nan",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Json::Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonTest, DepthCapRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(FramingTest, EncodeDecodeRoundTrip) {
+  std::string wire;
+  AppendFrame("hello", &wire);
+  EXPECT_EQ(wire.size(), kLengthPrefixBytes + 5);
+  FrameDecode decode = DecodeFrame(wire);
+  ASSERT_EQ(decode.state, FrameDecode::State::kFrame);
+  EXPECT_EQ(decode.payload, "hello");
+  EXPECT_EQ(decode.consumed, wire.size());
+}
+
+TEST(FramingTest, TornFramesNeedMoreAtEveryPrefixLength) {
+  std::string wire;
+  AppendFrame(R"({"id":1,"method":"Health","params":{}})", &wire);
+  // Every strict prefix — inside the length word or inside the payload —
+  // must report kNeedMore, never a frame and never an error.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecode decode = DecodeFrame(std::string_view(wire).substr(0, cut));
+    EXPECT_EQ(decode.state, FrameDecode::State::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(FramingTest, OversizedPrefixRejectedBeforePayloadArrives) {
+  // A hostile 512 MiB length announcement must be rejected from the four
+  // prefix bytes alone.
+  const std::string wire = {'\x20', '\x00', '\x00', '\x00'};
+  FrameDecode decode = DecodeFrame(wire, kDefaultMaxFrameBytes);
+  ASSERT_EQ(decode.state, FrameDecode::State::kError);
+  EXPECT_NE(decode.error.find("exceeds"), std::string::npos);
+}
+
+TEST(FramingTest, ZeroLengthFrameIsError) {
+  const std::string wire(kLengthPrefixBytes, '\0');
+  EXPECT_EQ(DecodeFrame(wire).state, FrameDecode::State::kError);
+}
+
+TEST(FramingTest, PipelinedFramesDecodeInOrder) {
+  std::string wire;
+  AppendFrame("one", &wire);
+  AppendFrame("two", &wire);
+  AppendFrame("three", &wire);
+  std::vector<std::string> got;
+  std::string_view rest = wire;
+  for (;;) {
+    FrameDecode decode = DecodeFrame(rest);
+    if (decode.state != FrameDecode::State::kFrame) break;
+    got.emplace_back(decode.payload);
+    rest.remove_prefix(decode.consumed);
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(FramingTest, InterleavedPartialDelivery) {
+  // Two pipelined requests delivered in awkward chunks: a decoder driven
+  // chunk-by-chunk must produce exactly the two payloads.
+  std::string wire;
+  AppendFrame("alpha", &wire);
+  AppendFrame("bravo", &wire);
+  for (size_t chunk = 1; chunk <= wire.size(); ++chunk) {
+    std::string buffer;
+    std::vector<std::string> got;
+    for (size_t off = 0; off < wire.size(); off += chunk) {
+      buffer += wire.substr(off, chunk);
+      for (;;) {
+        FrameDecode decode = DecodeFrame(buffer);
+        if (decode.state != FrameDecode::State::kFrame) {
+          ASSERT_EQ(decode.state, FrameDecode::State::kNeedMore);
+          break;
+        }
+        got.emplace_back(decode.payload);
+        buffer.erase(0, decode.consumed);
+      }
+    }
+    EXPECT_EQ(got, (std::vector<std::string>{"alpha", "bravo"}))
+        << "chunk size " << chunk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request/response payloads
+
+TEST(RequestTest, ParseFullRequest) {
+  auto request = ParseRequest(
+      R"({"id":7,"method":"Recommend","deadline_ms":250,)"
+      R"("params":{"part_id":"P01"}})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->id, 7);
+  EXPECT_EQ(request->method, Method::kRecommend);
+  EXPECT_EQ(request->deadline_ms, 250);
+  EXPECT_EQ(request->params.GetString("part_id"), "P01");
+}
+
+TEST(RequestTest, UnknownMethodIsCarriedNotRejected) {
+  auto request = ParseRequest(R"({"id":1,"method":"Frobnicate"})");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->method, Method::kUnknown);
+  EXPECT_EQ(request->method_name, "Frobnicate");
+}
+
+TEST(RequestTest, MissingMethodRejected) {
+  EXPECT_FALSE(ParseRequest(R"({"id":1})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"id":1,"method":5})").ok());
+  EXPECT_FALSE(ParseRequest(R"([1,2,3])").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+}
+
+TEST(RequestTest, EncodeParsesBack) {
+  Json params = Json::Object();
+  params.Set("part_id", Json("P03"));
+  const std::string payload = EncodeRequest(42, "RecommendForText", params,
+                                            /*deadline_ms=*/100);
+  auto request = ParseRequest(payload);
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->id, 42);
+  EXPECT_EQ(request->method, Method::kRecommendForText);
+  EXPECT_EQ(request->deadline_ms, 100);
+  EXPECT_EQ(request->params.GetString("part_id"), "P03");
+}
+
+TEST(ResponseTest, EncodeParseRoundTrip) {
+  Json result = Json::Object();
+  result.Set("answer", Json(static_cast<int64_t>(42)));
+  auto response = ParseResponse(EncodeResponse(9, Status::OK(), result));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->id, 9);
+  EXPECT_TRUE(response->ok());
+  EXPECT_EQ(response->result.GetInt("answer", 0), 42);
+}
+
+TEST(ResponseTest, ErrorCodesSurviveTheWire) {
+  const Status statuses[] = {
+      Status::Unavailable("shed"),
+      Status::DeadlineExceeded("late"),
+      Status::Invalid("bad"),
+      Status::KeyError("missing"),
+  };
+  for (const Status& status : statuses) {
+    auto response = ParseResponse(EncodeResponse(1, status, Json()));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->code, status.code());
+    EXPECT_EQ(response->message, status.message());
+    EXPECT_FALSE(response->ok());
+  }
+}
+
+TEST(ResponseTest, UnknownCodeNameMapsToInternal) {
+  auto response = ParseResponse(
+      R"({"id":1,"code":"FutureCode","message":"?","result":null})");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kInternal);
+}
+
+TEST(MethodNamesTest, RoundTripAllMethods) {
+  const Method methods[] = {
+      Method::kRecommend,      Method::kRecommendForText,
+      Method::kFullListForPart, Method::kDescribeCode,
+      Method::kConfirmAssignment, Method::kDefineErrorCode,
+      Method::kHealth,         Method::kStats,
+  };
+  for (const Method method : methods) {
+    EXPECT_EQ(MethodFromString(MethodToString(method)), method);
+  }
+  EXPECT_EQ(MethodFromString("NoSuchMethod"), Method::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch against a real (tiny) trained service
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  static datagen::WorldConfig TinyWorld() {
+    datagen::WorldConfig config;
+    config.num_parts = 6;
+    config.num_article_codes = 40;
+    config.num_error_codes = 80;
+    config.max_codes_largest_part = 25;
+    config.mid_part_min_codes = 8;
+    config.mid_part_max_codes = 20;
+    config.small_parts = 2;
+    config.num_components = 80;
+    config.num_symptoms = 70;
+    config.num_locations = 20;
+    config.num_solutions = 20;
+    config.components_per_part = 6;
+    return config;
+  }
+
+  DispatchTest() : world_(TinyWorld()) {
+    datagen::OemConfig oem;
+    oem.num_bundles = 600;
+    datagen::OemCorpusGenerator generator(&world_, oem);
+    corpus_ = generator.Generate();
+    service_ = std::make_unique<quest::RecommendationService>(
+        &world_.taxonomy(), quest::RecommendationService::Options{});
+    QATK_CHECK(service_->Train(corpus_).ok());
+  }
+
+  Response Call(std::string_view payload) {
+    auto request = ParseRequest(payload);
+    QATK_CHECK(request.ok());
+    return Dispatch(service_.get(), *request);
+  }
+
+  datagen::DomainWorld world_;
+  kb::Corpus corpus_;
+  std::unique_ptr<quest::RecommendationService> service_;
+};
+
+TEST_F(DispatchTest, RecommendMatchesDirectCall) {
+  const kb::DataBundle& bundle = corpus_.bundles[0];
+  Json params = Json::Object();
+  params.Set("part_id", Json(bundle.part_id));
+  params.Set("mechanic_report", Json(bundle.mechanic_report));
+  params.Set("initial_oem_report", Json(bundle.initial_oem_report));
+  params.Set("supplier_report", Json(bundle.supplier_report));
+  Request request;
+  request.id = 1;
+  request.method = Method::kRecommend;
+  request.params = params;
+  const Response response = Dispatch(service_.get(), request);
+  ASSERT_TRUE(response.ok()) << response.message;
+
+  kb::DataBundle probe;
+  probe.part_id = bundle.part_id;
+  probe.mechanic_report = bundle.mechanic_report;
+  probe.initial_oem_report = bundle.initial_oem_report;
+  probe.supplier_report = bundle.supplier_report;
+  auto direct = service_->Recommend(probe);
+  ASSERT_TRUE(direct.ok());
+  // The wire result must be byte-identical to re-encoding the direct one.
+  EXPECT_EQ(response.result.Dump(), RecommendationToJson(*direct).Dump());
+}
+
+TEST_F(DispatchTest, FullListAndDescribe) {
+  Response list = Call(
+      R"({"id":2,"method":"FullListForPart","params":{"part_id":"P01"}})");
+  ASSERT_TRUE(list.ok()) << list.message;
+  const Json* codes = list.result.Find("codes");
+  ASSERT_NE(codes, nullptr);
+  ASSERT_TRUE(codes->is_array());
+  ASSERT_GT(codes->items().size(), 0u);
+
+  const std::string code =
+      codes->items()[0].GetString("code", "");
+  Response described = Call(
+      R"({"id":3,"method":"DescribeCode","params":{"code":")" + code +
+      R"("}})");
+  EXPECT_TRUE(described.ok()) << described.message;
+}
+
+TEST_F(DispatchTest, ErrorsMapToStatusCodes) {
+  EXPECT_EQ(Call(R"({"id":1,"method":"Nope"})").code,
+            StatusCode::kInvalid);
+  EXPECT_EQ(
+      Call(R"({"id":1,"method":"DescribeCode","params":{"code":"E_X"}})")
+          .code,
+      StatusCode::kKeyError);
+  // Health/Stats are server-level; Dispatch refuses them.
+  EXPECT_EQ(Call(R"({"id":1,"method":"Health"})").code,
+            StatusCode::kInvalid);
+}
+
+TEST_F(DispatchTest, IdIsEchoed) {
+  EXPECT_EQ(Call(R"({"id":31337,"method":"Nope"})").id, 31337);
+}
+
+}  // namespace
+}  // namespace qatk::server

@@ -1,0 +1,394 @@
+// Loopback end-to-end tests for the epoll serving subsystem: protocol
+// round trips over real sockets, pipelining, admission control, deadlines,
+// graceful drain, idle/slow-client policing, and fault-injection schedules
+// (EAGAIN storms, mid-frame disconnects, torn writes). Run under TSan by
+// scripts/check.sh: the concurrent tests double as the data-race harness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "quest/recommendation_service.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace qatk::server {
+namespace {
+
+datagen::WorldConfig TinyWorld() {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 20;
+  config.small_parts = 2;
+  config.num_components = 80;
+  config.num_symptoms = 70;
+  config.num_locations = 20;
+  config.num_solutions = 20;
+  config.components_per_part = 6;
+  return config;
+}
+
+/// World + trained service shared by every test (training is the slow
+/// part; the service is immutable-after-train and thread-safe to read).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new datagen::DomainWorld(TinyWorld());
+    datagen::OemConfig oem;
+    oem.num_bundles = 600;
+    datagen::OemCorpusGenerator generator(world_, oem);
+    corpus_ = new kb::Corpus(generator.Generate());
+    service_ = new quest::RecommendationService(
+        &world_->taxonomy(), quest::RecommendationService::Options{});
+    ASSERT_TRUE(service_->Train(*corpus_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+    delete world_;
+    world_ = nullptr;
+  }
+
+  /// Starts a server on an ephemeral port and connects a client to it.
+  void Start(Server::Options options = {}) {
+    options.port = 0;
+    server_ = std::make_unique<Server>(service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+  }
+
+  static datagen::DomainWorld* world_;
+  static kb::Corpus* corpus_;
+  static quest::RecommendationService* service_;
+
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+datagen::DomainWorld* ServerTest::world_ = nullptr;
+kb::Corpus* ServerTest::corpus_ = nullptr;
+quest::RecommendationService* ServerTest::service_ = nullptr;
+
+TEST_F(ServerTest, HealthAndStats) {
+  Start();
+  auto health = client_.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->ok()) << health->message;
+  EXPECT_TRUE(health->result.GetBool("trained", false));
+  EXPECT_FALSE(health->result.GetBool("draining", true));
+
+  auto stats = client_.Call(2, "Stats", Json::Object());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->result.GetInt("requests", -1), 1);
+  EXPECT_EQ(stats->result.GetInt("shed", -1), 0);
+}
+
+TEST_F(ServerTest, WireResponsesBitIdenticalToInProcess) {
+  Start();
+  size_t compared = 0;
+  for (size_t i = 0; i < corpus_->bundles.size(); i += 11) {
+    const kb::DataBundle& bundle = corpus_->bundles[i];
+    auto wire = client_.Call(static_cast<int64_t>(i), "Recommend",
+                             BundleToParams(bundle));
+    ASSERT_TRUE(wire.ok()) << wire.status();
+    auto direct = service_->Recommend(bundle);
+    ASSERT_EQ(wire->ok(), direct.ok());
+    if (direct.ok()) {
+      // Scores cross the wire through %.17g text; the comparison is on
+      // the serialized form, which is bit-exact iff the doubles are.
+      EXPECT_EQ(wire->result.Dump(), RecommendationToJson(*direct).Dump())
+          << "bundle " << i;
+    }
+    ++compared;
+  }
+  EXPECT_GT(compared, 50u);
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  Start();
+  constexpr int kRequests = 32;
+  for (int i = 0; i < kRequests; ++i) {
+    Json params = Json::Object();
+    params.Set("part_id", Json("P01"));
+    ASSERT_TRUE(client_.Send(i, "FullListForPart", params).ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = client_.Receive();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->id, i);  // Responses arrive in request order.
+    EXPECT_TRUE(response->ok());
+  }
+}
+
+TEST_F(ServerTest, ShedsBeyondMaxInFlight) {
+  Server::Options options;
+  options.max_in_flight = 0;  // Admit nothing: every request sheds.
+  Start(options);
+  auto response = client_.Call(1, "Recommend",
+                               BundleToParams(corpus_->bundles[0]));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kUnavailable);
+  EXPECT_NE(response->message.find("capacity"), std::string::npos);
+  // Health/Stats bypass admission control (they cost nothing).
+  auto health = client_.Call(2, "Health", Json::Object());
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(health->ok());
+  EXPECT_GE(server_->stats().shed, 1u);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineAnsweredWithoutExecuting) {
+  Start();
+  auto response = client_.Call(7, "Recommend",
+                               BundleToParams(corpus_->bundles[0]),
+                               /*deadline_ms=*/0);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server_->stats().deadline_exceeded, 1u);
+  // A generous deadline passes untouched.
+  auto fine = client_.Call(8, "Recommend",
+                           BundleToParams(corpus_->bundles[0]),
+                           /*deadline_ms=*/60000);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_TRUE(fine->ok()) << fine->message;
+}
+
+TEST_F(ServerTest, MalformedJsonAnsweredAndConnectionSurvives) {
+  Start();
+  std::string wire;
+  AppendFrame("this is not json", &wire);
+  ASSERT_TRUE(client_.SendRaw(wire).ok());
+  auto error = client_.Receive();
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->code, StatusCode::kInvalid);
+  // The framing was intact, so the connection keeps working.
+  auto health = client_.Call(2, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->ok());
+}
+
+TEST_F(ServerTest, UnknownMethodAnswered) {
+  Start();
+  auto response = client_.Call(3, "Frobnicate", Json::Object());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->code, StatusCode::kInvalid);
+  EXPECT_NE(response->message.find("Frobnicate"), std::string::npos);
+}
+
+TEST_F(ServerTest, OversizedFramePrefixAnsweredThenClosed) {
+  Start();
+  // 16 MiB announcement against the 1 MiB default cap; no payload needed.
+  const char prefix[] = {'\x01', '\x00', '\x00', '\x00'};
+  ASSERT_TRUE(client_.SendRaw(std::string_view(prefix, 4)).ok());
+  auto error = client_.Receive();
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->code, StatusCode::kInvalid);
+  // Framing is unrecoverable: the server closes after the error.
+  auto next = client_.Receive();
+  EXPECT_FALSE(next.ok());
+  EXPECT_TRUE(next.status().IsIOError()) << next.status();
+}
+
+TEST_F(ServerTest, IdleConnectionsSweptAfterTimeout) {
+  Server::Options options;
+  options.idle_timeout_ms = 100;
+  Start(options);
+  // Do nothing; the sweep closes us and a read sees EOF.
+  auto response = client_.Receive();
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError()) << response.status();
+}
+
+TEST_F(ServerTest, GracefulDrainAnswersEverythingReceived) {
+  Start();
+  constexpr int kRequests = 16;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(
+        client_.Send(i, "Recommend",
+                     BundleToParams(corpus_->bundles[i % 100])).ok());
+  }
+  // Send() returning only means the bytes left the client. The drain
+  // contract covers requests the server has received, so wait for the
+  // request counter before placing the cutoff.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->stats().requests <
+             static_cast<uint64_t>(kRequests) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->RequestDrain();
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = client_.Receive();
+    ASSERT_TRUE(response.ok()) << "request " << i << ": "
+                               << response.status();
+    EXPECT_EQ(response->id, i);
+    EXPECT_TRUE(response->ok()) << response->message;
+  }
+  // After the answers, the server closes the connection.
+  auto eof = client_.Receive();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_TRUE(server_->Wait().ok());
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.drain_dropped, 0u);
+  EXPECT_EQ(stats.responses_ok, static_cast<uint64_t>(kRequests));
+}
+
+TEST_F(ServerTest, DrainRefusesNewConnections) {
+  Start();
+  server_->RequestDrain();
+  EXPECT_TRUE(server_->Wait().ok());
+  Client late;
+  Status connected = late.Connect("127.0.0.1", server_->port());
+  if (connected.ok()) {
+    // The TCP handshake may have raced the close; the socket must be
+    // dead either way.
+    EXPECT_FALSE(late.Call(1, "Health", Json::Object()).ok());
+  }
+}
+
+TEST_F(ServerTest, ConcurrentClientsAcrossTwoLoops) {
+  Server::Options options;
+  options.threads = 2;
+  Start(options);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &failures] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const kb::DataBundle& bundle =
+            corpus_->bundles[(c * kPerClient + i) % corpus_->bundles.size()];
+        auto response =
+            client.Call(i, "Recommend", BundleToParams(bundle));
+        if (!response.ok() || !response->ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.responses_ok, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection schedules. Each test owns a fresh injector + server
+// (threads=1 keeps "the Nth read" deterministic). The invariant under any
+// schedule: the client observes either a complete response or a closed
+// connection — never a half frame presented as success, and the server
+// neither crashes nor wedges.
+//
+// The injector lives on the test-body stack while server_ belongs to the
+// fixture, so each test must tear the server down (server_.reset() drains
+// it, consulting the injector one last time) before the injector dies.
+
+TEST_F(ServerTest, TransientReadFaultIsRetriedTransparently) {
+  FaultInjector fault;
+  // An EAGAIN storm: the next three reads fail transiently.
+  fault.AddFault({"server.read", 0, FaultKind::kTransient, 0});
+  fault.AddFault({"server.read", 0, FaultKind::kTransient, 0});
+  fault.AddFault({"server.read", 0, FaultKind::kTransient, 0});
+  Server::Options options;
+  options.fault = &fault;
+  Start(options);
+  auto response = client_.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok());
+  EXPECT_GE(server_->stats().read_faults, 3u);
+  server_.reset();
+}
+
+TEST_F(ServerTest, MidFrameDisconnectNeverAnswersHalfRequest) {
+  FaultInjector fault;
+  fault.AddFault({"server.read", 0, FaultKind::kTorn, 0.3});
+  Server::Options options;
+  options.fault = &fault;
+  Start(options);
+  ASSERT_TRUE(
+      client_.Send(1, "Recommend", BundleToParams(corpus_->bundles[0]))
+          .ok());
+  // The server read a torn prefix and closed. Whatever we observe must
+  // be a clean close, not a fabricated success.
+  auto response = client_.Receive();
+  if (response.ok()) {
+    // A complete frame arrived before the fault hit: it must parse as a
+    // full, well-formed response.
+    EXPECT_EQ(response->id, 1);
+  } else {
+    EXPECT_TRUE(response.status().IsIOError()) << response.status();
+  }
+  EXPECT_FALSE(client_.Call(2, "Health", Json::Object()).ok());
+  server_.reset();
+}
+
+TEST_F(ServerTest, TornWriteClosesMidFrameCleanly) {
+  FaultInjector fault;
+  fault.AddFault({"server.write", 0, FaultKind::kTorn, 0.5});
+  Server::Options options;
+  options.fault = &fault;
+  Start(options);
+  ASSERT_TRUE(client_.Send(1, "Health", Json::Object()).ok());
+  // The response is torn on the way out; the client-side framing layer
+  // must refuse to surface the partial payload.
+  auto response = client_.Receive();
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError()) << response.status();
+  EXPECT_GE(server_->stats().write_faults, 1u);
+  server_.reset();
+}
+
+TEST_F(ServerTest, PermanentReadFaultClosesConnection) {
+  FaultInjector fault;
+  fault.AddFault({"server.read", 0, FaultKind::kPermanent, 0});
+  Server::Options options;
+  options.fault = &fault;
+  Start(options);
+  ASSERT_TRUE(client_.Send(1, "Health", Json::Object()).ok());
+  auto response = client_.Receive();
+  EXPECT_FALSE(response.ok());
+  // The server survives to serve new connections.
+  Client again;
+  ASSERT_TRUE(again.Connect("127.0.0.1", server_->port()).ok());
+  auto health = again.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->ok());
+  server_.reset();
+}
+
+TEST_F(ServerTest, AcceptFaultDelaysButDoesNotLoseConnections) {
+  FaultInjector fault;
+  fault.AddFault({"server.accept", 0, FaultKind::kTransient, 0});
+  Server::Options options;
+  options.fault = &fault;
+  Start(options);  // Connect() itself rides through the accept fault.
+  auto response = client_.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok());
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace qatk::server
