@@ -131,6 +131,96 @@ size_t RunEquivalence(uint16_t port,
   return mismatches;
 }
 
+/// One reading of the server's own view of Recommend traffic, taken over
+/// the wire through both observability surfaces (Stats JSON and the
+/// Prometheus text exposition), so the two can be cross-checked.
+struct MetricsProbe {
+  bool ok = false;
+  uint64_t stats_count = 0;     ///< Stats methods.Recommend.count
+  uint64_t stats_executed = 0;  ///< Stats methods.Recommend.executed
+  uint64_t text_count = 0;      ///< MetricsText ..._count{method="Recommend"}
+};
+
+MetricsProbe ProbeMetrics(Client* client, int64_t* next_id) {
+  MetricsProbe probe;
+  auto stats = client->Call((*next_id)++, "Stats", Json::Object());
+  if (!stats.ok() || !stats->ok()) return probe;
+  const Json* methods = stats->result.Find("methods");
+  const Json* recommend =
+      methods != nullptr ? methods->Find("Recommend") : nullptr;
+  if (recommend == nullptr) return probe;
+  probe.stats_count = static_cast<uint64_t>(recommend->GetInt("count"));
+  probe.stats_executed =
+      static_cast<uint64_t>(recommend->GetInt("executed"));
+  auto text = client->Call((*next_id)++, "MetricsText", Json::Object());
+  if (!text.ok() || !text->ok()) return probe;
+  const std::string exposition = text->result.GetString("text");
+  const std::string needle =
+      "qatk_server_request_us_count{method=\"Recommend\"} ";
+  const size_t pos = exposition.find(needle);
+  if (pos == std::string::npos ||
+      (pos != 0 && exposition[pos - 1] != '\n')) {
+    return probe;
+  }
+  probe.text_count =
+      std::strtoull(exposition.c_str() + pos + needle.size(), nullptr, 10);
+  probe.ok = true;
+  return probe;
+}
+
+struct MetricsGateResult {
+  size_t sent = 0;
+  size_t answered = 0;
+  uint64_t stats_count_delta = 0;
+  uint64_t stats_executed_delta = 0;
+  uint64_t text_count_delta = 0;
+  bool cross_checked = false;  ///< MetricsText count == Stats executed.
+  bool consistent = false;
+};
+
+/// Metrics-consistency gate: probe the server's counters, push a known
+/// number of Recommend requests through, probe again. Every delta — the
+/// per-method request counter, the latency-histogram total in Stats, and
+/// the same histogram rendered through MetricsText — must equal the
+/// client-side tally exactly (no shed/deadline traffic on this
+/// connection, so parsed == executed). The probes ride the same
+/// connection as the load, so in-order response delivery guarantees the
+/// "after" probe runs once every Recommend has been dispatched.
+MetricsGateResult RunMetricsConsistency(
+    uint16_t port, const std::vector<std::string>& frames) {
+  MetricsGateResult result;
+  Client client;
+  if (!client.Connect("127.0.0.1", port, 30000).ok()) return result;
+  int64_t probe_id = int64_t{1} << 20;
+  const MetricsProbe before = ProbeMetrics(&client, &probe_id);
+  if (!before.ok) return result;
+  const size_t count = std::min<size_t>(frames.size(), 256);
+  constexpr size_t kWindow = 32;
+  for (size_t base = 0; base < count; base += kWindow) {
+    const size_t n = std::min(kWindow, count - base);
+    std::string batch;
+    for (size_t i = 0; i < n; ++i) batch += frames[base + i];
+    if (!client.SendRaw(batch).ok()) return result;
+    result.sent += n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!client.ReceiveFrame().ok()) return result;
+      ++result.answered;
+    }
+  }
+  const MetricsProbe after = ProbeMetrics(&client, &probe_id);
+  if (!after.ok) return result;
+  result.stats_count_delta = after.stats_count - before.stats_count;
+  result.stats_executed_delta = after.stats_executed - before.stats_executed;
+  result.text_count_delta = after.text_count - before.text_count;
+  result.cross_checked = after.text_count == after.stats_executed;
+  result.consistent = result.answered == result.sent &&
+                      result.stats_count_delta == result.sent &&
+                      result.stats_executed_delta == result.sent &&
+                      result.text_count_delta == result.sent &&
+                      result.cross_checked;
+  return result;
+}
+
 struct ThroughputResult {
   size_t threads = 0;
   size_t clients = 0;
@@ -418,6 +508,46 @@ int main(int argc, char** argv) {
   json.Key("mismatches").Value(static_cast<uint64_t>(mismatches));
   json.EndObject();
   if (mismatches > 0) failed = true;
+
+  // ---- Phase 1b: metrics consistency ------------------------------------
+#ifndef QATK_NO_METRICS
+  MetricsGateResult metrics;
+  if (connect_port > 0) {
+    metrics = RunMetricsConsistency(static_cast<uint16_t>(connect_port),
+                                    frames);
+  } else {
+    Server::Options options;
+    Server server(&service, options);
+    server.Start().Abort();
+    metrics = RunMetricsConsistency(server.port(), frames);
+    server.Drain().Abort();
+  }
+  std::printf("metrics: sent=%zu stats_count=+%llu stats_executed=+%llu "
+              "text_count=+%llu cross_checked=%s -> %s\n",
+              metrics.sent,
+              static_cast<unsigned long long>(metrics.stats_count_delta),
+              static_cast<unsigned long long>(metrics.stats_executed_delta),
+              static_cast<unsigned long long>(metrics.text_count_delta),
+              metrics.cross_checked ? "yes" : "no",
+              metrics.consistent ? "consistent" : "INCONSISTENT");
+  json.Key("metrics").BeginObject();
+  json.Key("sent").Value(metrics.sent);
+  json.Key("answered").Value(metrics.answered);
+  json.Key("stats_count_delta").Value(metrics.stats_count_delta);
+  json.Key("stats_executed_delta").Value(metrics.stats_executed_delta);
+  json.Key("text_count_delta").Value(metrics.text_count_delta);
+  json.Key("cross_checked").Value(metrics.cross_checked);
+  json.Key("consistent").Value(metrics.consistent);
+  json.EndObject();
+  if (!metrics.consistent) {
+    std::fprintf(stderr, "FAIL: server metrics disagree with client tally\n");
+    failed = true;
+  }
+#else
+  json.Key("metrics").BeginObject();
+  json.Key("skipped").Value(true);
+  json.EndObject();
+#endif
 
   // ---- Phase 2: throughput & scaling ------------------------------------
   const double seconds = quick ? 1.0 : 3.0;

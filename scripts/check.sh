@@ -17,6 +17,15 @@
 #                           the bench replayed against it over TCP, and a
 #                           SIGTERM drain that must exit 0. Writes
 #                           BENCH_serving.json at the repo root.
+#   5. obs                — observability hardening: the obs / fuzz /
+#                           golden-frame test binaries rerun under both
+#                           ASan+UBSan and TSan (reusing the build-san/
+#                           trees), then an overhead smoke comparing
+#                           bench_knn_throughput between the normal
+#                           Release tree and one compiled with
+#                           -DQATK_NO_METRICS=ON: metrics-enabled
+#                           throughput must stay within 95% of the
+#                           compiled-out build.
 #
 # Each sanitizer pass gets its own build tree under build-san/ so the
 # sanitizer runtimes never mix; the perf and serve stages share
@@ -26,6 +35,7 @@
 #   scripts/check.sh thread
 #   scripts/check.sh perf       # perf smoke only
 #   scripts/check.sh serve      # serving stack end-to-end only
+#   scripts/check.sh obs        # observability tests + overhead smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,8 +43,15 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGES=("${1:-address,undefined}")
 if [[ $# -eq 0 ]]; then
-  STAGES=("address,undefined" "thread" "perf" "serve")
+  STAGES=("address,undefined" "thread" "perf" "serve" "obs")
 fi
+
+# Pulls the first indexed-path qps out of a (pretty-printed) BENCH_knn
+# JSON: the "qps" line immediately inside the first "indexed" object.
+knn_qps() {
+  awk '/"indexed": \{/ { grab = 1; next }
+       grab && /"qps":/ { gsub(/[^0-9.]/, ""); print; exit }' "$1"
+}
 
 for STAGE in "${STAGES[@]}"; do
   if [[ "${STAGE}" == "perf" ]]; then
@@ -77,6 +94,59 @@ for STAGE in "${STAGES[@]}"; do
     kill -TERM "${SERVE_PID}"
     # The graceful drain must finish all in-flight work and exit 0.
     wait "${SERVE_PID}"
+    continue
+  fi
+  if [[ "${STAGE}" == "obs" ]]; then
+    # The observability surface is all about concurrent counters and wire
+    # formats, so the dedicated binaries rerun under both sanitizer
+    # flavors: ASan+UBSan for the codec/fuzz paths, TSan for the sharded
+    # counter and histogram stress tests.
+    for SAN in "address,undefined" "thread"; do
+      BUILD_DIR="build-san/${SAN//,/+}"
+      echo "=== obs tests under ${SAN} (build: ${BUILD_DIR}) ==="
+      cmake -B "${BUILD_DIR}" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQATK_SANITIZE="${SAN}" >/dev/null
+      cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+        --target obs_test fuzz_test server_protocol_test
+      "${BUILD_DIR}/tests/obs_test"
+      "${BUILD_DIR}/tests/fuzz_test"
+      "${BUILD_DIR}/tests/server_protocol_test"
+    done
+    # Overhead smoke: the metrics-enabled Release build must hold at
+    # least 95% of the throughput of a tree with recording compiled out
+    # (-DQATK_NO_METRICS=ON). Catches anything creeping into the kNN hot
+    # path — a shared cache line, a histogram on the per-candidate loop.
+    echo "=== obs overhead smoke: metrics vs QATK_NO_METRICS ==="
+    cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-perf -j "${JOBS}" --target bench_knn_throughput
+    cmake -B build-noobs -S . -DCMAKE_BUILD_TYPE=Release \
+      -DQATK_NO_METRICS=ON >/dev/null
+    cmake --build build-noobs -j "${JOBS}" --target bench_knn_throughput
+    # Best-of-3 per build: single --quick runs jitter ~±10% on a shared
+    # host, which would flake a 95% gate; the max over three runs is what
+    # each build can actually do.
+    QPS_OBS=0
+    QPS_NOOBS=0
+    for _ in 1 2 3; do
+      build-noobs/bench/bench_knn_throughput --quick \
+        --out=BENCH_knn_noobs.json
+      Q="$(knn_qps BENCH_knn_noobs.json)"
+      QPS_NOOBS="$(awk -v a="${Q}" -v b="${QPS_NOOBS}" \
+        'BEGIN { print (a + 0 > b + 0) ? a : b }')"
+      build-perf/bench/bench_knn_throughput --quick --out=BENCH_knn_obs.json
+      Q="$(knn_qps BENCH_knn_obs.json)"
+      QPS_OBS="$(awk -v a="${Q}" -v b="${QPS_OBS}" \
+        'BEGIN { print (a + 0 > b + 0) ? a : b }')"
+    done
+    echo "indexed qps: metrics=${QPS_OBS} compiled-out=${QPS_NOOBS}"
+    awk -v a="${QPS_OBS}" -v b="${QPS_NOOBS}" 'BEGIN {
+      if (a + 0 <= 0 || b + 0 <= 0) { print "missing qps"; exit 1 }
+      if (a < 0.95 * b) {
+        printf "metrics overhead too high: %.1f < 95%% of %.1f\n", a, b
+        exit 1
+      }
+    }'
     continue
   fi
   # A comma-separated sanitizer list is a valid -fsanitize= value but not a

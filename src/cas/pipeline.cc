@@ -6,6 +6,8 @@ namespace qatk::cas {
 
 Pipeline& Pipeline::Add(std::unique_ptr<Annotator> annotator) {
   timings_.push_back({annotator->name(), 0, 0});
+  stage_hists_.push_back(obs::Registry::Global().GetHistogram(
+      "qatk_pipeline_stage_us{stage=\"" + annotator->name() + "\"}"));
   stages_.push_back(std::move(annotator));
   return *this;
 }
@@ -18,6 +20,11 @@ Status Pipeline::Process(Cas* cas) {
     timings_[i].seconds +=
         std::chrono::duration<double>(end - start).count();
     ++timings_[i].documents;
+    // The span rides on the timing measurement the pipeline already takes.
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count();
+    stage_hists_[i]->Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
     if (!st.ok()) {
       return Status(st.code(), "stage '" + stages_[i]->name() +
                                    "' failed: " + st.message());

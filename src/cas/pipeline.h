@@ -7,6 +7,7 @@
 
 #include "cas/cas.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace qatk::cas {
 
@@ -62,6 +63,9 @@ class Pipeline {
  private:
   std::vector<std::unique_ptr<Annotator>> stages_;
   std::vector<StageTiming> timings_;
+  /// Per-stage obs histograms, `qatk_pipeline_stage_us{stage="<name>"}`;
+  /// parallel to stages_, resolved once at Add time.
+  std::vector<obs::Histogram*> stage_hists_;
 };
 
 }  // namespace qatk::cas

@@ -1,7 +1,11 @@
 #include "common/retry.h"
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
 
 namespace qatk {
 namespace {
@@ -21,6 +25,25 @@ uint64_t SplitMix64(uint64_t x) {
 bool IsTransient(const Status& status) {
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kDeadlineExceeded;
+}
+
+void RecordRetryAttempt(StatusCode code) {
+  // Only transient codes reach here today, but index defensively: one
+  // counter per StatusCode, resolved once (thread-safe static init).
+  constexpr int kNumCodes =
+      static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
+  static const auto* counters = [] {
+    auto* arr = new std::array<obs::Counter*, kNumCodes>();
+    for (int i = 0; i < kNumCodes; ++i) {
+      (*arr)[i] = obs::Registry::Global().GetCounter(
+          std::string("qatk_retry_attempts_total{code=\"") +
+          StatusCodeToString(static_cast<StatusCode>(i)) + "\"}");
+    }
+    return arr;
+  }();
+  int index = static_cast<int>(code);
+  if (index < 0 || index >= kNumCodes) index = 0;
+  (*counters)[index]->Add();
 }
 
 std::chrono::microseconds RetryPolicy::BackoffDelay(int attempt) const {

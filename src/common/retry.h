@@ -17,6 +17,11 @@ namespace qatk {
 /// indeterminate).
 bool IsTransient(const Status& status);
 
+/// Bumps the obs counter `qatk_retry_attempts_total{code="..."}` for one
+/// retry (not the initial attempt) triggered by `code`. Out-of-line so
+/// the templated RetryPolicy::Run below stays free of obs includes.
+void RecordRetryAttempt(StatusCode code);
+
 /// \brief Bounded, deterministically backed-off retry loop for idempotent
 /// operations.
 ///
@@ -55,6 +60,7 @@ class RetryPolicy {
     for (int attempt = 1;
          attempt < options_.max_attempts && IsTransient(StatusOf(outcome));
          ++attempt) {
+      RecordRetryAttempt(StatusOf(outcome).code());
       Backoff(attempt);
       outcome = fn();
     }

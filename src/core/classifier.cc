@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace qatk::core {
+
+namespace {
+
+/// Pipeline trace spans (DESIGN.md §11): candidate selection + shared-count
+/// accumulation ("score") and top-k heap selection + code dedup ("rank").
+/// These stages run in single-digit microseconds, so they use the 1/64
+/// SampledTimer — an always-on span costs ~5-10% of the whole query.
+obs::Histogram* ScoreStageHistogram() {
+  static obs::Histogram* hist = obs::Registry::Global().GetHistogram(
+      "qatk_pipeline_stage_us{stage=\"score\"}");
+  return hist;
+}
+
+obs::Histogram* RankStageHistogram() {
+  static obs::Histogram* hist = obs::Registry::Global().GetHistogram(
+      "qatk_pipeline_stage_us{stage=\"rank\"}");
+  return hist;
+}
+
+}  // namespace
 
 std::vector<ScoredCode> RankedKnnClassifier::Rank(
     const std::vector<int64_t>& probe_features,
@@ -54,12 +77,17 @@ std::vector<ScoredCode> RankedKnnClassifier::Classify(
     const kb::FrozenIndex& index, const std::string& part_id,
     const std::vector<int64_t>& features, kb::FrozenIndex::Scratch* scratch,
     size_t* num_candidates) const {
-  const bool known_part = index.AccumulateShared(part_id, features, scratch);
-  if (!known_part) index.AccumulateSharedAllNodes(features, scratch);
+  bool known_part;
+  {
+    obs::SampledTimer score_span(ScoreStageHistogram());
+    known_part = index.AccumulateShared(part_id, features, scratch);
+    if (!known_part) index.AccumulateSharedAllNodes(features, scratch);
+  }
   if (num_candidates != nullptr) {
     *num_candidates = known_part ? scratch->touched.size() : index.num_nodes();
   }
   if (config_.max_nodes == 0) return {};
+  obs::SampledTimer rank_span(RankStageHistogram());
 
   // An Item is (score, node). In Rank, candidates arrive in ascending
   // node-index order on both paths (sorted hits / AllNodes), so its

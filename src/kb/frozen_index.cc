@@ -5,10 +5,30 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace qatk::kb {
 
 namespace {
+
+/// Scoring-path counters (process-wide; resolved once, thread-safe).
+obs::Counter* PostingsScannedCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("qatk_kb_postings_scanned_total");
+  return counter;
+}
+
+obs::Counter* ScratchReuseCounter() {
+  static obs::Counter* counter = obs::Registry::Global().GetCounter(
+      "qatk_kb_scratch_epoch_reuse_total");
+  return counter;
+}
+
+obs::Counter* ScratchRebuildCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("qatk_kb_scratch_rebuilds_total");
+  return counter;
+}
 
 /// (feature, node) pair used while grouping postings into CSR runs.
 struct Posting {
@@ -108,6 +128,9 @@ void FrozenIndex::BeginQuery(Scratch* scratch) const {
     scratch->epoch.assign(n, 0);
     scratch->shared.assign(n, 0);
     scratch->current = 0;
+    ScratchRebuildCounter()->Add();
+  } else {
+    ScratchReuseCounter()->Add();
   }
   ++scratch->current;
   scratch->touched.clear();
@@ -123,6 +146,7 @@ void FrozenIndex::AccumulateRange(const std::vector<int64_t>& features,
   const int64_t* row_end = feature_ids.data() + feat_end;
   const int64_t* row = row_begin;
   const uint64_t current = scratch->current;
+  uint64_t scanned = 0;
   for (int64_t f : features) {
     // Both the probe and the CSR rows are sorted ascending, so the search
     // front only ever advances.
@@ -130,6 +154,7 @@ void FrozenIndex::AccumulateRange(const std::vector<int64_t>& features,
     if (row == row_end) break;
     if (*row != f) continue;
     const size_t r = static_cast<size_t>(row - feature_ids.data());
+    scanned += offsets[r + 1] - offsets[r];
     for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
       const uint32_t node = postings[k];
       if (scratch->epoch[node] != current) {
@@ -141,6 +166,8 @@ void FrozenIndex::AccumulateRange(const std::vector<int64_t>& features,
       }
     }
   }
+  // One sharded add per query, not per posting, keeps the hot loop clean.
+  PostingsScannedCounter()->Add(scanned);
 }
 
 bool FrozenIndex::AccumulateShared(const std::string& part_id,

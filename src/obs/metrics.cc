@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace qatk::obs {
+
+#ifndef QATK_NO_METRICS
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: pointers handed out stay stable across inserts, and
+  // iteration order gives a deterministic, name-sorted exposition.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Global() {
+  // Leaked on purpose: metrics may be recorded from detached threads
+  // during process teardown, after static destructors would have run.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  // The mutex only pins the map shape (concurrent Get* inserts); reading
+  // metric values stays lock-free against writers.
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  RegistrySnapshot out;
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  out.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    out.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return out;
+}
+
+#else  // QATK_NO_METRICS
+
+struct Registry::Impl {};
+
+Registry::Registry() : impl_(nullptr) {}
+Registry::~Registry() {}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+namespace {
+Counter g_counter_stub;
+Gauge g_gauge_stub;
+Histogram g_histogram_stub;
+}  // namespace
+
+Counter* Registry::GetCounter(std::string_view) { return &g_counter_stub; }
+Gauge* Registry::GetGauge(std::string_view) { return &g_gauge_stub; }
+Histogram* Registry::GetHistogram(std::string_view) {
+  return &g_histogram_stub;
+}
+
+RegistrySnapshot Registry::Snapshot() const { return {}; }
+
+#endif  // QATK_NO_METRICS
+
+}  // namespace qatk::obs

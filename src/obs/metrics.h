@@ -1,0 +1,250 @@
+#ifndef QATK_OBS_METRICS_H_
+#define QATK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Dependency-free process-wide metrics: sharded counters, gauges, and
+/// log-linear latency histograms, collected in a global registry.
+///
+/// Design contract (see DESIGN.md §11):
+///  * Recording is lock-free and allocation-free: relaxed atomic adds on
+///    cache-line-padded per-thread-hashed shards. No mutex is ever taken
+///    on a record path.
+///  * Reading is safe concurrent with writers: a snapshot sums the shards
+///    with relaxed loads. Totals are eventually consistent (a snapshot
+///    taken mid-record may miss in-progress adds) but never torn, and a
+///    quiesced process always reads exact totals.
+///  * Registry lookup takes a mutex, so callers resolve metric pointers
+///    once (at construction / first use) and cache them. Returned
+///    pointers are stable for the life of the process.
+///
+/// Compiling with -DQATK_NO_METRICS replaces every record operation with
+/// an empty inline body (and ScopedTimer stops reading the clock), so the
+/// overhead of the subsystem can be measured by diffing benches across
+/// the two builds.
+
+namespace qatk::obs {
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram bucket math (always compiled; pure functions).
+// ---------------------------------------------------------------------------
+
+/// Bucket layout, value domain = microseconds:
+///   bucket 0        : value 0
+///   buckets 1..3    : exact values 1, 2, 3
+///   buckets 4..91   : 4 sub-buckets per power of two ("octave"), covering
+///                     [4, 2^24): lower bound 2^o + s*2^(o-2) for octave
+///                     o in [2, 23], sub-bucket s in [0, 3]
+///   bucket 92       : overflow, values >= 2^24 us (~16.8 s)
+/// Relative error within a bucket is <= 25% (bucket width / lower bound,
+/// exactly 25% at octave starts); 1 us .. 10 s is covered with 93 fixed
+/// buckets, so merge is exact (element-wise add).
+inline constexpr int kHistogramBuckets = 93;
+inline constexpr uint64_t kHistogramOverflow = 1ull << 24;
+
+constexpr int BucketIndex(uint64_t micros) {
+  if (micros < 4) return static_cast<int>(micros);
+  if (micros >= kHistogramOverflow) return kHistogramBuckets - 1;
+  const int exp = std::bit_width(micros) - 1;          // >= 2
+  const int sub = static_cast<int>((micros >> (exp - 2)) & 3);
+  return 4 + (exp - 2) * 4 + sub;
+}
+
+/// Inclusive lower bound of bucket `index`; the bucket covers
+/// [BucketLowerBound(i), BucketLowerBound(i + 1)).
+constexpr uint64_t BucketLowerBound(int index) {
+  if (index <= 3) return static_cast<uint64_t>(index < 0 ? 0 : index);
+  if (index >= kHistogramBuckets - 1) return kHistogramOverflow;
+  const int octave = (index - 4) / 4 + 2;
+  const int sub = (index - 4) % 4;
+  return (1ull << octave) +
+         static_cast<uint64_t>(sub) * (1ull << (octave - 2));
+}
+
+/// Point-in-time copy of a histogram; supports exact merge and
+/// nearest-rank quantile extraction.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets> counts{};
+  uint64_t total = 0;  ///< Sum of counts.
+  uint64_t sum = 0;    ///< Sum of recorded values (us).
+
+  /// Element-wise add: exact, associative, commutative.
+  void Merge(const HistogramSnapshot& other) {
+    for (int i = 0; i < kHistogramBuckets; ++i) counts[i] += other.counts[i];
+    total += other.total;
+    sum += other.sum;
+  }
+
+  /// Nearest-rank quantile: the lower bound of the bucket holding the
+  /// element of rank floor(q * total) (clamped to the last element). The
+  /// true value lies within [result, result + bucket width). q in [0, 1].
+  uint64_t Quantile(double q) const {
+    if (total == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) return BucketLowerBound(i);
+    }
+    return BucketLowerBound(kHistogramBuckets - 1);
+  }
+};
+
+/// Stable hash of the calling thread, used to pick a shard. Distinct
+/// threads usually land on distinct shards; collisions only cost a shared
+/// cache line, never correctness.
+inline size_t ThreadShard(size_t shard_count) {
+  static thread_local const size_t hashed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hashed % shard_count;
+}
+
+#ifndef QATK_NO_METRICS
+
+// ---------------------------------------------------------------------------
+// Live implementation.
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing counter, sharded to keep concurrent writers
+/// off each other's cache lines.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShard(kShards)].value.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (index sizes, pool occupancy).
+/// Gauges are set rarely and from one writer at a time, so a single
+/// atomic suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-linear latency histogram over microseconds (layout above), sharded
+/// like Counter. Fewer shards than Counter: a histogram shard is ~12
+/// cache lines, and Record touches two distinct lines within it.
+class Histogram {
+ public:
+  void Record(uint64_t micros) {
+    Shard& s = shards_[ThreadShard(kShards)];
+    s.counts[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot out;
+    for (const Shard& s : shards_) {
+      for (int i = 0; i < kHistogramBuckets; ++i) {
+        out.counts[i] += s.counts[i].load(std::memory_order_relaxed);
+      }
+      out.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t c : out.counts) out.total += c;
+    return out;
+  }
+
+ private:
+  static constexpr size_t kShards = 4;
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+#else  // QATK_NO_METRICS
+
+// ---------------------------------------------------------------------------
+// Compiled-out stubs: identical API, empty record paths. Callers keep
+// their wiring; the optimizer deletes it.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+};
+
+#endif  // QATK_NO_METRICS
+
+/// Point-in-time copy of every registered metric, name-sorted.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Process-wide name -> metric map. Get* calls are create-or-get and take
+/// a mutex; resolve once and cache the pointer. Names follow
+/// `qatk_<layer>_<what>[_total|_us]{label="value"}` — labels, if any, are
+/// embedded in the name string verbatim (the registry does not parse
+/// them; the Prometheus renderer in the server passes them through).
+class Registry {
+ public:
+  /// The singleton every production metric lives in.
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  RegistrySnapshot Snapshot() const;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // Leaked by Global() to dodge shutdown-order issues.
+};
+
+}  // namespace qatk::obs
+
+#endif  // QATK_OBS_METRICS_H_

@@ -1,0 +1,106 @@
+#ifndef QATK_OBS_TRACE_H_
+#define QATK_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+/// \file
+/// RAII trace spans: a ScopedTimer brackets one pipeline stage (tokenize,
+/// annotate, extract, score, rank, ...) and records its wall time into a
+/// latency histogram on scope exit. Under QATK_NO_METRICS the timer is an
+/// empty struct — no clock reads survive.
+
+namespace qatk::obs {
+
+#ifndef QATK_NO_METRICS
+
+/// Records elapsed microseconds into `hist` when destroyed. A null
+/// histogram disables the span (still reads the clock once; pass a real
+/// histogram or don't construct the timer on hot paths).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(ElapsedMicros());
+  }
+
+  uint64_t ElapsedMicros() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count();
+    return micros < 0 ? 0 : static_cast<uint64_t>(micros);
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Sampling span for microsecond-scale stages called millions of times a
+/// second (per-query score/rank): records 1 in kPeriod spans per thread
+/// and skips the clock reads entirely on unsampled calls, so the
+/// amortized cost is one thread-local increment. Histogram *shape* stays
+/// faithful (every 64th sample is unbiased for a steady workload);
+/// histogram *totals* under-count by the sampling factor, so anything
+/// whose count feeds an exact invariant — the per-method request
+/// histograms the serving gate checks — must use ScopedTimer instead.
+class SampledTimer {
+ public:
+  static constexpr uint64_t kPeriod = 64;  // Power of two; see ctor mask.
+
+  explicit SampledTimer(Histogram* hist) {
+    thread_local uint64_t tick = 0;
+    if (((++tick) & (kPeriod - 1)) == 0) {
+      hist_ = hist;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  SampledTimer(const SampledTimer&) = delete;
+  SampledTimer& operator=(const SampledTimer&) = delete;
+
+  ~SampledTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count();
+    hist_->Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+  }
+
+ private:
+  Histogram* hist_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // QATK_NO_METRICS
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  uint64_t ElapsedMicros() const { return 0; }
+};
+
+class SampledTimer {
+ public:
+  static constexpr uint64_t kPeriod = 64;
+  explicit SampledTimer(Histogram*) {}
+  SampledTimer(const SampledTimer&) = delete;
+  SampledTimer& operator=(const SampledTimer&) = delete;
+};
+
+#endif  // QATK_NO_METRICS
+
+}  // namespace qatk::obs
+
+#endif  // QATK_OBS_TRACE_H_

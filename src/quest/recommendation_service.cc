@@ -4,8 +4,54 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qatk::quest {
+
+namespace {
+
+/// Service-level obs handles, resolved once (thread-safe static init).
+struct ServiceMetrics {
+  obs::Histogram* train_us;
+  obs::Histogram* retrain_us;
+  obs::Histogram* confirm_us;
+  obs::Histogram* extract_us;
+  obs::Counter* index_rebuilds;
+  obs::Gauge* index_nodes;
+  obs::Gauge* index_parts;
+  obs::Gauge* index_postings;
+};
+
+const ServiceMetrics& Metrics() {
+  static const ServiceMetrics metrics = [] {
+    obs::Registry& registry = obs::Registry::Global();
+    ServiceMetrics m;
+    m.train_us = registry.GetHistogram("qatk_service_train_us");
+    m.retrain_us = registry.GetHistogram("qatk_service_retrain_us");
+    m.confirm_us = registry.GetHistogram("qatk_service_confirm_us");
+    m.extract_us =
+        registry.GetHistogram("qatk_pipeline_stage_us{stage=\"extract\"}");
+    m.index_rebuilds =
+        registry.GetCounter("qatk_service_index_rebuilds_total");
+    m.index_nodes = registry.GetGauge("qatk_service_index_nodes");
+    m.index_parts = registry.GetGauge("qatk_service_index_parts");
+    m.index_postings = registry.GetGauge("qatk_service_index_postings");
+    return m;
+  }();
+  return metrics;
+}
+
+/// Records the size of the frozen index now serving; call after a swap.
+void RecordIndexStats(const kb::FrozenIndex& index) {
+  const ServiceMetrics& m = Metrics();
+  m.index_rebuilds->Add();
+  m.index_nodes->Set(static_cast<int64_t>(index.num_nodes()));
+  m.index_parts->Set(static_cast<int64_t>(index.num_parts()));
+  m.index_postings->Set(static_cast<int64_t>(index.num_postings()));
+}
+
+}  // namespace
 
 RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
                                              Options options)
@@ -26,6 +72,8 @@ Status RecommendationService::Retrain(const kb::Corpus& corpus) {
 
 Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
                                             bool allow_retrain) {
+  obs::ScopedTimer train_span(allow_retrain ? Metrics().retrain_us
+                                            : Metrics().train_us);
   // Build the whole model aside, without the lock: a failed (or
   // fault-injected) pass never touches the members, and during a Retrain
   // the old model keeps serving until the swap below.
@@ -71,6 +119,7 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
     reader_states_.clear();
   }
   trained_.store(true, std::memory_order_release);
+  RecordIndexStats(index_);
   QATK_LOG(INFO) << (allow_retrain ? "retrained" : "trained")
                  << " recommendation service: " << index_.num_nodes()
                  << " nodes, " << index_.num_parts() << " parts, "
@@ -118,8 +167,11 @@ Result<RecommendationService::Recommendation>
 RecommendationService::RecommendForTextLocked(const std::string& part_id,
                                               const std::string& text) const {
   ReaderState* state = ThreadLocalState();
-  QATK_ASSIGN_OR_RETURN(std::vector<int64_t> features,
-                        state->extractor->Extract(text));
+  std::vector<int64_t> features;
+  {
+    obs::ScopedTimer extract_span(Metrics().extract_us);
+    QATK_ASSIGN_OR_RETURN(features, state->extractor->Extract(text));
+  }
   std::vector<core::ScoredCode> ranked =
       classifier_.Classify(index_, part_id, features, &state->scratch);
   Recommendation recommendation;
@@ -135,6 +187,7 @@ Status RecommendationService::ConfirmAssignment(
   if (error_code.empty()) {
     return Status::Invalid("cannot confirm an empty error code");
   }
+  obs::ScopedTimer confirm_span(Metrics().confirm_us);
   std::unique_lock<std::shared_mutex> lock(mutex_);
   kb::Corpus context;
   context.part_descriptions = part_descriptions_;
@@ -149,6 +202,7 @@ Status RecommendationService::ConfirmAssignment(
   // The CSR snapshot is immutable; fold the confirmed instance in by
   // re-freezing under the exclusive lock so the next Recommend sees it.
   index_ = kb::FrozenIndex::Build(knowledge_);
+  RecordIndexStats(index_);
   frequency_.AddObservation(bundle.part_id, error_code);
   return Status::OK();
 }

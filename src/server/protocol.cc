@@ -62,6 +62,7 @@ constexpr MethodName kMethodNames[] = {
     {Method::kDefineErrorCode, "DefineErrorCode"},
     {Method::kHealth, "Health"},
     {Method::kStats, "Stats"},
+    {Method::kMetricsText, "MetricsText"},
 };
 
 Json ScoredCodesToJson(const std::vector<core::ScoredCode>& codes) {
@@ -243,6 +244,7 @@ Response Dispatch(quest::RecommendationService* service,
     }
     case Method::kHealth:
     case Method::kStats:
+    case Method::kMetricsText:
       // Server-level methods: the event loop answers these from its own
       // counters before ever reaching Dispatch.
       status = Status::Invalid("method '" + request.method_name +
@@ -257,6 +259,111 @@ Response Dispatch(quest::RecommendationService* service,
   response.message = status.message();
   response.result = std::move(result);
   return response;
+}
+
+namespace {
+
+/// Splits "name{labels}" into its base name and brace-less label body
+/// ("" when unlabeled).
+void SplitLabels(const std::string& name, std::string_view* base,
+                 std::string_view* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    *labels = {};
+    return;
+  }
+  *base = std::string_view(name).substr(0, brace);
+  // Between '{' and the trailing '}'.
+  *labels = std::string_view(name).substr(brace + 1,
+                                          name.size() - brace - 2);
+}
+
+/// Appends `base` with `suffix` plus the label body and one extra label.
+void AppendSeries(std::string_view base, const char* suffix,
+                  std::string_view labels, const std::string& extra_label,
+                  std::string* out) {
+  out->append(base);
+  out->append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra_label.empty()) out->push_back(',');
+    out->append(extra_label);
+    out->push_back('}');
+  }
+}
+
+/// Emits a `# TYPE` header once per base name (snapshot maps are
+/// name-sorted, so same-base entries are adjacent).
+void MaybeTypeLine(std::string_view base, const char* type,
+                   std::string_view* last_base, std::string* out) {
+  if (base == *last_base) return;
+  *last_base = base;
+  out->append("# TYPE ");
+  out->append(base);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const obs::RegistrySnapshot& snapshot) {
+  std::string out;
+  std::string_view last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string_view base, labels;
+    SplitLabels(name, &base, &labels);
+    MaybeTypeLine(base, "counter", &last_base, &out);
+    out.append(name);
+    out.push_back(' ');
+    out.append(JsonNumberToString(static_cast<double>(value)));
+    out.push_back('\n');
+  }
+  last_base = {};
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string_view base, labels;
+    SplitLabels(name, &base, &labels);
+    MaybeTypeLine(base, "gauge", &last_base, &out);
+    out.append(name);
+    out.push_back(' ');
+    out.append(JsonNumberToString(static_cast<double>(value)));
+    out.push_back('\n');
+  }
+  last_base = {};
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string_view base, labels;
+    SplitLabels(name, &base, &labels);
+    MaybeTypeLine(base, "histogram", &last_base, &out);
+    uint64_t cumulative = 0;
+    for (int i = 0; i < obs::kHistogramBuckets; ++i) {
+      cumulative += hist.counts[i];
+      // Values are integral microseconds, so the inclusive `le` bound of
+      // bucket i is the next bucket's lower bound minus one — exact, no
+      // boundary value is ever attributed to the wrong side.
+      const std::string le =
+          i + 1 < obs::kHistogramBuckets
+              ? "le=\"" +
+                    JsonNumberToString(static_cast<double>(
+                        obs::BucketLowerBound(i + 1) - 1)) +
+                    "\""
+              : std::string("le=\"+Inf\"");
+      AppendSeries(base, "_bucket", labels, le, &out);
+      out.push_back(' ');
+      out.append(JsonNumberToString(static_cast<double>(cumulative)));
+      out.push_back('\n');
+    }
+    AppendSeries(base, "_sum", labels, "", &out);
+    out.push_back(' ');
+    out.append(JsonNumberToString(static_cast<double>(hist.sum)));
+    out.push_back('\n');
+    AppendSeries(base, "_count", labels, "", &out);
+    out.push_back(' ');
+    out.append(JsonNumberToString(static_cast<double>(hist.total)));
+    out.push_back('\n');
+  }
+  return out;
 }
 
 }  // namespace qatk::server

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "kb/data_bundle.h"
+#include "obs/metrics.h"
 #include "quest/recommendation_service.h"
 #include "server/json.h"
 
@@ -69,7 +70,13 @@ enum class Method {
   kDefineErrorCode,
   kHealth,
   kStats,
+  kMetricsText,
 };
+
+/// Number of Method values (kUnknown included); per-method metric tables
+/// are indexed by static_cast<size_t>(method).
+inline constexpr size_t kNumMethods =
+    static_cast<size_t>(Method::kMetricsText) + 1;
 
 const char* MethodToString(Method method);
 Method MethodFromString(std::string_view name);
@@ -130,12 +137,21 @@ Json RecommendationToJson(
 
 /// Executes one already-parsed service request against `service` and
 /// returns the full response (id echoed, status mapped). Handles exactly
-/// the service-backed methods; kHealth/kStats are server-level and must be
-/// intercepted by the caller, which owns those counters (they fall through
-/// to an Invalid response here). Pure request -> response: no sockets, no
-/// server state, unit-testable directly.
+/// the service-backed methods; kHealth/kStats/kMetricsText are
+/// server-level and must be intercepted by the caller, which owns those
+/// counters (they fall through to an Invalid response here). Pure
+/// request -> response: no sockets, no server state, unit-testable
+/// directly.
 Response Dispatch(quest::RecommendationService* service,
                   const Request& request);
+
+/// Renders a registry snapshot in the Prometheus text exposition format:
+/// counters and gauges as `name value`, histograms as cumulative
+/// `name_bucket{le="..."}` series plus `name_sum` / `name_count`. Labels
+/// embedded in a metric's name are preserved (`le` is spliced into the
+/// existing label set). Values print through JsonNumberToString, so the
+/// %.17g round-trip contract of the JSON codec applies here too.
+std::string RenderPrometheusText(const obs::RegistrySnapshot& snapshot);
 
 }  // namespace qatk::server
 

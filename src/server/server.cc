@@ -17,6 +17,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qatk::server {
 
@@ -28,6 +30,24 @@ int64_t ElapsedMs(Clock::time_point since, Clock::time_point now) {
   return std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
       .count();
 }
+
+/// How a queued response was tallied in responses_ok/responses_error at
+/// generation time. Drain-timeout force-close uses this to move an
+/// undelivered response from "answered" to "dropped" without ever counting
+/// it as both.
+enum class Tally : uint8_t {
+  kNone,   ///< Not tallied (frame-level protocol error response).
+  kOk,     ///< Tallied in responses_ok.
+  kError,  ///< Tallied in responses_error.
+};
+
+/// One queued response: its end offset in `enqueued_total`, whether it
+/// holds an admission slot, and how it was tallied.
+struct PendingResponse {
+  uint64_t end = 0;
+  bool admitted = false;
+  Tally tally = Tally::kNone;
+};
 
 /// One TCP connection, owned by exactly one event loop for its lifetime.
 struct Conn {
@@ -41,9 +61,8 @@ struct Conn {
   /// flush progress onto queued responses.
   uint64_t enqueued_total = 0;
   uint64_t flushed_total = 0;
-  /// (end offset in enqueued_total, counted in the in-flight gauge) per
-  /// queued response, in order. Popped as flush progress passes them.
-  std::deque<std::pair<uint64_t, bool>> pending;
+  /// Queued responses in order; popped as flush progress passes them.
+  std::deque<PendingResponse> pending;
   Clock::time_point last_active;
   bool want_write = false;        ///< EPOLLOUT currently armed.
   bool close_after_flush = false; ///< Fatal framing error: answer, close.
@@ -83,6 +102,39 @@ struct Server::Impl {
       responses_ok{0}, responses_error{0}, shed{0}, deadline_exceeded{0},
       protocol_errors{0}, read_faults{0}, write_faults{0}, bytes_read{0},
       bytes_written{0}, drain_dropped{0};
+
+  /// Per-method registry handles: `count` tallies every parsed request of
+  /// the method (server-level methods included); `latency_us` records
+  /// only requests actually executed through Dispatch, so its total is
+  /// the executed-request count the serving bench gates on.
+  struct MethodMetrics {
+    obs::Counter* count = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  MethodMetrics method_metrics[kNumMethods];
+  // Registry mirrors of the load-control counters above.
+  obs::Counter* obs_shed = nullptr;
+  obs::Counter* obs_deadline = nullptr;
+  obs::Counter* obs_protocol_errors = nullptr;
+  obs::Counter* obs_drain_dropped = nullptr;
+
+  Impl() {
+    obs::Registry& registry = obs::Registry::Global();
+    for (size_t m = 0; m < kNumMethods; ++m) {
+      const std::string name = MethodToString(static_cast<Method>(m));
+      method_metrics[m].count = registry.GetCounter(
+          "qatk_server_requests_total{method=\"" + name + "\"}");
+      method_metrics[m].latency_us = registry.GetHistogram(
+          "qatk_server_request_us{method=\"" + name + "\"}");
+    }
+    obs_shed = registry.GetCounter("qatk_server_shed_total");
+    obs_deadline =
+        registry.GetCounter("qatk_server_deadline_exceeded_total");
+    obs_protocol_errors =
+        registry.GetCounter("qatk_server_protocol_errors_total");
+    obs_drain_dropped =
+        registry.GetCounter("qatk_server_drain_dropped_total");
+  }
 
   ~Impl() {
     if (listen_fd >= 0) ::close(listen_fd);
@@ -129,10 +181,12 @@ struct Server::Impl {
   void HandleRequest(Loop* loop, Conn* conn, std::string_view payload,
                      Clock::time_point arrival);
   bool FlushWrites(Loop* loop, Conn* conn);
-  void AppendResponse(Conn* conn, const std::string& payload, bool admitted);
+  void AppendResponse(Conn* conn, const std::string& payload, bool admitted,
+                      Tally tally);
   void ArmWrite(Loop* loop, Conn* conn, bool want);
   Json HealthJson() const;
   Json StatsJson() const;
+  Json MetricsTextJson() const;
 };
 
 Status Server::Impl::Start() {
@@ -215,18 +269,39 @@ void Server::Impl::RunLoop(Loop* loop) {
       if (options.drain_timeout_ms > 0 &&
           ElapsedMs(loop->drain_start, Clock::now()) >
               options.drain_timeout_ms) {
-        // Force close whatever is left; unflushed responses are dropped.
+        // Force close whatever is left. Each undelivered response moves
+        // from "answered" to "dropped": the responses_ok/error tally it
+        // received at generation time is reversed before drain_dropped
+        // counts it, so the two buckets stay mutually exclusive and
+        // requests == responses_ok + responses_error + drain_dropped.
         AdoptInbox(loop);
-        size_t dropped = 0;
+        uint64_t dropped = 0, undo_ok = 0, undo_error = 0;
         while (!loop->conns.empty()) {
           Conn* conn = loop->conns.begin()->second.get();
-          if (conn->write_off < conn->write_buf.size()) ++dropped;
+          for (const PendingResponse& pending : conn->pending) {
+            if (pending.end <= conn->flushed_total) continue;  // Delivered.
+            switch (pending.tally) {
+              case Tally::kOk:
+                ++undo_ok;
+                ++dropped;
+                break;
+              case Tally::kError:
+                ++undo_error;
+                ++dropped;
+                break;
+              case Tally::kNone:
+                break;  // Never tallied as answered; nothing to drop.
+            }
+          }
           CloseConn(loop, conn);
         }
+        responses_ok.fetch_sub(undo_ok, std::memory_order_relaxed);
+        responses_error.fetch_sub(undo_error, std::memory_order_relaxed);
         drain_dropped.fetch_add(dropped, std::memory_order_relaxed);
+        obs_drain_dropped->Add(dropped);
         if (dropped > 0) {
           QATK_LOG(ERROR) << "drain timeout: dropped " << dropped
-                          << " connections with unflushed responses";
+                          << " unflushed responses";
         }
         break;
       }
@@ -393,8 +468,8 @@ void Server::Impl::CloseConn(Loop* loop, Conn* conn) {
   // Admitted requests whose responses never reached the socket release
   // their admission slots here.
   size_t unreleased = 0;
-  for (const auto& [end, admitted] : conn->pending) {
-    if (admitted) ++unreleased;
+  for (const PendingResponse& pending : conn->pending) {
+    if (pending.admitted) ++unreleased;
   }
   if (unreleased > 0) {
     in_flight.fetch_sub(unreleased, std::memory_order_relaxed);
@@ -487,9 +562,10 @@ bool Server::Impl::ProcessFrames(Loop* loop, Conn* conn) {
     if (decode.state == FrameDecode::State::kNeedMore) break;
     if (decode.state == FrameDecode::State::kError) {
       protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      obs_protocol_errors->Add();
       AppendResponse(conn,
                      EncodeResponse(0, Status::Invalid(decode.error), Json()),
-                     /*admitted=*/false);
+                     /*admitted=*/false, Tally::kNone);
       conn->close_after_flush = true;
       conn->read_shutdown = true;
       conn->read_buf.clear();
@@ -512,29 +588,39 @@ void Server::Impl::HandleRequest(Loop* loop, Conn* conn,
     // The framing is intact, so the connection survives; only this
     // request is answered with the parse error.
     protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    obs_protocol_errors->Add();
     responses_error.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(conn, EncodeResponse(0, parsed.status(), Json()),
-                   /*admitted=*/false);
+                   /*admitted=*/false, Tally::kError);
     return;
   }
   const Request& request = *parsed;
+  method_metrics[static_cast<size_t>(request.method)].count->Add();
   if (request.method == Method::kHealth) {
     responses_ok.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(conn,
                    EncodeResponse(request.id, Status::OK(), HealthJson()),
-                   /*admitted=*/false);
+                   /*admitted=*/false, Tally::kOk);
     return;
   }
   if (request.method == Method::kStats) {
     responses_ok.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(conn,
                    EncodeResponse(request.id, Status::OK(), StatsJson()),
-                   /*admitted=*/false);
+                   /*admitted=*/false, Tally::kOk);
+    return;
+  }
+  if (request.method == Method::kMetricsText) {
+    responses_ok.fetch_add(1, std::memory_order_relaxed);
+    AppendResponse(
+        conn, EncodeResponse(request.id, Status::OK(), MetricsTextJson()),
+        /*admitted=*/false, Tally::kOk);
     return;
   }
   if (request.deadline_ms >= 0 &&
       ElapsedMs(arrival, Clock::now()) >= request.deadline_ms) {
     deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    obs_deadline->Add();
     responses_error.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(
         conn,
@@ -544,7 +630,7 @@ void Server::Impl::HandleRequest(Loop* loop, Conn* conn,
                            std::to_string(request.deadline_ms) +
                            "ms before execution"),
                        Json()),
-        /*admitted=*/false);
+        /*admitted=*/false, Tally::kError);
     return;
   }
   // Admission control: bound the number of admitted-but-unflushed
@@ -560,6 +646,7 @@ void Server::Impl::HandleRequest(Loop* loop, Conn* conn,
   }
   if (!admitted) {
     shed.fetch_add(1, std::memory_order_relaxed);
+    obs_shed->Add();
     responses_error.fetch_add(1, std::memory_order_relaxed);
     AppendResponse(
         conn,
@@ -568,24 +655,33 @@ void Server::Impl::HandleRequest(Loop* loop, Conn* conn,
                            "server over capacity (max_in_flight=" +
                            std::to_string(options.max_in_flight) + ")"),
                        Json()),
-        /*admitted=*/false);
+        /*admitted=*/false, Tally::kError);
     return;
   }
-  Response response = Dispatch(service, request);
+  Response response;
+  {
+    // The latency span covers execution only: shed, expired, and
+    // server-level requests never reach this histogram, so its count is
+    // exactly the executed-request tally.
+    obs::ScopedTimer span(
+        method_metrics[static_cast<size_t>(request.method)].latency_us);
+    response = Dispatch(service, request);
+  }
   (response.ok() ? responses_ok : responses_error)
       .fetch_add(1, std::memory_order_relaxed);
   AppendResponse(conn,
                  EncodeResponse(response.id,
                                 Status(response.code, response.message),
                                 response.result),
-                 /*admitted=*/true);
+                 /*admitted=*/true,
+                 response.ok() ? Tally::kOk : Tally::kError);
 }
 
 void Server::Impl::AppendResponse(Conn* conn, const std::string& payload,
-                                  bool admitted) {
+                                  bool admitted, Tally tally) {
   AppendFrame(payload, &conn->write_buf);
   conn->enqueued_total += kLengthPrefixBytes + payload.size();
-  conn->pending.emplace_back(conn->enqueued_total, admitted);
+  conn->pending.push_back({conn->enqueued_total, admitted, tally});
 }
 
 void Server::Impl::ArmWrite(Loop* loop, Conn* conn, bool want) {
@@ -601,8 +697,8 @@ bool Server::Impl::FlushWrites(Loop* loop, Conn* conn) {
   auto release_flushed = [this, conn] {
     size_t released = 0;
     while (!conn->pending.empty() &&
-           conn->pending.front().first <= conn->flushed_total) {
-      if (conn->pending.front().second) ++released;
+           conn->pending.front().end <= conn->flushed_total) {
+      if (conn->pending.front().admitted) ++released;
       conn->pending.pop_front();
     }
     if (released > 0) {
@@ -705,6 +801,30 @@ Json Server::Impl::StatsJson() const {
   result.Set("bytes_written", get(bytes_written));
   result.Set("in_flight", Json(static_cast<int64_t>(
                   in_flight.load(std::memory_order_relaxed))));
+  result.Set("drain_dropped", get(drain_dropped));
+  // Per-method observability: request tally, executed tally (the latency
+  // histogram's count), and quantiles. Every method is present so the
+  // payload shape is deterministic.
+  Json methods = Json::Object();
+  for (size_t m = 0; m < kNumMethods; ++m) {
+    const obs::HistogramSnapshot hist =
+        method_metrics[m].latency_us->Snapshot();
+    Json entry = Json::Object();
+    entry.Set("count", Json(static_cast<int64_t>(
+                           method_metrics[m].count->Value())));
+    entry.Set("executed", Json(static_cast<int64_t>(hist.total)));
+    entry.Set("p50_us", Json(static_cast<int64_t>(hist.Quantile(0.5))));
+    entry.Set("p99_us", Json(static_cast<int64_t>(hist.Quantile(0.99))));
+    methods.Set(MethodToString(static_cast<Method>(m)), std::move(entry));
+  }
+  result.Set("methods", std::move(methods));
+  return result;
+}
+
+Json Server::Impl::MetricsTextJson() const {
+  Json result = Json::Object();
+  result.Set("text",
+             Json(RenderPrometheusText(obs::Registry::Global().Snapshot())));
   return result;
 }
 
@@ -748,7 +868,7 @@ Status Server::Wait() {
       impl_->drain_dropped.load(std::memory_order_relaxed);
   if (dropped > 0) {
     return Status::Unavailable("drain dropped " + std::to_string(dropped) +
-                               " connections with unflushed responses");
+                               " unflushed responses");
   }
   return Status::OK();
 }

@@ -35,6 +35,12 @@ Status BufferPool::WriteBack(Page* page) {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
   QATK_CHECK(capacity >= 2) << "buffer pool needs at least two frames";
+  obs::Registry& registry = obs::Registry::Global();
+  obs_hits_ = registry.GetCounter("qatk_storage_page_hits_total");
+  obs_misses_ = registry.GetCounter("qatk_storage_page_misses_total");
+  obs_evictions_ = registry.GetCounter("qatk_storage_page_evictions_total");
+  obs_checksum_failures_ =
+      registry.GetCounter("qatk_storage_checksum_failures_total");
   frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
     frames_.push_back(std::make_unique<Page>());
@@ -70,6 +76,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     lru_pos_.erase(frame);
     page->Reset();
     ++evictions_;
+    obs_evictions_->Add();
     return frame;
   }
   return Status::OutOfRange(
@@ -81,16 +88,21 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++hits_;
+    obs_hits_->Add();
     Page* page = frames_[it->second].get();
     ++page->pin_count_;
     Touch(it->second);
     return page;
   }
   ++misses_;
+  obs_misses_->Add();
   QATK_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
   Status read = retry_.Run([&] { return disk_->ReadPage(page_id, page->data_); });
-  if (!read.ok() || !(read = VerifyChecksum(page_id, page->data_)).ok()) {
+  if (read.ok() && !(read = VerifyChecksum(page_id, page->data_)).ok()) {
+    obs_checksum_failures_->Add();
+  }
+  if (!read.ok()) {
     // The frame holds garbage; return it to the free list untouched.
     page->Reset();
     free_frames_.push_back(frame);

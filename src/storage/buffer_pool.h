@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/retry.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -93,6 +94,12 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  // Process-wide obs mirrors of the per-pool counters above (all pools
+  // aggregate into one registry entry each).
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_misses_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_checksum_failures_;
 };
 
 /// \brief RAII pin holder: unpins its page (with the recorded dirtiness) on

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace qatk::db {
@@ -31,6 +33,21 @@ uint32_t ReadU32Le(const unsigned char* p) {
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
          (static_cast<uint32_t>(p[2]) << 16) |
          (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/// Durability-flush latency for the redo log and the page journal; the
+/// histogram's count doubles as the flush counter. (These logs flush via
+/// fflush — OS handoff, not fsync; the name records the contract.)
+obs::Histogram* WalFlushHistogram() {
+  static obs::Histogram* hist =
+      obs::Registry::Global().GetHistogram("qatk_storage_wal_flush_us");
+  return hist;
+}
+
+/// fflush wrapped in a flush-latency span.
+int TimedFlush(std::FILE* file) {
+  obs::ScopedTimer span(WalFlushHistogram());
+  return std::fflush(file);
 }
 
 }  // namespace
@@ -70,7 +87,7 @@ Status WalFile::Append(WalRecordType type, std::string_view payload) {
     // record unreachable at recovery — so this is NOT transient.
     return Status::IOError("short write appending to WAL");
   }
-  if (std::fflush(file_) != 0) {
+  if (TimedFlush(file_) != 0) {
     return Status::IOError("flush failed appending to WAL");
   }
   if (write_len != frame.size()) {
@@ -172,7 +189,7 @@ Status PageJournal::Begin(uint32_t checkpoint_num_pages) {
   std::string header(kJournalMagic, kJournalMagicLen);
   AppendU32(&header, checkpoint_num_pages);
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fflush(file_) != 0) {
+      TimedFlush(file_) != 0) {
     return Status::IOError("cannot write journal header");
   }
   checkpoint_num_pages_ = checkpoint_num_pages;
@@ -200,7 +217,7 @@ Status PageJournal::RecordBeforeImage(uint32_t page_id, const char* image) {
     if (d.torn) write_len = d.TornBytes(frame.size());
   }
   if (std::fwrite(frame.data(), 1, write_len, file_) != write_len ||
-      std::fflush(file_) != 0) {
+      TimedFlush(file_) != 0) {
     return Status::IOError("write failed appending to journal");
   }
   if (write_len != frame.size()) {

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <map>
 
 #include "common/rng.h"
 #include "datagen/world.h"
+#include "server/json.h"
+#include "server/protocol.h"
 #include "storage/database.h"
 #include "storage/sql.h"
 #include "storage/wal.h"
@@ -218,6 +222,183 @@ TEST(TaxonomyXmlFuzzTest, GeneratedWorldRoundTripsExactly) {
   }
   // Second round trip is byte-identical (canonical form).
   EXPECT_EQ(tax::TaxonomyToXml(*loaded), xml);
+}
+
+// ---------------------------------------------------------------------------
+// Wire JSON codec: random documents must round-trip byte-identically, and
+// a malformed-frame corpus must fail cleanly (no crash, no bogus accept).
+// ---------------------------------------------------------------------------
+
+/// Random JSON value: all six types, arbitrary string bytes (controls,
+/// quotes, broken UTF-8 — Dump escapes what must be escaped), finite
+/// doubles drawn from raw bit patterns so exponents cover the full range.
+server::Json RandomJson(Rng* rng, int depth) {
+  const uint64_t kind = rng->NextBounded(depth > 0 ? 6 : 4);
+  switch (kind) {
+    case 0:
+      return server::Json();
+    case 1:
+      return server::Json(rng->NextBernoulli(0.5));
+    case 2: {
+      if (rng->NextBernoulli(0.5)) {
+        return server::Json(rng->NextInt(-1000000000, 1000000000));
+      }
+      double value = 0;
+      do {
+        const uint64_t bits = rng->Next();
+        std::memcpy(&value, &bits, sizeof(value));
+      } while (!std::isfinite(value));
+      return server::Json(value);
+    }
+    case 3: {
+      std::string s;
+      const size_t len = rng->NextBounded(24);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->NextBounded(256)));
+      }
+      return server::Json(s);
+    }
+    case 4: {
+      server::Json array = server::Json::Array();
+      const size_t n = rng->NextBounded(5);
+      for (size_t i = 0; i < n; ++i) {
+        array.Append(RandomJson(rng, depth - 1));
+      }
+      return array;
+    }
+    default: {
+      server::Json object = server::Json::Object();
+      const size_t n = rng->NextBounded(5);
+      for (size_t i = 0; i < n; ++i) {
+        object.Set("k" + std::to_string(i), RandomJson(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+TEST(JsonCodecFuzzTest, RandomValuesRoundTripByteIdentical) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 500; ++trial) {
+    const server::Json value = RandomJson(&rng, 4);
+    const std::string first = value.Dump();
+    auto parsed = server::Json::Parse(first);
+    ASSERT_TRUE(parsed.ok()) << first << ": " << parsed.status();
+    // Dump is canonical, so Serialize -> Parse -> Serialize is the
+    // identity on bytes — the property the wire-equivalence bench gate
+    // (bit-identical responses) rests on.
+    EXPECT_EQ(parsed->Dump(), first) << first;
+  }
+}
+
+TEST(JsonCodecFuzzTest, RequestsRoundTripThroughFraming) {
+  Rng rng(515);
+  const char* methods[] = {"Recommend", "RecommendForText", "Health",
+                           "Stats",     "MetricsText",      "NoSuchMethod"};
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t id = rng.NextInt(-1000, 1000000);
+    const std::string method = methods[rng.NextBounded(6)];
+    const int64_t deadline =
+        rng.NextBernoulli(0.5) ? rng.NextInt(1, 60000) : -1;
+    server::Json params = server::Json::Object();
+    const size_t n = rng.NextBounded(4);
+    for (size_t i = 0; i < n; ++i) {
+      params.Set("p" + std::to_string(i), RandomJson(&rng, 2));
+    }
+    const std::string payload =
+        server::EncodeRequest(id, method, params, deadline);
+    std::string buffer;
+    server::AppendFrame(payload, &buffer);
+    const server::FrameDecode decode = server::DecodeFrame(buffer);
+    ASSERT_EQ(decode.state, server::FrameDecode::State::kFrame);
+    EXPECT_EQ(decode.consumed, buffer.size());
+    auto request = server::ParseRequest(decode.payload);
+    ASSERT_TRUE(request.ok()) << payload << ": " << request.status();
+    EXPECT_EQ(request->id, id);
+    EXPECT_EQ(request->method_name, method);
+    EXPECT_EQ(request->deadline_ms, deadline);
+    EXPECT_EQ(server::EncodeRequest(request->id, request->method_name,
+                                    request->params, request->deadline_ms),
+              payload);
+  }
+}
+
+TEST(FrameFuzzTest, TruncatedPrefixAndPayloadWantMoreBytes) {
+  using State = server::FrameDecode::State;
+  // Fewer bytes than the length prefix: kNeedMore, nothing consumed.
+  for (size_t len = 0; len < server::kLengthPrefixBytes; ++len) {
+    const std::string buffer(len, '\x01');
+    EXPECT_EQ(server::DecodeFrame(buffer).state, State::kNeedMore);
+  }
+  // Complete prefix, truncated payload at every cut: still kNeedMore.
+  std::string buffer;
+  server::AppendFrame("{\"id\":1,\"method\":\"Health\"}", &buffer);
+  for (size_t cut = server::kLengthPrefixBytes; cut < buffer.size(); ++cut) {
+    const server::FrameDecode decode =
+        server::DecodeFrame(std::string_view(buffer).substr(0, cut));
+    EXPECT_EQ(decode.state, State::kNeedMore) << "cut=" << cut;
+    EXPECT_EQ(decode.consumed, 0u);
+  }
+}
+
+TEST(FrameFuzzTest, OverlongAndZeroLengthsAreErrors) {
+  using State = server::FrameDecode::State;
+  // A length prefix above the cap must error before any allocation —
+  // even though the buffer holds nowhere near that many bytes.
+  const std::string overlong = {'\x7f', '\x7f', '\x7f', '\x7f'};
+  EXPECT_EQ(server::DecodeFrame(overlong, 1024).state, State::kError);
+  const std::string zero(server::kLengthPrefixBytes, '\0');
+  EXPECT_EQ(server::DecodeFrame(zero).state, State::kError);
+}
+
+TEST(FrameFuzzTest, HostilePayloadCorpusFailsCleanly) {
+  // Each entry must produce a clean parse error — not a crash and not a
+  // silently-accepted request.
+  const std::vector<std::string> must_fail = {
+      "",                                       // empty document
+      "\xff\xfe{\"method\":\"Health\"}",        // garbage before document
+      "{\"method\":\"\\ud800\"}",               // lone high surrogate
+      "{\"method\":\"\\udc00\"}",               // lone low surrogate
+      "{\"method\":\"\\ud800x\"}",              // surrogate cut short
+      "{\"method\":\"Health\"",                 // truncated object
+      "{\"id\":01,\"method\":\"x\"}",           // leading-zero number
+      "[\"not\",\"an\",\"object\"]",            // non-object document
+      "{\"id\":1}",                             // missing method
+      "{\"method\":42}",                        // non-string method
+      "{\"method\":\"x\"}trailing",             // trailing garbage
+      std::string("{\"method\":\"x\"}\0", 16),  // embedded NUL after doc
+  };
+  for (const std::string& payload : must_fail) {
+    auto request = server::ParseRequest(payload);
+    EXPECT_FALSE(request.ok()) << payload;
+    EXPECT_FALSE(request.status().ToString().empty());
+  }
+  // Raw invalid UTF-8 *inside* a string is carried as opaque bytes (the
+  // codec escapes but does not validate encodings); it must parse without
+  // crashing and fall out as an unknown method, never undefined behavior.
+  auto raw = server::ParseRequest("{\"id\":1,\"method\":\"\xc3\x28\"}");
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  EXPECT_EQ(raw->method, server::Method::kUnknown);
+}
+
+TEST(FrameFuzzTest, RandomByteSoupNeverCrashesDecoderOrParsers) {
+  Rng rng(999);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string buffer;
+    const size_t len = rng.NextBounded(64);
+    for (size_t i = 0; i < len; ++i) {
+      buffer.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    const server::FrameDecode decode = server::DecodeFrame(buffer, 4096);
+    if (decode.state == server::FrameDecode::State::kFrame) {
+      EXPECT_LE(decode.consumed, buffer.size());
+      // Whatever came out must hit the parsers without incident; both ok
+      // and error outcomes are fine, crashes and sanitizer reports are
+      // not.
+      server::ParseRequest(decode.payload).status();
+      server::ParseResponse(decode.payload).status();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

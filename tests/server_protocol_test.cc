@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datagen/oem.h"
@@ -247,11 +248,273 @@ TEST(MethodNamesTest, RoundTripAllMethods) {
       Method::kFullListForPart, Method::kDescribeCode,
       Method::kConfirmAssignment, Method::kDefineErrorCode,
       Method::kHealth,         Method::kStats,
+      Method::kMetricsText,
   };
+  static_assert(kNumMethods == sizeof(methods) / sizeof(methods[0]) + 1,
+                "new Method added: extend this test and the golden frames");
   for (const Method method : methods) {
     EXPECT_EQ(MethodFromString(MethodToString(method)), method);
   }
   EXPECT_EQ(MethodFromString("NoSuchMethod"), Method::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Golden wire frames
+//
+// The exact framed bytes (4-byte big-endian length prefix + JSON payload)
+// of one request per method and of representative responses, recorded
+// from the encoders and checked in. These are the protocol's compatibility
+// contract: if any of them changes, an old client on the wire breaks, so
+// the change must be deliberate — regenerate the constants and say so in
+// the commit. The prefixes contain NUL bytes: always slice with
+// sizeof - 1, never strlen.
+
+constexpr char kGoldenUnknownRequest[] =
+    "\x00" "\x00" "\x00" "*{\"id\":1,\"method\":\"Frobnicate\","
+    "\"params\":{}}";
+constexpr char kGoldenRecommendRequest[] =
+    "\x00" "\x00" "\x00" "b{\"id\":2,\"method\":\"Recommend\",\""
+    "params\":{\"part_id\":\"P01\",\"mechanic_report\":\"engine st"
+    "alls at idle\"}}";
+constexpr char kGoldenRecommendForTextRequest[] =
+    "\x00" "\x00" "\x00" "k{\"id\":3,\"method\":\"RecommendForT"
+    "ext\",\"deadline_ms\":250,\"params\":{\"part_id\":\"P02\",\"t"
+    "ext\":\"fuel pump whines\"}}";
+constexpr char kGoldenFullListRequest[] =
+    "\x00" "\x00" "\x00" ">{\"id\":4,\"method\":\"FullListForPa"
+    "rt\",\"params\":{\"part_id\":\"P01\"}}";
+constexpr char kGoldenDescribeRequest[] =
+    "\x00" "\x00" "\x00" "9{\"id\":5,\"method\":\"DescribeCode\""
+    ",\"params\":{\"code\":\"E042\"}}";
+constexpr char kGoldenConfirmRequest[] =
+    "\x00" "\x00" "\x00" "~{\"id\":6,\"method\":\"ConfirmAssign"
+    "ment\",\"params\":{\"part_id\":\"P01\",\"mechanic_report\":\""
+    "engine stalls at idle\",\"error_code\":\"E042\"}}";
+constexpr char kGoldenDefineRequest[] =
+    "\x00" "\x00" "\x00" "l{\"id\":7,\"method\":\"DefineErrorCo"
+    "de\",\"params\":{\"part_id\":\"P03\",\"code\":\"E900\",\"desc"
+    "ription\":\"cracked housing\"}}";
+constexpr char kGoldenHealthRequest[] =
+    "\x00" "\x00" "\x00" "&{\"id\":8,\"method\":\"Health\",\"pa"
+    "rams\":{}}";
+constexpr char kGoldenStatsRequest[] =
+    "\x00" "\x00" "\x00" "%{\"id\":9,\"method\":\"Stats\",\"par"
+    "ams\":{}}";
+constexpr char kGoldenMetricsTextRequest[] =
+    "\x00" "\x00" "\x00" "?{\"id\":10,\"method\":\"MetricsText\""
+    ",\"deadline_ms\":1000,\"params\":{}}";
+constexpr char kGoldenOkResponse[] =
+    "\x00" "\x00" "\x00" "c{\"id\":2,\"code\":\"OK\",\"message\""
+    ":\"\",\"result\":{\"top\":[{\"code\":\"E042\",\"score\":0.25}"
+    "],\"truncated\":false}}";
+constexpr char kGoldenHealthResponse[] =
+    "\x00" "\x00" "\x00" ":{\"id\":8,\"code\":\"OK\",\"message\""
+    ":\"\",\"result\":{\"status\":\"ok\"}}";
+constexpr char kGoldenShedResponse[] =
+    "\x00" "\x00" "\x00" "a{\"id\":3,\"code\":\"Unavailable\",\""
+    "message\":\"server over capacity (max_in_flight=1024)\",\"res"
+    "ult\":null}";
+constexpr char kGoldenDeadlineResponse[] =
+    "\x00" "\x00" "\x00" "^{\"id\":4,\"code\":\"DeadlineExceede"
+    "d\",\"message\":\"deadline expired before execution\",\"resul"
+    "t\":null}";
+constexpr char kGoldenInvalidResponse[] =
+    "\x00" "\x00" "\x00" "O{\"id\":1,\"code\":\"Invalid\",\"mes"
+    "sage\":\"unknown method 'Frobnicate'\",\"result\":null}";
+
+template <size_t N>
+std::string_view GoldenBytes(const char (&literal)[N]) {
+  return std::string_view(literal, N - 1);
+}
+
+std::string Framed(const std::string& payload) {
+  std::string frame;
+  AppendFrame(payload, &frame);
+  return frame;
+}
+
+TEST(GoldenFrameTest, RequestEncodersReproduceRecordedFramesBitExact) {
+  Json recommend = Json::Object();
+  recommend.Set("part_id", Json("P01"));
+  recommend.Set("mechanic_report", Json("engine stalls at idle"));
+  Json for_text = Json::Object();
+  for_text.Set("part_id", Json("P02"));
+  for_text.Set("text", Json("fuel pump whines"));
+  Json full_list = Json::Object();
+  full_list.Set("part_id", Json("P01"));
+  Json describe = Json::Object();
+  describe.Set("code", Json("E042"));
+  Json confirm = Json::Object();
+  confirm.Set("part_id", Json("P01"));
+  confirm.Set("mechanic_report", Json("engine stalls at idle"));
+  confirm.Set("error_code", Json("E042"));
+  Json define = Json::Object();
+  define.Set("part_id", Json("P03"));
+  define.Set("code", Json("E900"));
+  define.Set("description", Json("cracked housing"));
+
+  EXPECT_EQ(Framed(EncodeRequest(1, "Frobnicate", Json::Object())),
+            GoldenBytes(kGoldenUnknownRequest));
+  EXPECT_EQ(Framed(EncodeRequest(2, "Recommend", recommend)),
+            GoldenBytes(kGoldenRecommendRequest));
+  EXPECT_EQ(Framed(EncodeRequest(3, "RecommendForText", for_text, 250)),
+            GoldenBytes(kGoldenRecommendForTextRequest));
+  EXPECT_EQ(Framed(EncodeRequest(4, "FullListForPart", full_list)),
+            GoldenBytes(kGoldenFullListRequest));
+  EXPECT_EQ(Framed(EncodeRequest(5, "DescribeCode", describe)),
+            GoldenBytes(kGoldenDescribeRequest));
+  EXPECT_EQ(Framed(EncodeRequest(6, "ConfirmAssignment", confirm)),
+            GoldenBytes(kGoldenConfirmRequest));
+  EXPECT_EQ(Framed(EncodeRequest(7, "DefineErrorCode", define)),
+            GoldenBytes(kGoldenDefineRequest));
+  EXPECT_EQ(Framed(EncodeRequest(8, "Health", Json::Object())),
+            GoldenBytes(kGoldenHealthRequest));
+  EXPECT_EQ(Framed(EncodeRequest(9, "Stats", Json::Object())),
+            GoldenBytes(kGoldenStatsRequest));
+  EXPECT_EQ(Framed(EncodeRequest(10, "MetricsText", Json::Object(), 1000)),
+            GoldenBytes(kGoldenMetricsTextRequest));
+}
+
+TEST(GoldenFrameTest, RecordedRequestFramesDecodeToTheRightMethods) {
+  const struct {
+    std::string_view frame;
+    int64_t id;
+    Method method;
+    int64_t deadline_ms;
+  } cases[] = {
+      {GoldenBytes(kGoldenUnknownRequest), 1, Method::kUnknown, -1},
+      {GoldenBytes(kGoldenRecommendRequest), 2, Method::kRecommend, -1},
+      {GoldenBytes(kGoldenRecommendForTextRequest), 3,
+       Method::kRecommendForText, 250},
+      {GoldenBytes(kGoldenFullListRequest), 4, Method::kFullListForPart, -1},
+      {GoldenBytes(kGoldenDescribeRequest), 5, Method::kDescribeCode, -1},
+      {GoldenBytes(kGoldenConfirmRequest), 6, Method::kConfirmAssignment,
+       -1},
+      {GoldenBytes(kGoldenDefineRequest), 7, Method::kDefineErrorCode, -1},
+      {GoldenBytes(kGoldenHealthRequest), 8, Method::kHealth, -1},
+      {GoldenBytes(kGoldenStatsRequest), 9, Method::kStats, -1},
+      {GoldenBytes(kGoldenMetricsTextRequest), 10, Method::kMetricsText,
+       1000},
+  };
+  // One golden frame per Method value, by construction.
+  ASSERT_EQ(sizeof(cases) / sizeof(cases[0]), kNumMethods);
+  for (const auto& c : cases) {
+    const FrameDecode decode = DecodeFrame(c.frame);
+    ASSERT_EQ(decode.state, FrameDecode::State::kFrame);
+    EXPECT_EQ(decode.consumed, c.frame.size());
+    auto request = ParseRequest(decode.payload);
+    ASSERT_TRUE(request.ok()) << request.status();
+    EXPECT_EQ(request->id, c.id);
+    EXPECT_EQ(request->method, c.method);
+    EXPECT_EQ(request->deadline_ms, c.deadline_ms);
+  }
+}
+
+TEST(GoldenFrameTest, ResponseEncodersReproduceRecordedFramesBitExact) {
+  Json ok_result = Json::Object();
+  ok_result.Set("status", Json("ok"));
+  Json scored = Json::Object();
+  Json top = Json::Array();
+  Json entry = Json::Object();
+  entry.Set("code", Json("E042"));
+  entry.Set("score", Json(0.25));
+  top.Append(entry);
+  scored.Set("top", top);
+  scored.Set("truncated", Json(false));
+
+  EXPECT_EQ(Framed(EncodeResponse(2, Status::OK(), scored)),
+            GoldenBytes(kGoldenOkResponse));
+  EXPECT_EQ(Framed(EncodeResponse(8, Status::OK(), ok_result)),
+            GoldenBytes(kGoldenHealthResponse));
+  EXPECT_EQ(Framed(EncodeResponse(
+                3,
+                Status::Unavailable(
+                    "server over capacity (max_in_flight=1024)"),
+                Json())),
+            GoldenBytes(kGoldenShedResponse));
+  EXPECT_EQ(Framed(EncodeResponse(
+                4,
+                Status::DeadlineExceeded(
+                    "deadline expired before execution"),
+                Json())),
+            GoldenBytes(kGoldenDeadlineResponse));
+  EXPECT_EQ(Framed(EncodeResponse(
+                1, Status::Invalid("unknown method 'Frobnicate'"), Json())),
+            GoldenBytes(kGoldenInvalidResponse));
+}
+
+TEST(GoldenFrameTest, RecordedResponseFramesParseBack) {
+  const struct {
+    std::string_view frame;
+    int64_t id;
+    StatusCode code;
+  } cases[] = {
+      {GoldenBytes(kGoldenOkResponse), 2, StatusCode::kOk},
+      {GoldenBytes(kGoldenHealthResponse), 8, StatusCode::kOk},
+      {GoldenBytes(kGoldenShedResponse), 3, StatusCode::kUnavailable},
+      {GoldenBytes(kGoldenDeadlineResponse), 4,
+       StatusCode::kDeadlineExceeded},
+      {GoldenBytes(kGoldenInvalidResponse), 1, StatusCode::kInvalid},
+  };
+  for (const auto& c : cases) {
+    const FrameDecode decode = DecodeFrame(c.frame);
+    ASSERT_EQ(decode.state, FrameDecode::State::kFrame);
+    auto response = ParseResponse(decode.payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->id, c.id);
+    EXPECT_EQ(response->code, c.code);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text rendering
+
+TEST(PrometheusTextTest, RendersAllKindsWithLabelSplicing) {
+#ifdef QATK_NO_METRICS
+  GTEST_SKIP() << "metrics compiled out (QATK_NO_METRICS)";
+#else
+  obs::Registry registry;
+  registry.GetCounter("test_requests_total{method=\"Recommend\"}")->Add(7);
+  registry.GetCounter("test_requests_total{method=\"Stats\"}")->Add(2);
+  registry.GetGauge("test_nodes")->Set(-3);
+  obs::Histogram* histogram = registry.GetHistogram(
+      "test_latency_us{method=\"Recommend\"}");
+  histogram->Record(0);
+  histogram->Record(5);
+  histogram->Record(obs::kHistogramOverflow + 1);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+
+  // One TYPE line per base name, not per labeled series.
+  EXPECT_NE(text.find("# TYPE test_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_requests_total counter",
+                      text.find("# TYPE test_requests_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("test_requests_total{method=\"Recommend\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_requests_total{method=\"Stats\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_nodes gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_nodes -3\n"), std::string::npos);
+
+  // Histogram: `le` is spliced into the existing label set, buckets are
+  // cumulative, the last bucket is +Inf, and _count matches the total.
+  EXPECT_NE(text.find("# TYPE test_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("test_latency_us_bucket{method=\"Recommend\",le=\"0\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("test_latency_us_bucket{method=\"Recommend\",le=\"5\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find(
+                "test_latency_us_bucket{method=\"Recommend\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_us_count{method=\"Recommend\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_us_sum{method=\"Recommend\"} "),
+            std::string::npos);
+#endif
 }
 
 // ---------------------------------------------------------------------------

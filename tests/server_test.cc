@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -16,6 +21,7 @@
 #include "common/fault.h"
 #include "datagen/oem.h"
 #include "datagen/world.h"
+#include "obs/metrics.h"
 #include "quest/recommendation_service.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -97,6 +103,38 @@ TEST_F(ServerTest, HealthAndStats) {
   ASSERT_TRUE(stats.ok()) << stats.status();
   EXPECT_GE(stats->result.GetInt("requests", -1), 1);
   EXPECT_EQ(stats->result.GetInt("shed", -1), 0);
+  EXPECT_EQ(stats->result.GetInt("drain_dropped", -1), 0);
+  // Per-method breakdown: the Health call above must already be counted.
+  const Json* methods = stats->result.Find("methods");
+  ASSERT_NE(methods, nullptr);
+  const Json* health_row = methods->Find("Health");
+  ASSERT_NE(health_row, nullptr);
+  EXPECT_GE(health_row->GetInt("count", -1), 1);
+}
+
+TEST_F(ServerTest, MetricsTextExposesServerSeries) {
+#ifdef QATK_NO_METRICS
+  GTEST_SKIP() << "metrics compiled out (QATK_NO_METRICS)";
+#else
+  Start();
+  // A Recommend first, so its histogram has at least one sample.
+  auto response = client_.Call(1, "Recommend",
+                               BundleToParams(corpus_->bundles[0]));
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto metrics = client_.Call(2, "MetricsText", Json::Object());
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  ASSERT_TRUE(metrics->ok()) << metrics->message;
+  const std::string text = metrics->result.GetString("text");
+  EXPECT_NE(text.find("# TYPE qatk_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qatk_server_requests_total{method=\"Recommend\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("qatk_server_request_us_bucket{method=\"Recommend\",le="),
+      std::string::npos);
+  EXPECT_NE(text.find("qatk_server_request_us_count{method=\"Recommend\"}"),
+            std::string::npos);
+#endif
 }
 
 TEST_F(ServerTest, WireResponsesBitIdenticalToInProcess) {
@@ -247,6 +285,112 @@ TEST_F(ServerTest, GracefulDrainAnswersEverythingReceived) {
   const ServerStats stats = server_->stats();
   EXPECT_EQ(stats.drain_dropped, 0u);
   EXPECT_EQ(stats.responses_ok, static_cast<uint64_t>(kRequests));
+}
+
+TEST_F(ServerTest, ForcedDrainAccountsDroppedResponsesExactlyOnce) {
+  // A response force-closed at the drain timeout must count as dropped
+  // and NOT also as answered: the regression here was drain_dropped and
+  // responses_ok both counting the same request. The invariant checked
+  // at the end makes the tallies mutually exclusive and exhaustive.
+  Server::Options options;
+  options.drain_timeout_ms = 150;
+  options.port = 0;
+  // No shedding: past max_in_flight the server answers with tiny error
+  // responses, and those all fit in kernel socket buffers — making the
+  // drain look clean. Full-size responses are what pile up unflushed.
+  options.max_in_flight = 1u << 20;
+  // Keep the slow-client cutoff out of the way: that path closes the
+  // connection before the drain timeout can account for it.
+  options.max_write_buffer = 64u << 20;
+  server_ = std::make_unique<Server>(service_, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // Raw socket with a tiny receive buffer, set before connect so the
+  // advertised TCP window stays small: the server can flush only a few
+  // responses into kernel buffers; the rest must still be queued
+  // (unflushed) when the drain timeout fires.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Enough response volume that it cannot all hide in kernel socket
+  // buffers (TCP auto-tunes the send buffer up to ~4 MiB): most responses
+  // must still be queued app-side when the timeout fires. FullListForPart
+  // is cheap to execute but returns the part's whole ranked code list
+  // (~1 KiB), so 16384 of them is ~12 MiB of responses — well past the
+  // sndbuf ceiling, well under the raised write-buffer cutoff.
+  constexpr int kRequests = 16384;
+  Json full_list_params = Json::Object();
+  full_list_params.Set("part_id", Json("P01"));
+  std::string batch;
+  for (int i = 0; i < kRequests; ++i) {
+    AppendFrame(EncodeRequest(i, "FullListForPart", full_list_params),
+                &batch);
+  }
+  // Non-blocking push with retry: the server keeps reading while it
+  // processes, so EAGAIN here is transient; a hard error ends the push
+  // and the invariant is checked over whatever got through.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  size_t sent_bytes = 0;
+  while (sent_bytes < batch.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::send(fd, batch.data() + sent_bytes,
+                             batch.size() - sent_bytes, MSG_DONTWAIT);
+    if (n > 0) {
+      sent_bytes += static_cast<size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } else {
+      break;
+    }
+  }
+  ASSERT_GT(sent_bytes, 0u);
+
+  // Let the server settle: the parsed-request counter must hold still
+  // across two polls before the cutoff, so the drain sees a stable set.
+  uint64_t last_requests = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const uint64_t now = server_->stats().requests;
+    if (now > 0 && now == last_requests) break;
+    last_requests = now;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+#ifndef QATK_NO_METRICS
+  const uint64_t obs_dropped_before =
+      obs::Registry::Global()
+          .GetCounter("qatk_server_drain_dropped_total")
+          ->Value();
+#endif
+  server_->RequestDrain();
+  const Status drained = server_->Wait();
+  const ServerStats stats = server_->stats();
+  ::close(fd);
+
+  // The client never read, so the timeout must have force-closed the
+  // connection with responses still queued.
+  EXPECT_GT(stats.drain_dropped, 0u);
+  EXPECT_FALSE(drained.ok()) << "drain should report the dropped responses";
+  // Mutually exclusive and exhaustive: every parsed request is answered
+  // OK, answered with an error, or dropped — never two of those.
+  EXPECT_EQ(stats.requests,
+            stats.responses_ok + stats.responses_error + stats.drain_dropped);
+#ifndef QATK_NO_METRICS
+  const uint64_t obs_dropped_after =
+      obs::Registry::Global()
+          .GetCounter("qatk_server_drain_dropped_total")
+          ->Value();
+  EXPECT_EQ(obs_dropped_after - obs_dropped_before, stats.drain_dropped);
+#endif
 }
 
 TEST_F(ServerTest, DrainRefusesNewConnections) {
