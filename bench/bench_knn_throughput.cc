@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -94,13 +95,18 @@ struct ModelResult {
   std::vector<std::pair<size_t, double>> scaling;  // (threads, qps)
 };
 
-void WriteJson(const char* path, bool quick, size_t bundles, size_t learnable,
+void WriteJson(const char* path, bool quick, unsigned cores, bool enforced,
+               size_t bundles, size_t learnable,
                const std::vector<ModelResult>& results) {
   std::string text;
   qatk::benchutil::JsonWriter json(&text);
   json.BeginObject();
   json.Key("bench").Value("knn_throughput");
+  // quick/cores up front: a stale single-core or quick-mode JSON must be
+  // identifiable as such at a glance.
   json.Key("quick").Value(quick);
+  json.Key("cores").Value(static_cast<uint64_t>(cores));
+  json.Key("scaling_enforced").Value(enforced);
   json.Key("similarity").Value("jaccard");
   json.Key("max_nodes").Value(25);
   json.Key("corpus").BeginObject();
@@ -312,14 +318,53 @@ int main(int argc, char** argv) {
     results.push_back(std::move(result));
   }
 
-  WriteJson(out_path.c_str(), quick, corpus.bundles.size(), bundles.size(),
-            results);
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool scaling_enforced = cores >= 4;
+  WriteJson(out_path.c_str(), quick, cores, scaling_enforced,
+            corpus.bundles.size(), bundles.size(), results);
 
   if (!indexed_won) {
     std::fprintf(stderr,
                  "FAIL: indexed scoring is slower than brute force\n");
     return 1;
   }
+  // Scaling gate: the 1->4 table must be monotonically non-decreasing
+  // (within a small jitter tolerance per step) and the 4-thread point must
+  // not fall below single-thread — adding cores must never make us slower.
+  // Only enforceable where 4 worker threads can actually run in parallel.
+  bool scaling_ok = true;
+  if (scaling_enforced) {
+    constexpr double kStepTolerance = 0.95;
+    for (const ModelResult& r : results) {
+      double prev = 0, qps1 = 0, qps4 = 0;
+      for (const auto& [t, qps] : r.scaling) {
+        if (t > 4) continue;
+        if (t == 1) qps1 = qps;
+        if (t == 4) qps4 = qps;
+        if (prev > 0 && qps < prev * kStepTolerance) {
+          std::fprintf(stderr,
+                       "FAIL: %s indexed qps falls at %zu threads (%.0f -> "
+                       "%.0f q/s)\n",
+                       r.name, t, prev, qps);
+          scaling_ok = false;
+        }
+        prev = qps;
+      }
+      if (qps1 > 0 && qps4 > 0 && qps4 < qps1) {
+        std::fprintf(stderr,
+                     "FAIL: %s indexed 4-thread qps below 1-thread (%.0f < "
+                     "%.0f q/s)\n",
+                     r.name, qps4, qps1);
+        scaling_ok = false;
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "SKIPPED: thread-scaling gate (host has %u cores, needs "
+                 ">= 4); the scaling table is informational only\n",
+                 cores);
+  }
+  if (!scaling_ok) return 1;
   std::printf("OK: indexed path beats brute force on every model\n");
   return 0;
 }

@@ -595,14 +595,36 @@ int main(int argc, char** argv) {
   }
   json.EndArray();
   if (connect_port <= 0) {
+    // Gate: >= 0.6x of linear for the 1->4 sweep (2.4x), enforced only
+    // where 4 loop threads can actually run in parallel. On smaller hosts
+    // the ratio is still reported, but an explicit SKIPPED notice (and a
+    // scaling_skipped_reason in the JSON) makes the unenforced run
+    // impossible to mistake for a measured multi-core result.
     const double scaling = qps1 > 0 ? qps4 / qps1 : 0;
+    const double required = 2.4;  // 0.6 x linear on 4 cores.
+    const bool enforced = cores >= 4;
     json.Key("scaling_1_to_4").Value(scaling, 2);
-    json.Key("scaling_enforced").Value(cores >= 4);
-    std::printf("scaling 1->4 threads: %.2fx (%u cores%s)\n", scaling,
-                cores, cores >= 4 ? "" : "; gate not enforced");
-    if (cores >= 4 && scaling < 2.0) {
-      std::fprintf(stderr, "FAIL: expected >=2x scaling on >=4 cores\n");
-      failed = true;
+    json.Key("scaling_required").Value(required, 2);
+    json.Key("scaling_enforced").Value(enforced);
+    if (!enforced) {
+      json.Key("scaling_skipped_reason")
+          .Value("host has " + std::to_string(cores) +
+                 " cores; gate needs >= 4");
+    }
+    std::printf("scaling 1->4 threads: %.2fx (%u cores)\n", scaling, cores);
+    if (enforced) {
+      if (scaling < required) {
+        std::fprintf(stderr,
+                     "FAIL: 1->4 scaling %.2fx below required %.2fx on %u "
+                     "cores\n",
+                     scaling, required, cores);
+        failed = true;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "SKIPPED: 1->4 scaling gate (host has %u cores, needs "
+                   ">= 4); ratio %.2fx is informational only\n",
+                   cores, scaling);
     }
   }
 

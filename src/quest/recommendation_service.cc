@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -18,6 +20,9 @@ struct ServiceMetrics {
   obs::Histogram* confirm_us;
   obs::Histogram* extract_us;
   obs::Counter* index_rebuilds;
+  obs::Counter* state_publishes;
+  obs::Counter* reader_refreshes;
+  obs::Gauge* reader_states;
   obs::Gauge* index_nodes;
   obs::Gauge* index_parts;
   obs::Gauge* index_postings;
@@ -34,6 +39,11 @@ const ServiceMetrics& Metrics() {
         registry.GetHistogram("qatk_pipeline_stage_us{stage=\"extract\"}");
     m.index_rebuilds =
         registry.GetCounter("qatk_service_index_rebuilds_total");
+    m.state_publishes =
+        registry.GetCounter("qatk_service_state_publishes_total");
+    m.reader_refreshes =
+        registry.GetCounter("qatk_service_reader_snapshot_refreshes_total");
+    m.reader_states = registry.GetGauge("qatk_service_reader_states");
     m.index_nodes = registry.GetGauge("qatk_service_index_nodes");
     m.index_parts = registry.GetGauge("qatk_service_index_parts");
     m.index_postings = registry.GetGauge("qatk_service_index_postings");
@@ -51,13 +61,157 @@ void RecordIndexStats(const kb::FrozenIndex& index) {
   m.index_postings->Set(static_cast<int64_t>(index.num_postings()));
 }
 
+/// Generation ids are unique across every service instance in the
+/// process, so the thread_local reader cache can key on the generation
+/// alone — a destroyed-and-reallocated service can never alias a cached
+/// entry the way reused std::thread::ids once could.
+std::atomic<uint64_t> g_next_generation{0};
+
+uint64_t NextGeneration() {
+  return g_next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Test-observable lifecycle counters (independent of obs, which compiles
+/// out under QATK_NO_METRICS).
+std::atomic<int64_t> g_live_reader_states{0};
+std::atomic<uint64_t> g_reader_refreshes{0};
+
+/// Packs the description catalogs of `state` into its compose_context so
+/// ComposeDocument calls on the hot path borrow instead of copying.
+void PackComposeContext(RecommendationService::TrainedState* state) {
+  state->compose_context.part_descriptions = state->part_descriptions;
+  state->compose_context.error_descriptions = state->error_descriptions;
+}
+
+/// FullListForPart over one snapshot (shared by the public read path and
+/// the DefineErrorCode duplicate check, which runs it on the
+/// writer-private successor state).
+std::vector<core::ScoredCode> FullListFor(
+    const RecommendationService::TrainedState& state,
+    const std::string& part_id) {
+  std::vector<core::ScoredCode> list = state.frequency.Rank(part_id);
+  auto manual = state.manual_codes.find(part_id);
+  if (manual != state.manual_codes.end()) {
+    // A manually defined code that has since been confirmed appears in the
+    // frequency ranking already; keep that entry and skip the manual one.
+    std::unordered_set<std::string> ranked;
+    ranked.reserve(list.size());
+    for (const core::ScoredCode& scored : list) {
+      ranked.insert(scored.error_code);
+    }
+    for (const std::string& code : manual->second) {
+      if (ranked.count(code) == 0) list.push_back({code, 0.0});
+    }
+  }
+  return list;
+}
+
 }  // namespace
+
+/// Per-thread reader state, pinned to one published snapshot: the frozen
+/// (read-only) extractor built against that snapshot's vocabulary and the
+/// epoch-tagged scoring scratch. Owned by exactly one thread through a
+/// thread_local cache, so everything here is mutated without locks; the
+/// shared_ptr keeps the snapshot alive for as long as the thread serves
+/// from it (the RCU grace period is "every reader refreshed or exited").
+struct RecommendationService::ReaderState {
+  uint64_t generation = 0;
+  std::shared_ptr<const TrainedState> state;
+  std::unique_ptr<kb::FeatureExtractor> extractor;
+  kb::FrozenIndex::Scratch scratch;
+
+  ReaderState() {
+    g_live_reader_states.fetch_add(1, std::memory_order_relaxed);
+    Metrics().reader_states->Add(1);
+  }
+  ~ReaderState() {
+    g_live_reader_states.fetch_sub(1, std::memory_order_relaxed);
+    Metrics().reader_states->Add(-1);
+  }
+
+  /// The thread_local reader cache: a handful of MRU-ordered ReaderStates
+  /// keyed by generation, so one thread can interleave queries against a
+  /// few services (or ride out a retrain) without rebuilding its
+  /// extractor per query. Destroyed with the thread — per-thread state
+  /// can neither outlive its thread nor be inherited by an unrelated one.
+  class Cache {
+   public:
+    /// Most threads serve one service: entry 0 hits, nothing else is
+    /// scanned. The cap bounds a thread that touches many services;
+    /// evicted entries hand their scratch buffers to the replacement.
+    static constexpr size_t kMaxEntries = 4;
+
+    ReaderState* Find(uint64_t generation) {
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i]->generation == generation) {
+          if (i != 0) {
+            std::rotate(entries_.begin(), entries_.begin() + i,
+                        entries_.begin() + i + 1);
+          }
+          return entries_[0].get();
+        }
+      }
+      return nullptr;
+    }
+
+    /// Inserts a fresh entry at the MRU slot, evicting the LRU entry when
+    /// full — but keeping (handing off) the evictee's scratch, so a
+    /// retrain costs an extractor rebuild, not a re-allocation of the
+    /// accumulator arrays (kb::FrozenIndex::Scratch re-sizes itself on
+    /// demand and its epoch tags make stale slots read as zero under any
+    /// index).
+    ReaderState* Insert(std::unique_ptr<ReaderState> entry) {
+      if (entries_.size() >= kMaxEntries) {
+        entry->scratch = std::move(entries_.back()->scratch);
+        entries_.pop_back();
+      }
+      entries_.insert(entries_.begin(), std::move(entry));
+      return entries_[0].get();
+    }
+
+   private:
+    std::vector<std::unique_ptr<ReaderState>> entries_;
+  };
+
+  static Cache& ThreadCache() {
+    thread_local Cache cache;
+    return cache;
+  }
+};
 
 RecommendationService::RecommendationService(const tax::Taxonomy* taxonomy,
                                              Options options)
     : taxonomy_(taxonomy),
       options_(options),
+      state_(std::make_shared<const TrainedState>()),
       classifier_({options.similarity, options.max_nodes}) {}
+
+std::shared_ptr<const RecommendationService::TrainedState>
+RecommendationService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return state_;
+}
+
+int64_t RecommendationService::LiveReaderStatesForTest() {
+  return g_live_reader_states.load(std::memory_order_relaxed);
+}
+
+uint64_t RecommendationService::ReaderRefreshesForTest() {
+  return g_reader_refreshes.load(std::memory_order_relaxed);
+}
+
+void RecommendationService::Publish(
+    std::shared_ptr<const TrainedState> next) {
+  const uint64_t generation = next->generation;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    state_ = std::move(next);
+  }
+  // Release: a reader that acquire-loads this generation is guaranteed to
+  // copy a state_ at least this new on its refresh.
+  generation_.store(generation, std::memory_order_release);
+  Metrics().state_publishes->Add();
+}
 
 Status RecommendationService::Train(const kb::Corpus& corpus) {
   if (trained_.load(std::memory_order_acquire)) {
@@ -74,13 +228,17 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
                                             bool allow_retrain) {
   obs::ScopedTimer train_span(allow_retrain ? Metrics().retrain_us
                                             : Metrics().train_us);
-  // Build the whole model aside, without the lock: a failed (or
-  // fault-injected) pass never touches the members, and during a Retrain
-  // the old model keeps serving until the swap below.
-  kb::KnowledgeBase knowledge;
-  kb::FeatureVocabulary vocabulary;
-  core::CodeFrequencyBaseline frequency;
-  kb::FeatureExtractor extractor(options_.model, taxonomy_, &vocabulary);
+  // Writers serialize here; readers never touch this mutex, so serving
+  // continues lock-free against the old snapshot for the whole build.
+  std::lock_guard<std::mutex> writer_lock(writer_mutex_);
+  if (!allow_retrain && trained_.load(std::memory_order_relaxed)) {
+    return Status::Invalid("service already trained");
+  }
+  // Build the whole replacement state aside: a failed (or fault-injected)
+  // pass never publishes, leaving the service exactly as it was.
+  auto next = std::make_shared<TrainedState>();
+  kb::FeatureExtractor extractor(options_.model, taxonomy_,
+                                 &next->vocabulary);
   for (const kb::DataBundle& bundle : corpus.bundles) {
     if (options_.fault != nullptr) {
       QATK_RETURN_NOT_OK(options_.fault->OnOp("train.bundle").status);
@@ -90,95 +248,93 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
         std::vector<int64_t> features,
         extractor.Extract(
             kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
-    knowledge.AddInstance(bundle.part_id, bundle.error_code,
-                          std::move(features));
-    frequency.AddObservation(bundle.part_id, bundle.error_code);
+    next->knowledge.AddInstance(bundle.part_id, bundle.error_code,
+                                std::move(features));
+    next->frequency.AddObservation(bundle.part_id, bundle.error_code);
   }
+  next->index = kb::FrozenIndex::Build(next->knowledge);
+  next->part_descriptions = corpus.part_descriptions;
+  next->error_descriptions = corpus.error_descriptions;
+  PackComposeContext(next.get());
+  // Manually defined codes survive a retrain (they carry no training
+  // observations the corpus could reproduce).
+  next->manual_codes = state_->manual_codes;
+  next->generation = NextGeneration();
 
-  // Freeze the CSR index off the new knowledge base, still outside the
-  // lock: serving threads keep reading the old index until the swap.
-  kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
-
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (!allow_retrain && trained_.load(std::memory_order_relaxed)) {
-    return Status::Invalid("service already trained");
-  }
-  part_descriptions_ = corpus.part_descriptions;
-  error_descriptions_ = corpus.error_descriptions;
-  knowledge_ = std::move(knowledge);
-  index_ = std::move(index);
-  vocabulary_ = std::move(vocabulary);
-  frequency_ = std::move(frequency);
-  // The writer extractor must intern into the (now swapped) member
-  // vocabulary; cached reader extractors hold feature ids from the old
-  // vocabulary and are rebuilt lazily against the new one.
-  writer_extractor_ = std::make_unique<kb::FeatureExtractor>(
-      options_.model, taxonomy_, &vocabulary_);
-  {
-    std::lock_guard<std::mutex> cache_lock(extractor_cache_mutex_);
-    reader_states_.clear();
-  }
-  trained_.store(true, std::memory_order_release);
-  RecordIndexStats(index_);
+  RecordIndexStats(next->index);
   QATK_LOG(INFO) << (allow_retrain ? "retrained" : "trained")
-                 << " recommendation service: " << index_.num_nodes()
-                 << " nodes, " << index_.num_parts() << " parts, "
-                 << index_.num_postings() << " postings";
+                 << " recommendation service: " << next->index.num_nodes()
+                 << " nodes, " << next->index.num_parts() << " parts, "
+                 << next->index.num_postings() << " postings (generation "
+                 << next->generation << ")";
+  Publish(std::move(next));
+  trained_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
-RecommendationService::ReaderState* RecommendationService::ThreadLocalState()
+RecommendationService::ReaderState& RecommendationService::AcquireReader()
     const {
-  std::lock_guard<std::mutex> lock(extractor_cache_mutex_);
-  std::unique_ptr<ReaderState>& slot =
-      reader_states_[std::this_thread::get_id()];
-  if (slot == nullptr) {
-    slot = std::make_unique<ReaderState>();
-    // Frozen (const-vocabulary) extractor: reads vocabulary_ but can never
-    // intern, so concurrent readers are safe under the shared lock. The
-    // const overload is selected because `this` is const here.
-    slot->extractor = std::make_unique<kb::FeatureExtractor>(
-        options_.model, taxonomy_, &vocabulary_);
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  ReaderState::Cache& cache = ReaderState::ThreadCache();
+  if (ReaderState* hit = cache.Find(generation)) return *hit;  // Lock-free.
+  // Slow path (first query on this thread, or the generation moved): pin
+  // the current snapshot and rebuild the extractor against its
+  // vocabulary, so a retrained feature space can never be probed with
+  // stale feature ids.
+  std::shared_ptr<const TrainedState> snap;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snap = state_;
   }
-  return slot.get();
+  if (ReaderState* hit = cache.Find(snap->generation)) return *hit;
+  auto fresh = std::make_unique<ReaderState>();
+  fresh->generation = snap->generation;
+  // Frozen (const-vocabulary) extractor: can never intern, and the
+  // vocabulary it reads is immutable once published.
+  const kb::FeatureVocabulary* vocabulary = &snap->vocabulary;
+  fresh->extractor = std::make_unique<kb::FeatureExtractor>(
+      options_.model, taxonomy_, vocabulary);
+  fresh->state = std::move(snap);
+  g_reader_refreshes.fetch_add(1, std::memory_order_relaxed);
+  Metrics().reader_refreshes->Add();
+  return *cache.Insert(std::move(fresh));
+}
+
+Result<RecommendationService::Recommendation>
+RecommendationService::RecommendWithReader(ReaderState& reader,
+                                           const std::string& part_id,
+                                           const std::string& text) const {
+  const TrainedState& state = *reader.state;
+  std::vector<int64_t> features;
+  {
+    obs::ScopedTimer extract_span(Metrics().extract_us);
+    QATK_ASSIGN_OR_RETURN(features, reader.extractor->Extract(text));
+  }
+  std::vector<core::ScoredCode> ranked =
+      classifier_.Classify(state.index, part_id, features, &reader.scratch);
+  Recommendation recommendation;
+  recommendation.truncated = ranked.size() > options_.top_n;
+  if (recommendation.truncated) ranked.resize(options_.top_n);
+  recommendation.top = std::move(ranked);
+  return recommendation;
 }
 
 Result<RecommendationService::Recommendation>
 RecommendationService::Recommend(const kb::DataBundle& bundle) const {
   if (!trained()) return Status::Invalid("service not trained");
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  // Compose the test-time document (no final report / error description).
-  kb::Corpus context;
-  context.part_descriptions = part_descriptions_;
-  std::string document =
-      kb::ComposeDocument(bundle, kb::kTestSources, context);
-  return RecommendForTextLocked(bundle.part_id, document);
+  ReaderState& reader = AcquireReader();
+  // Compose the test-time document (no final report / error description)
+  // against the snapshot's pre-packed catalogs: no map copies, no locks.
+  std::string document = kb::ComposeDocument(bundle, kb::kTestSources,
+                                             reader.state->compose_context);
+  return RecommendWithReader(reader, bundle.part_id, document);
 }
 
 Result<RecommendationService::Recommendation>
 RecommendationService::RecommendForText(const std::string& part_id,
                                         const std::string& text) const {
   if (!trained()) return Status::Invalid("service not trained");
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return RecommendForTextLocked(part_id, text);
-}
-
-Result<RecommendationService::Recommendation>
-RecommendationService::RecommendForTextLocked(const std::string& part_id,
-                                              const std::string& text) const {
-  ReaderState* state = ThreadLocalState();
-  std::vector<int64_t> features;
-  {
-    obs::ScopedTimer extract_span(Metrics().extract_us);
-    QATK_ASSIGN_OR_RETURN(features, state->extractor->Extract(text));
-  }
-  std::vector<core::ScoredCode> ranked =
-      classifier_.Classify(index_, part_id, features, &state->scratch);
-  Recommendation recommendation;
-  recommendation.truncated = ranked.size() > options_.top_n;
-  if (recommendation.truncated) ranked.resize(options_.top_n);
-  recommendation.top = std::move(ranked);
-  return recommendation;
+  return RecommendWithReader(AcquireReader(), part_id, text);
 }
 
 Status RecommendationService::ConfirmAssignment(
@@ -188,55 +344,42 @@ Status RecommendationService::ConfirmAssignment(
     return Status::Invalid("cannot confirm an empty error code");
   }
   obs::ScopedTimer confirm_span(Metrics().confirm_us);
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  kb::Corpus context;
-  context.part_descriptions = part_descriptions_;
-  context.error_descriptions = error_descriptions_;
+  std::lock_guard<std::mutex> writer_lock(writer_mutex_);
+  // Copy-on-write: the successor state starts as a deep copy (readers
+  // keep serving the old snapshot untouched), absorbs the confirmed
+  // instance — interning any new words into its own vocabulary copy —
+  // and re-freezes the index so (index, vocabulary) stay paired.
+  auto next = std::make_shared<TrainedState>(*state_);
+  kb::FeatureExtractor extractor(options_.model, taxonomy_,
+                                 &next->vocabulary);
   kb::DataBundle coded = bundle;
   coded.error_code = error_code;
   QATK_ASSIGN_OR_RETURN(
       std::vector<int64_t> features,
-      writer_extractor_->Extract(
-          kb::ComposeDocument(coded, kb::kTrainSources, context)));
-  knowledge_.AddInstance(bundle.part_id, error_code, std::move(features));
-  // The CSR snapshot is immutable; fold the confirmed instance in by
-  // re-freezing under the exclusive lock so the next Recommend sees it.
-  index_ = kb::FrozenIndex::Build(knowledge_);
-  RecordIndexStats(index_);
-  frequency_.AddObservation(bundle.part_id, error_code);
+      extractor.Extract(
+          kb::ComposeDocument(coded, kb::kTrainSources,
+                              next->compose_context)));
+  next->knowledge.AddInstance(bundle.part_id, error_code,
+                              std::move(features));
+  next->index = kb::FrozenIndex::Build(next->knowledge);
+  next->frequency.AddObservation(bundle.part_id, error_code);
+  next->generation = NextGeneration();
+  RecordIndexStats(next->index);
+  Publish(std::move(next));
   return Status::OK();
 }
 
 std::vector<core::ScoredCode> RecommendationService::FullListForPart(
     const std::string& part_id) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return FullListForPartLocked(part_id);
-}
-
-std::vector<core::ScoredCode> RecommendationService::FullListForPartLocked(
-    const std::string& part_id) const {
-  std::vector<core::ScoredCode> list = frequency_.Rank(part_id);
-  auto manual = manual_codes_.find(part_id);
-  if (manual != manual_codes_.end()) {
-    // A manually defined code that has since been confirmed appears in the
-    // frequency ranking already; keep that entry and skip the manual one.
-    std::unordered_set<std::string> ranked;
-    ranked.reserve(list.size());
-    for (const core::ScoredCode& scored : list) {
-      ranked.insert(scored.error_code);
-    }
-    for (const std::string& code : manual->second) {
-      if (ranked.count(code) == 0) list.push_back({code, 0.0});
-    }
-  }
-  return list;
+  return FullListFor(*Snapshot(), part_id);
 }
 
 Status RecommendationService::DefineErrorCode(const std::string& part_id,
                                               const std::string& code,
                                               const std::string& description) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  for (const core::ScoredCode& existing : FullListForPartLocked(part_id)) {
+  std::lock_guard<std::mutex> writer_lock(writer_mutex_);
+  auto next = std::make_shared<TrainedState>(*state_);
+  for (const core::ScoredCode& existing : FullListFor(*next, part_id)) {
     if (existing.error_code == code) {
       return Status::AlreadyExists("error code '" + code +
                                    "' already defined for part '" + part_id +
@@ -246,23 +389,26 @@ Status RecommendationService::DefineErrorCode(const std::string& part_id,
   // Descriptions are global: a different part may have registered this
   // code already. First registration wins; redefining with a different
   // description is rejected instead of silently clobbered.
-  auto described = error_descriptions_.find(code);
-  if (described != error_descriptions_.end() &&
+  auto described = next->error_descriptions.find(code);
+  if (described != next->error_descriptions.end() &&
       described->second != description) {
     return Status::AlreadyExists(
         "error code '" + code + "' already described as '" +
         described->second + "'; refusing to overwrite");
   }
-  manual_codes_[part_id].push_back(code);
-  error_descriptions_.emplace(code, description);
+  next->manual_codes[part_id].push_back(code);
+  next->error_descriptions.emplace(code, description);
+  PackComposeContext(next.get());
+  next->generation = NextGeneration();
+  Publish(std::move(next));
   return Status::OK();
 }
 
 Result<std::string> RecommendationService::DescribeCode(
     const std::string& code) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  auto it = error_descriptions_.find(code);
-  if (it == error_descriptions_.end()) {
+  std::shared_ptr<const TrainedState> state = Snapshot();
+  auto it = state->error_descriptions.find(code);
+  if (it == state->error_descriptions.end()) {
     return Status::KeyError("no description for error code '" + code + "'");
   }
   return it->second;

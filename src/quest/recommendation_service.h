@@ -2,13 +2,11 @@
 #define QATK_QUEST_RECOMMENDATION_SERVICE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/fault.h"
@@ -33,20 +31,24 @@ namespace qatk::quest {
 /// available for the part ID of the current data bundle". Users with
 /// extended rights can also define new error codes (DefineErrorCode).
 ///
-/// Thread-safety: safe for concurrent reads with serialized writes. A
-/// shared mutex guards all service state; Recommend / RecommendForText /
-/// FullListForPart / DescribeCode take it shared, Train /
-/// ConfirmAssignment / DefineErrorCode take it exclusive. The serving
-/// path extracts features through a per-thread frozen-vocabulary
-/// FeatureExtractor (built lazily, cached for the thread's lifetime), so
-/// the tokenizer/annotator stack is not reconstructed per request.
-///
-/// Classification serves from a frozen CSR index (kb::FrozenIndex) built
-/// inside Train / Retrain / ConfirmAssignment while the exclusive lock is
-/// held, then read lock-free by concurrent Recommend calls under the
-/// shared lock: the index is immutable between writer swaps, and each
-/// serving thread scores through its own epoch-tagged scratch accumulator
-/// cached next to its extractor.
+/// Thread-safety — RCU-style snapshot publication (DESIGN.md §12):
+/// all trained state lives in one immutable TrainedState object held by
+/// `shared_ptr`. Writers (Train / Retrain / ConfirmAssignment /
+/// DefineErrorCode) serialize on a writer mutex, build a complete
+/// replacement state aside, and publish it with a pointer swap plus a
+/// release store of its generation number. Readers (Recommend /
+/// RecommendForText) keep a `thread_local` ReaderState — the snapshot
+/// pointer, a frozen-vocabulary FeatureExtractor built against that
+/// snapshot, and the epoch-tagged scoring scratch — validated against the
+/// service's generation counter with a single atomic acquire load. While
+/// the generation is unchanged the hot path acquires ZERO locks and
+/// allocates nothing beyond the classification result; a generation
+/// change (retrain, confirm) sends the reader through a short
+/// mutex-guarded refresh that rebinds the snapshot and rebuilds the
+/// extractor against the new vocabulary. Per-thread state retires
+/// deterministically with its thread (thread_local destruction), so
+/// neither terminated threads nor reused thread ids can leak or alias
+/// reader state.
 class RecommendationService {
  public:
   struct Options {
@@ -62,20 +64,43 @@ class RecommendationService {
     FaultInjector* fault = nullptr;
   };
 
+  /// One immutable, internally consistent trained model: the knowledge
+  /// base, the vocabulary the features were interned against, the frozen
+  /// CSR index built from exactly that knowledge base, and every catalog
+  /// the read paths consult. Published as `shared_ptr<const TrainedState>`
+  /// and never mutated afterwards, so any reader holding the pointer sees
+  /// a coherent (index, vocabulary) pairing for as long as it keeps it.
+  struct TrainedState {
+    /// Globally unique publish id (monotone across all service
+    /// instances); 0 is reserved for the untrained empty state.
+    uint64_t generation = 0;
+    kb::KnowledgeBase knowledge;
+    kb::FeatureVocabulary vocabulary;
+    kb::FrozenIndex index;
+    core::CodeFrequencyBaseline frequency;
+    /// Description catalogs, also pre-packed as a kb::Corpus so the
+    /// Recommend path composes documents without copying a map per query.
+    std::map<std::string, std::string> part_descriptions;
+    std::map<std::string, std::string> error_descriptions;
+    kb::Corpus compose_context;
+    /// Codes defined through the UI after training (frequency 0).
+    std::map<std::string, std::vector<std::string>> manual_codes;
+  };
+
   /// `taxonomy` must outlive the service.
   RecommendationService(const tax::Taxonomy* taxonomy, Options options);
 
   /// Builds the knowledge base, the frequency-sorted full lists, and the
   /// description catalogs from a coded corpus. Callable once. Atomic: the
-  /// whole model is built aside and swapped in under the write lock only
-  /// on success, so a failed pass leaves the service exactly as it was
-  /// (still untrained, still serving nothing).
+  /// whole model is built aside and published only on success, so a
+  /// failed pass leaves the service exactly as it was (still untrained,
+  /// still serving nothing).
   Status Train(const kb::Corpus& corpus);
 
   /// Replaces the trained model with one built from `corpus`. Unlike
-  /// Train it is callable on an already-trained service; the build runs
-  /// outside the lock, so serving continues against the old model until
-  /// the successful swap. On failure the old model keeps serving.
+  /// Train it is callable on an already-trained service; readers never
+  /// block on the build and keep serving the old snapshot until the
+  /// publish. On failure the old model keeps serving.
   Status Retrain(const kb::Corpus& corpus);
 
   /// Ranked recommendation for one (possibly uncoded) bundle.
@@ -122,67 +147,70 @@ class RecommendationService {
 
   /// Direct knowledge-base access for tests and offline analysis. Not
   /// synchronized: call only while no writer is active.
-  const kb::KnowledgeBase& knowledge() const { return knowledge_; }
+  const kb::KnowledgeBase& knowledge() const { return Snapshot()->knowledge; }
 
   /// The frozen CSR index currently serving (rebuilt on every successful
   /// Train / Retrain / ConfirmAssignment). Same synchronization caveat as
   /// knowledge().
-  const kb::FrozenIndex& frozen_index() const { return index_; }
+  const kb::FrozenIndex& frozen_index() const { return Snapshot()->index; }
+
+  /// The current published snapshot. Takes the (tiny) snapshot mutex, so
+  /// prefer the Recommend entry points on hot paths; the returned state
+  /// stays alive and coherent for as long as the pointer is held.
+  std::shared_ptr<const TrainedState> Snapshot() const;
+
+  /// Number of ReaderState objects alive across all threads and service
+  /// instances. Test hook for the reader-lifecycle regression tests:
+  /// thread_local retirement must keep this bounded by the number of live
+  /// serving threads, no matter how many threads have come and gone.
+  static int64_t LiveReaderStatesForTest();
+
+  /// Total reader-snapshot refreshes (slow-path rebuilds) across the
+  /// process. Test hook proving the hot path stays on the lock-free fast
+  /// path: N queries on an unchanged generation add at most 1 here.
+  static uint64_t ReaderRefreshesForTest();
 
  private:
-  /// Shared body of Train/Retrain: builds the full model into locals,
-  /// then swaps it into the members under the exclusive lock.
+  struct ReaderState;  // Per-thread reader cache entry (defined in .cc).
+
+  /// Shared body of Train/Retrain: builds the full model aside, then
+  /// publishes it. Caller must NOT hold writer_mutex_.
   Status TrainInternal(const kb::Corpus& corpus, bool allow_retrain);
 
-  /// RecommendForText body; caller must hold `mutex_` at least shared.
-  Result<Recommendation> RecommendForTextLocked(const std::string& part_id,
-                                                const std::string& text) const;
+  /// Returns this thread's ReaderState for the current generation,
+  /// refreshing (mutex + extractor rebuild) only when the generation
+  /// moved since the thread's last query. The fast path is one atomic
+  /// acquire load plus a tiny thread_local scan: no locks, no allocation.
+  ReaderState& AcquireReader() const;
 
-  /// FullListForPart body; caller must hold `mutex_` (shared or exclusive).
-  std::vector<core::ScoredCode> FullListForPartLocked(
-      const std::string& part_id) const;
+  /// Classification body shared by Recommend / RecommendForText; operates
+  /// entirely on `reader`'s pinned snapshot.
+  Result<Recommendation> RecommendWithReader(ReaderState& reader,
+                                             const std::string& part_id,
+                                             const std::string& text) const;
 
-  /// Per-serving-thread state: a frozen-vocabulary extractor plus the
-  /// epoch-tagged scoring scratch. Owned by exactly one thread, so the
-  /// scratch is mutated without further locking while the shared lock
-  /// keeps the index alive.
-  struct ReaderState {
-    std::unique_ptr<kb::FeatureExtractor> extractor;
-    kb::FrozenIndex::Scratch scratch;
-  };
-
-  /// Returns this thread's cached reader state, building the extractor on
-  /// first use. Caller must hold `mutex_` at least shared (the extractor
-  /// reads `vocabulary_`).
-  ReaderState* ThreadLocalState() const;
+  /// Swaps `next` in as the published state (writer_mutex_ must be held)
+  /// and release-stores its generation so readers notice.
+  void Publish(std::shared_ptr<const TrainedState> next);
 
   const tax::Taxonomy* taxonomy_;
   Options options_;
   std::atomic<bool> trained_{false};
 
-  /// Guards all mutable service state below (knowledge base, vocabulary,
-  /// frequency statistics, catalogs). Readers share, writers serialize.
-  mutable std::shared_mutex mutex_;
-  kb::KnowledgeBase knowledge_;
-  /// Immutable CSR snapshot of knowledge_, swapped by writers only.
-  kb::FrozenIndex index_;
-  kb::FeatureVocabulary vocabulary_;
-  core::CodeFrequencyBaseline frequency_;
-  core::RankedKnnClassifier classifier_;
-  std::map<std::string, std::string> part_descriptions_;
-  std::map<std::string, std::string> error_descriptions_;
-  /// Codes defined through the UI after training (frequency 0).
-  std::map<std::string, std::vector<std::string>> manual_codes_;
+  /// Serializes writers; never taken by the read paths.
+  mutable std::mutex writer_mutex_;
+  /// Guards only the `state_` pointer itself. Readers take it exclusively
+  /// on the generation-change slow path; writers hold it just for the
+  /// pointer swap inside Publish.
+  mutable std::mutex snapshot_mutex_;
+  /// Current immutable snapshot; never null (starts as an empty
+  /// generation-0 state).
+  std::shared_ptr<const TrainedState> state_;
+  /// Generation of `state_`, redundantly published as a plain atomic so
+  /// the reader fast path can validate its cache without any lock.
+  std::atomic<uint64_t> generation_{0};
 
-  /// Writer-side extractor (interning); built once in Train, reused by
-  /// ConfirmAssignment under the exclusive lock.
-  std::unique_ptr<kb::FeatureExtractor> writer_extractor_;
-  /// One frozen (read-only) extractor + scoring scratch per serving
-  /// thread, so concurrent Recommend calls never share pipeline or
-  /// accumulator state nor rebuild it.
-  mutable std::mutex extractor_cache_mutex_;
-  mutable std::unordered_map<std::thread::id, std::unique_ptr<ReaderState>>
-      reader_states_;
+  core::RankedKnnClassifier classifier_;
 };
 
 }  // namespace qatk::quest

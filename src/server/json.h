@@ -90,9 +90,11 @@ class Json {
   /// insertion order.
   std::string Dump() const;
 
- private:
+  /// Dump() into a caller-owned buffer (appends). Lets hot paths reuse one
+  /// scratch string per event loop instead of allocating per response.
   void DumpTo(std::string* out) const;
 
+ private:
   Type type_;
   bool bool_ = false;
   double number_ = 0;

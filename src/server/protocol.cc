@@ -124,12 +124,19 @@ std::string EncodeRequest(int64_t id, std::string_view method,
 
 std::string EncodeResponse(int64_t id, const Status& status,
                            const Json& result) {
+  std::string out;
+  EncodeResponseTo(id, status, result, &out);
+  return out;
+}
+
+void EncodeResponseTo(int64_t id, const Status& status, const Json& result,
+                      std::string* out) {
   Json document = Json::Object();
   document.Set("id", Json(id));
   document.Set("code", Json(StatusCodeToString(status.code())));
   document.Set("message", Json(status.message()));
   document.Set("result", status.ok() ? result : Json());
-  return document.Dump();
+  document.DumpTo(out);
 }
 
 Result<Response> ParseResponse(std::string_view payload) {

@@ -116,6 +116,12 @@ struct Response {
 std::string EncodeResponse(int64_t id, const Status& status,
                            const Json& result);
 
+/// EncodeResponse into a caller-owned buffer (appends, does not clear).
+/// The event loops pass a per-loop scratch string so steady-state serving
+/// re-uses one allocation per batch instead of one per response.
+void EncodeResponseTo(int64_t id, const Status& status, const Json& result,
+                      std::string* out);
+
 /// Parses a response payload (client side). Unknown code names map to
 /// kInternal rather than failing, so a newer server never strands an older
 /// client without an error message.

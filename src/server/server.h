@@ -37,13 +37,18 @@ struct ServerStats {
 /// Threading model: `threads` event loops, each owning a private epoll
 /// instance and the connections assigned to it — a connection is touched
 /// by exactly one thread for its whole life, so per-connection state needs
-/// no locks. Loop 0 additionally owns the listener and deals accepted
-/// connections round-robin to all loops through a small mutex-guarded
-/// inbox + eventfd wakeup. Requests execute inline on the loop thread
-/// (the service is internally synchronized and keeps per-thread extractor
-/// and scratch state), and all responses produced by one readable event
-/// are flushed with one write — request batching amortizes both syscalls
-/// and wakeups.
+/// no locks. Accept layout (DESIGN.md §12): with `reuse_port` (the
+/// default) every loop binds its own SO_REUSEPORT listening socket on the
+/// same port and accepts directly into itself — the kernel spreads
+/// connections across loops and no cross-thread handoff happens at all.
+/// When SO_REUSEPORT is unavailable (old kernels) or disabled, the server
+/// falls back to the legacy layout: loop 0 owns the single listener and
+/// deals accepted connections round-robin to all loops through a small
+/// mutex-guarded inbox + eventfd wakeup. Requests execute inline on the
+/// loop thread (the service's Recommend path is lock-free per thread),
+/// and all responses produced by one readable event are encoded into a
+/// loop-local scratch buffer and flushed with one write — request
+/// batching amortizes syscalls, wakeups, and allocations.
 ///
 /// Backpressure contract:
 ///  * Reads are bounded by the frame cap: a connection buffering more
@@ -73,6 +78,10 @@ class Server {
     uint16_t port = 0;
     /// Event-loop threads.
     size_t threads = 1;
+    /// Per-loop SO_REUSEPORT accept sockets (see class comment). On by
+    /// default; turned off — or unsupported by the kernel — the server
+    /// uses the legacy loop-0 listener with round-robin dealing.
+    bool reuse_port = true;
     /// Admission-control cap (see class comment).
     size_t max_in_flight = 1024;
     size_t max_frame_bytes = kDefaultMaxFrameBytes;

@@ -438,6 +438,51 @@ TEST_F(ServerTest, ConcurrentClientsAcrossTwoLoops) {
   EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients) + 1);
 }
 
+TEST_F(ServerTest, LegacyAcceptModeStillServesAcrossLoops) {
+  // reuse_port=false forces the loop-0 listener + inbox dealing path that
+  // remains the fallback for kernels without SO_REUSEPORT; it must stay
+  // fully functional and be visible in Health.
+  Server::Options options;
+  options.threads = 2;
+  options.reuse_port = false;
+  Start(options);
+  auto health = client_.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_FALSE(health->result.GetBool("reuse_port", true));
+
+  constexpr int kClients = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &failures] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(100);
+        return;
+      }
+      for (int i = 0; i < 10; ++i) {
+        const kb::DataBundle& bundle =
+            corpus_->bundles[(c * 10 + i) % corpus_->bundles.size()];
+        auto response = client.Call(i, "Recommend", BundleToParams(bundle));
+        if (!response.ok() || !response->ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServerTest, HealthReportsReusePortAcceptByDefault) {
+  Server::Options options;
+  options.threads = 2;
+  Start(options);
+  auto health = client_.Call(1, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  // Linux >= 3.9 everywhere we run; a kernel-level fallback would flip
+  // this to false without failing the test elsewhere.
+  EXPECT_TRUE(health->result.GetBool("reuse_port", false));
+}
+
 // ---------------------------------------------------------------------------
 // Fault-injection schedules. Each test owns a fresh injector + server
 // (threads=1 keeps "the Nth read" deterministic). The invariant under any

@@ -1,0 +1,238 @@
+// Regression tests for the lock-free reader path of RecommendationService
+// (DESIGN.md §12): deterministic thread_local retirement, retrain
+// invalidation of cached extractors, the zero-lock fast path, and a
+// reader/writer stress that TSan can chew on (run via scripts/check.sh
+// thread stage).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/oem.h"
+#include "datagen/world.h"
+#include "quest/recommendation_service.h"
+
+namespace qatk::quest {
+namespace {
+
+datagen::WorldConfig SmallWorld() {
+  datagen::WorldConfig config;
+  config.num_parts = 6;
+  config.num_article_codes = 40;
+  config.num_error_codes = 80;
+  config.max_codes_largest_part = 25;
+  config.mid_part_min_codes = 8;
+  config.mid_part_max_codes = 20;
+  config.small_parts = 2;
+  config.num_components = 80;
+  config.num_symptoms = 70;
+  config.num_locations = 20;
+  config.num_solutions = 20;
+  config.components_per_part = 6;
+  return config;
+}
+
+bool SameRecommendation(const RecommendationService::Recommendation& a,
+                        const RecommendationService::Recommendation& b) {
+  if (a.truncated != b.truncated) return false;
+  if (a.top.size() != b.top.size()) return false;
+  for (size_t i = 0; i < a.top.size(); ++i) {
+    if (a.top[i].error_code != b.top[i].error_code) return false;
+    if (a.top[i].score != b.top[i].score) return false;  // Bit-exact.
+  }
+  return true;
+}
+
+class ServiceConcurrencyTest : public ::testing::Test {
+ protected:
+  ServiceConcurrencyTest() : world_(SmallWorld()) {
+    datagen::OemConfig oem;
+    oem.num_bundles = 600;
+    corpus_a_ = datagen::OemCorpusGenerator(&world_, oem).Generate();
+    // Same world (same part ids), different bundle count: a genuinely
+    // different vocabulary and knowledge base after a retrain.
+    oem.num_bundles = 350;
+    corpus_b_ = datagen::OemCorpusGenerator(&world_, oem).Generate();
+  }
+
+  datagen::DomainWorld world_;
+  kb::Corpus corpus_a_;
+  kb::Corpus corpus_b_;
+};
+
+// The old implementation kept a global unordered_map<thread::id, state>
+// that grew by one entry per thread that ever touched the service and
+// never shrank (with thread-id reuse aliasing on top). The thread_local
+// redesign must retire state with its thread: 200 short-lived reader
+// threads may not leave 200 states behind.
+TEST_F(ServiceConcurrencyTest, ShortLivedReaderThreadsRetireTheirState) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_a_).ok());
+
+  const int64_t base = RecommendationService::LiveReaderStatesForTest();
+  std::atomic<size_t> failures{0};
+  constexpr size_t kThreads = 200;
+  for (size_t i = 0; i < kThreads; ++i) {
+    std::thread reader([&] {
+      const kb::DataBundle& bundle =
+          corpus_a_.bundles[i % corpus_a_.bundles.size()];
+      if (!service.Recommend(bundle).ok()) failures.fetch_add(1);
+    });
+    reader.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  // Every joined thread destroyed its thread_local state. (No slack: the
+  // main thread made no queries between the baseline and here.)
+  EXPECT_EQ(RecommendationService::LiveReaderStatesForTest(), base)
+      << kThreads << " terminated reader threads leaked state";
+}
+
+// A reader thread that cached its extractor before a Retrain must not
+// keep extracting with the old feature space: its next query has to
+// produce exactly what a brand-new reader (fresh thread, no cache) sees.
+TEST_F(ServiceConcurrencyTest, RetrainInvalidatesCachedReaderExtractor) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_a_).ok());
+
+  const std::string part_id = "P01";
+  std::string probe_text;
+  for (const kb::DataBundle& bundle : corpus_a_.bundles) {
+    if (bundle.part_id == part_id) {
+      probe_text = bundle.mechanic_report;
+      break;
+    }
+  }
+  ASSERT_FALSE(probe_text.empty());
+
+  // Populate this thread's reader cache against corpus A's vocabulary.
+  ASSERT_TRUE(service.RecommendForText(part_id, probe_text).ok());
+
+  ASSERT_TRUE(service.Retrain(corpus_b_).ok());
+
+  auto cached = service.RecommendForText(part_id, probe_text);
+  ASSERT_TRUE(cached.ok()) << cached.status();
+
+  RecommendationService::Recommendation fresh;
+  std::thread fresh_reader([&] {
+    auto result = service.RecommendForText(part_id, probe_text);
+    ASSERT_TRUE(result.ok()) << result.status();
+    fresh = *result;
+  });
+  fresh_reader.join();
+
+  EXPECT_TRUE(SameRecommendation(*cached, fresh))
+      << "the pre-retrain reader cache served stale vocabulary";
+}
+
+// Code-level zero-lock assertion: once a thread has refreshed onto the
+// current generation, further queries never take the slow path — the
+// process-wide refresh counter must not move across N hot queries.
+TEST_F(ServiceConcurrencyTest, SteadyStateQueriesNeverHitTheSlowPath) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_a_).ok());
+
+  const kb::DataBundle& bundle = corpus_a_.bundles[0];
+  ASSERT_TRUE(service.Recommend(bundle).ok());  // Warm this thread.
+
+  const uint64_t refreshes = RecommendationService::ReaderRefreshesForTest();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(service.Recommend(bundle).ok());
+  }
+  EXPECT_EQ(RecommendationService::ReaderRefreshesForTest(), refreshes)
+      << "the hot path fell off the lock-free fast path";
+}
+
+// Torn-state stress (the TSan target): 8 readers hammer a fixed probe
+// while a writer flips the published snapshot between two trained worlds
+// and folds in confirmations. Every answer must be bit-identical to the
+// probe's answer under corpus A or under corpus B — any mixed
+// index/vocabulary pairing would produce a third, torn ranking.
+TEST_F(ServiceConcurrencyTest, ReadersNeverObserveTornSnapshots) {
+  RecommendationService service(&world_.taxonomy(), {});
+  ASSERT_TRUE(service.Train(corpus_a_).ok());
+
+  const std::string probe_part = "P01";
+  std::string probe_text;
+  for (const kb::DataBundle& bundle : corpus_a_.bundles) {
+    if (bundle.part_id == probe_part) {
+      probe_text = bundle.mechanic_report;
+      break;
+    }
+  }
+  ASSERT_FALSE(probe_text.empty());
+
+  // Reference answers under both snapshots. Confirmations during the
+  // stress target a different part with disjoint text, so the probe
+  // part's ranking under either vocabulary stays exactly one of these.
+  auto ref_a = service.RecommendForText(probe_part, probe_text);
+  ASSERT_TRUE(ref_a.ok());
+  ASSERT_FALSE(ref_a->top.empty());
+  ASSERT_TRUE(service.Retrain(corpus_b_).ok());
+  auto ref_b = service.RecommendForText(probe_part, probe_text);
+  ASSERT_TRUE(ref_b.ok());
+  ASSERT_TRUE(service.Retrain(corpus_a_).ok());
+
+  constexpr size_t kReaders = 8;
+  constexpr size_t kWriterIterations = 24;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<size_t> torn{0};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto result = service.RecommendForText(probe_part, probe_text);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+        if (!SameRecommendation(*result, *ref_a) &&
+            !SameRecommendation(*result, *ref_b)) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < kWriterIterations; ++i) {
+      if (!service.Retrain(i % 2 == 0 ? corpus_b_ : corpus_a_).ok()) {
+        failures.fetch_add(1);
+      }
+      if (i % 4 == 0) {
+        kb::DataBundle confirm;
+        confirm.reference_number = "STRESS" + std::to_string(i);
+        confirm.part_id = "P02";  // Never the probe part.
+        confirm.mechanic_report =
+            "stress confirmation iteration " + std::to_string(i);
+        if (!service.ConfirmAssignment(confirm, "E_STRESS").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+    // Land on corpus A so the final assertion below has a known state.
+    if (!service.Retrain(corpus_a_).ok()) failures.fetch_add(1);
+    stop.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u)
+      << "a reader observed a torn index/vocabulary pairing";
+  EXPECT_GT(reads.load(), kReaders)
+      << "stress produced implausibly few reads";
+  auto final_result = service.RecommendForText(probe_part, probe_text);
+  ASSERT_TRUE(final_result.ok());
+  EXPECT_TRUE(SameRecommendation(*final_result, *ref_a));
+}
+
+}  // namespace
+}  // namespace qatk::quest
