@@ -1,68 +1,224 @@
-// Crash-recovery torture benchmark: runs a large batch of seeded crash
-// schedules (see src/storage/torture.h) and reports throughput plus the
-// crash/torn-write mix. Any recovery mismatch aborts with the seed and the
-// fault schedule, which replay the failure deterministically.
+// Crash-recovery torture benchmark, two layers deep: seeded storage
+// schedules (src/storage/torture.h — WAL + rollback-journal recovery of
+// the embedded database) and seeded service schedules
+// (src/quest/service_torture.h — service-log + snapshot recovery of the
+// QUEST recommendation service). Reports schedule throughput and the
+// crash/torn mix per layer, and writes a machine-readable BENCH_crash.json
+// with a `recovery_replay` gate: the gate fails (exit 1) on any recovery
+// mismatch, and also when the service sweep replayed zero records overall
+// — a sweep that never exercises replay proves nothing.
 //
-// Usage: bench_crash_recovery [num_schedules] [first_seed]
+// Any mismatch prints the seed and the fault schedule, which replay the
+// failure deterministically.
+//
+// Usage: bench_crash_recovery [--storage=N] [--service=N] [--seed=S]
+//                             [--out=PATH]
+//        bench_crash_recovery [num_schedules] [first_seed]   (legacy:
+//        storage-only, no JSON artifact)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "bench_util.h"
+#include "quest/service_torture.h"
 #include "storage/torture.h"
 
-namespace qatk::db {
+namespace qatk {
 namespace {
 
-int Run(int num_schedules, uint64_t first_seed) {
-  TortureOptions options;
-  options.path = "/tmp/qatk_bench_crash_recovery.qdb";
+struct LayerResult {
+  int schedules = 0;
   int crashed = 0;
   int mismatches = 0;
-  auto start = std::chrono::steady_clock::now();
+  uint64_t replayed_records = 0;  // Service layer only.
+  double seconds = 0.0;
+
+  double PerSecond() const {
+    return seconds > 0 ? schedules / seconds : 0.0;
+  }
+};
+
+void PrintLayer(const char* name, const LayerResult& result) {
+  std::printf("%s:\n", name);
+  std::printf("  schedules:      %d\n", result.schedules);
+  std::printf("  crashed:        %d (%.1f%%)\n", result.crashed,
+              result.schedules > 0
+                  ? 100.0 * result.crashed / result.schedules
+                  : 0.0);
+  std::printf("  mismatches:     %d\n", result.mismatches);
+  if (result.replayed_records > 0) {
+    std::printf("  replayed:       %llu records\n",
+                static_cast<unsigned long long>(result.replayed_records));
+  }
+  std::printf("  wall time:      %.2f s\n", result.seconds);
+  std::printf("  schedules/sec:  %.1f\n", result.PerSecond());
+}
+
+LayerResult RunStorage(int num_schedules, uint64_t first_seed) {
+  LayerResult result;
+  result.schedules = num_schedules;
+  db::TortureOptions options;
+  options.path = "/tmp/qatk_bench_crash_recovery.qdb";
+  const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < num_schedules; ++i) {
     options.seed = first_seed + static_cast<uint64_t>(i);
-    TortureReport report = RunCrashSchedule(options);
+    db::TortureReport report = db::RunCrashSchedule(options);
     if (!report.ok) {
-      ++mismatches;
-      std::fprintf(stderr, "FAIL seed=%llu: %s\n%s\n",
+      ++result.mismatches;
+      std::fprintf(stderr, "FAIL storage seed=%llu: %s\n%s\n",
                    static_cast<unsigned long long>(options.seed),
                    report.detail.c_str(), report.schedule.c_str());
     }
-    if (report.crashed) ++crashed;
+    if (report.crashed) ++result.crashed;
   }
-  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-  double seconds = static_cast<double>(elapsed) / 1000.0;
-  std::printf("schedules:      %d\n", num_schedules);
-  std::printf("crashed:        %d (%.1f%%)\n", crashed,
-              100.0 * crashed / num_schedules);
-  std::printf("mismatches:     %d\n", mismatches);
-  std::printf("wall time:      %.2f s\n", seconds);
-  std::printf("schedules/sec:  %.1f\n",
-              seconds > 0 ? num_schedules / seconds : 0.0);
-  if (mismatches != 0) {
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+LayerResult RunService(int num_schedules, uint64_t first_seed) {
+  LayerResult result;
+  result.schedules = num_schedules;
+  quest::ServiceTortureOptions options;
+  options.data_dir = "/tmp/qatk_bench_crash_recovery_svc";
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < num_schedules; ++i) {
+    options.seed = first_seed + static_cast<uint64_t>(i);
+    quest::ServiceTortureReport report =
+        quest::RunServiceCrashSchedule(options);
+    if (!report.ok) {
+      ++result.mismatches;
+      std::fprintf(stderr, "FAIL service seed=%llu: %s\n%s\n",
+                   static_cast<unsigned long long>(options.seed),
+                   report.detail.c_str(), report.schedule.c_str());
+    }
+    if (report.crashed) ++result.crashed;
+    result.replayed_records += report.replayed_records;
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+void WriteLayerJson(benchutil::JsonWriter* json, const LayerResult& result,
+                    bool with_replay) {
+  json->BeginObject();
+  json->Key("schedules").Value(static_cast<int64_t>(result.schedules));
+  json->Key("crashed").Value(static_cast<int64_t>(result.crashed));
+  json->Key("mismatches").Value(static_cast<int64_t>(result.mismatches));
+  if (with_replay) {
+    json->Key("replayed_records").Value(result.replayed_records);
+  }
+  json->Key("wall_s").Value(result.seconds, 2);
+  json->Key("schedules_per_s").Value(result.PerSecond(), 1);
+  json->EndObject();
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  int storage_schedules = 1000;
+  int service_schedules = 1000;
+  uint64_t first_seed = 1;
+  const char* out_path = nullptr;
+  const bool legacy_positional = argc > 1 && argv[1][0] != '-';
+  if (legacy_positional) {
+    storage_schedules = std::atoi(argv[1]);
+    service_schedules = 0;
+    if (argc > 2) first_seed = std::strtoull(argv[2], nullptr, 10);
+  } else {
+    for (int i = 1; i < argc; ++i) {
+      const char* value = nullptr;
+      if (ParseFlag(argv[i], "--storage", &value)) {
+        storage_schedules = std::atoi(value);
+      } else if (ParseFlag(argv[i], "--service", &value)) {
+        service_schedules = std::atoi(value);
+      } else if (ParseFlag(argv[i], "--seed", &value)) {
+        first_seed = std::strtoull(value, nullptr, 10);
+      } else if (ParseFlag(argv[i], "--out", &value)) {
+        out_path = value;
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--storage=N] [--service=N] [--seed=S] "
+                     "[--out=PATH]\n",
+                     argv[0]);
+        return 2;
+      }
+    }
+  }
+  if (storage_schedules < 0 || service_schedules < 0 ||
+      storage_schedules + service_schedules == 0) {
+    std::fprintf(stderr, "nothing to run\n");
+    return 2;
+  }
+
+  LayerResult storage;
+  if (storage_schedules > 0) {
+    storage = RunStorage(storage_schedules, first_seed);
+    PrintLayer("storage", storage);
+  }
+  LayerResult service;
+  if (service_schedules > 0) {
+    service = RunService(service_schedules, first_seed);
+    PrintLayer("service", service);
+  }
+
+  const int mismatches = storage.mismatches + service.mismatches;
+  // The replay gate: mismatches are hard failures, and a service sweep
+  // whose recoveries never replayed a single record would be vacuous.
+  const bool replay_gate_ok =
+      mismatches == 0 &&
+      (service_schedules == 0 || service.replayed_records > 0);
+
+  if (out_path != nullptr) {
+    std::string doc;
+    benchutil::JsonWriter json(&doc);
+    json.BeginObject();
+    json.Key("bench").Value("crash_recovery");
+    if (storage_schedules > 0) {
+      json.Key("storage");
+      WriteLayerJson(&json, storage, /*with_replay=*/false);
+    }
+    if (service_schedules > 0) {
+      json.Key("service");
+      WriteLayerJson(&json, service, /*with_replay=*/true);
+    }
+    json.Key("gates").BeginObject();
+    json.Key("recovery_replay").BeginObject();
+    json.Key("pass").Value(replay_gate_ok);
+    json.Key("mismatches").Value(static_cast<int64_t>(mismatches));
+    json.Key("service_replayed_records").Value(service.replayed_records);
+    json.EndObject();
+    json.EndObject();
+    json.EndObject();
+    json.Finish();
+    if (!benchutil::WriteFile(out_path, doc)) return 1;
+    std::printf("json written to %s\n", out_path);
+  }
+
+  if (!replay_gate_ok) {
     std::fprintf(stderr,
-                 "ABORT: %d recovery mismatch(es); replay with the printed "
+                 "ABORT: recovery_replay gate failed (%d mismatch(es), "
+                 "%llu service records replayed); replay with the printed "
                  "seed(s)\n",
-                 mismatches);
+                 mismatches,
+                 static_cast<unsigned long long>(service.replayed_records));
     return 1;
   }
   return 0;
 }
 
 }  // namespace
-}  // namespace qatk::db
+}  // namespace qatk
 
-int main(int argc, char** argv) {
-  int num_schedules = argc > 1 ? std::atoi(argv[1]) : 1000;
-  uint64_t first_seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
-  if (num_schedules <= 0) {
-    std::fprintf(stderr, "usage: %s [num_schedules] [first_seed]\n", argv[0]);
-    return 2;
-  }
-  return qatk::db::Run(num_schedules, first_seed);
-}
+int main(int argc, char** argv) { return qatk::Main(argc, argv); }

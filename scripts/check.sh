@@ -26,7 +26,15 @@
 #                           -DQATK_NO_METRICS=ON: metrics-enabled
 #                           throughput must stay within 95% of the
 #                           compiled-out build.
-#   6. scaling            — multi-core scaling gates: full (non-quick)
+#   6. durability         — crash-safety torture under ASan+UBSan: the
+#                           service_durability_test binary (torn tails,
+#                           CRC corruption, checkpoint-window crashes)
+#                           plus bench_crash_recovery with 200 storage
+#                           and 1000 service schedules. The bench's
+#                           recovery_replay gate fails the stage on any
+#                           recovery mismatch or a replay-free sweep.
+#                           Writes BENCH_crash.json at the repo root.
+#   7. scaling            — multi-core scaling gates: full (non-quick)
 #                           1->4 thread tables from bench_knn_throughput
 #                           (monotonically non-decreasing) and
 #                           bench_serving_load (>= 2.4x 1->4, i.e. 0.6x
@@ -46,6 +54,7 @@
 #   scripts/check.sh perf       # perf smoke only
 #   scripts/check.sh serve      # serving stack end-to-end only
 #   scripts/check.sh obs        # observability tests + overhead smoke
+#   scripts/check.sh durability # crash torture under ASan+UBSan
 #   scripts/check.sh scaling    # 1->4 multi-core scaling gates
 set -euo pipefail
 
@@ -54,7 +63,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGES=("${1:-address,undefined}")
 if [[ $# -eq 0 ]]; then
-  STAGES=("address,undefined" "thread" "perf" "serve" "obs" "scaling")
+  STAGES=("address,undefined" "thread" "perf" "serve" "obs" "durability" "scaling")
 fi
 
 # Pulls the first indexed-path qps out of a (pretty-printed) BENCH_knn
@@ -127,6 +136,27 @@ for STAGE in "${STAGES[@]}"; do
     # on a falling curve.
     "${BUILD_DIR}/bench/bench_knn_throughput" --out=BENCH_knn.json
     "${BUILD_DIR}/bench/bench_serving_load" --out=BENCH_serving.json
+    continue
+  fi
+  if [[ "${STAGE}" == "durability" ]]; then
+    # Crash torture wants sanitizers, not speed: every recovery path (torn
+    # tails, rolled-back appends, snapshot replay) runs under ASan+UBSan so
+    # a use-after-free or overflow in a rarely-taken branch can't hide
+    # behind a bit-identical fingerprint.
+    SAN="address,undefined"
+    BUILD_DIR="build-san/${SAN//,/+}"
+    echo "=== durability torture under ${SAN} (build: ${BUILD_DIR}) ==="
+    cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DQATK_SANITIZE="${SAN}" >/dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+      --target service_durability_test bench_crash_recovery
+    "${BUILD_DIR}/tests/service_durability_test"
+    # Full seeded sweep: 200 storage schedules + 1000 service schedules.
+    # The bench exits non-zero if any recovery mismatches or if the
+    # service sweep never replayed a record (vacuous coverage).
+    "${BUILD_DIR}/bench/bench_crash_recovery" \
+      --storage=200 --service=1000 --out=BENCH_crash.json
     continue
   fi
   if [[ "${STAGE}" == "obs" ]]; then

@@ -1,0 +1,198 @@
+#include "common/framed_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qatk {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+uint32_t ReadU32Le(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FramedLog>> FramedLog::Open(const std::string& path,
+                                                   Options options) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot open log file '" + path + "'");
+  }
+  return std::unique_ptr<FramedLog>(
+      new FramedLog(file, path, std::move(options)));
+}
+
+FramedLog::~FramedLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+int FramedLog::TimedFlush() {
+  if (options_.flush_hist == nullptr) return std::fflush(file_);
+  obs::ScopedTimer span(options_.flush_hist);
+  return std::fflush(file_);
+}
+
+void FramedLog::RollBackTo(long size) {
+  if (size < 0) return;
+  std::fflush(file_);
+  [[maybe_unused]] int rc =
+      ::ftruncate(::fileno(file_), static_cast<off_t>(size));
+  std::fseek(file_, 0, SEEK_END);
+}
+
+Status FramedLog::SyncAppend(long pre_append_size) {
+  if (fault_ != nullptr && !options_.fsync_op.empty()) {
+    FaultInjector::Decision d = fault_->OnOp(options_.fsync_op);
+    if (!d.status.ok()) {
+      if (!fault_->crashed()) {
+        // Transient/permanent fsync failure with the process still alive:
+        // the record's durability is indeterminate, and returning an error
+        // means the caller will NOT acknowledge it — so it must not
+        // surface at recovery either. Cut the un-synced tail back.
+        RollBackTo(pre_append_size);
+      }
+      // A simulated crash leaves the bytes as written: recovery may or may
+      // not see the record, exactly the in-flight window the torture
+      // harness asserts over.
+      return d.status;
+    }
+    if (d.torn) {
+      // Torn at a barrier op means "the sync completed, then the process
+      // died": the record IS durable but was never acknowledged.
+      ::fsync(::fileno(file_));
+      return Status::Unavailable("fault injector: crash after log fsync");
+    }
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    RollBackTo(pre_append_size);
+    return Status::IOError("fsync failed on log '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Status FramedLog::Append(uint8_t type, std::string_view payload) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string frame;
+  AppendU32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  AppendU32(&frame, Crc32(body));
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed appending to log '" + path_ + "'");
+  }
+  const long pre_append_size = std::ftell(file_);
+  size_t write_len = frame.size();
+  if (fault_ != nullptr && !options_.append_op.empty()) {
+    FaultInjector::Decision d = fault_->OnOp(options_.append_op);
+    if (!d.status.ok()) return d.status;
+    if (d.torn) write_len = d.TornBytes(frame.size());
+  }
+  if (std::fwrite(frame.data(), 1, write_len, file_) != write_len) {
+    // A retried append could land after a torn frame, making every later
+    // record unreachable at recovery — so this is NOT transient.
+    return Status::IOError("short write appending to log '" + path_ + "'");
+  }
+  if (TimedFlush() != 0) {
+    return Status::IOError("flush failed appending to log '" + path_ + "'");
+  }
+  if (write_len != frame.size()) {
+    return Status::Unavailable("fault injector: crash during torn WAL append");
+  }
+  if (options_.sync_appends) {
+    QATK_RETURN_NOT_OK(SyncAppend(pre_append_size));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<FramedLog::Record>> FramedLog::ReadAll() {
+  std::vector<Record> records;
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed reading log '" + path_ + "'");
+  }
+  bool torn_tail = false;
+  for (;;) {
+    unsigned char header[4];
+    size_t got = std::fread(header, 1, 4, file_);
+    if (got < 4) {
+      torn_tail = got > 0;  // Clean end (0) or torn length: stop.
+      break;
+    }
+    uint32_t len = ReadU32Le(header);
+    if (len == 0 || len > 64u * 1024 * 1024) {  // Corrupt length.
+      torn_tail = true;
+      break;
+    }
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, file_) != len) {  // Torn.
+      torn_tail = true;
+      break;
+    }
+    unsigned char crc_bytes[4];
+    if (std::fread(crc_bytes, 1, 4, file_) != 4) {  // Torn.
+      torn_tail = true;
+      break;
+    }
+    if (ReadU32Le(crc_bytes) != Crc32(body)) {  // Corrupt.
+      torn_tail = true;
+      break;
+    }
+    Record record;
+    record.type = static_cast<uint8_t>(body[0]);
+    record.payload = body.substr(1);
+    records.push_back(std::move(record));
+  }
+  if (torn_tail) {
+    QATK_LOG(WARN) << "log '" << path_ << "': torn or corrupt tail after "
+                   << records.size()
+                   << " intact records; discarding the tail (crash-tail "
+                      "contract)";
+  }
+  return records;
+}
+
+Status FramedLog::Truncate() {
+  bool crash_after = false;
+  if (fault_ != nullptr && !options_.truncate_op.empty()) {
+    FaultInjector::Decision d = fault_->OnOp(options_.truncate_op);
+    if (!d.status.ok()) return d.status;
+    // Torn at truncate means "the truncate completed, then the process
+    // died": the log is empty but the caller never learns it succeeded.
+    crash_after = d.torn;
+  }
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot truncate log '" + path_ + "'");
+  }
+  if (options_.sync_appends) ::fsync(::fileno(file_));
+  if (crash_after) {
+    return Status::Unavailable("fault injector: crash after log truncate");
+  }
+  return Status::OK();
+}
+
+Result<bool> FramedLog::Empty() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed sizing log '" + path_ + "'");
+  }
+  return std::ftell(file_) == 0;
+}
+
+}  // namespace qatk

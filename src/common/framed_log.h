@@ -1,0 +1,113 @@
+#ifndef QATK_COMMON_FRAMED_LOG_H_
+#define QATK_COMMON_FRAMED_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/result.h"
+
+namespace qatk::obs {
+class Histogram;
+}  // namespace qatk::obs
+
+namespace qatk {
+
+/// \brief Generic CRC-framed append-only record log, shared by the storage
+/// redo log (db::WalFile) and the quest service log.
+///
+/// Frame format, identical to the original storage WAL:
+///   [len u32 LE][type u8][payload bytes][crc32 u32]
+/// where the CRC covers type + payload. ReadAll stops silently at the first
+/// torn or corrupt record (the standard crash-tail contract): a crash can
+/// only lose the unacknowledged tail, never a record before it.
+///
+/// Fault injection and durability are configured per log through Options,
+/// so the storage WAL keeps its historical "wal.append"/"wal.truncate"
+/// instrumentation points and fflush-only flushes while the service log
+/// adds fsync-backed appends under its own op names.
+class FramedLog {
+ public:
+  struct Options {
+    /// Fault-injection point consulted before each append (may tear the
+    /// frame mid-write). Empty disables the hook.
+    std::string append_op;
+    /// Fault-injection point consulted before Truncate.
+    std::string truncate_op;
+    /// Fault-injection point consulted before the fsync of a synced
+    /// append (only used when sync_appends is true).
+    std::string fsync_op;
+    /// fsync(2) after every append — the ack-after-fsync contract. When
+    /// false, appends are only flushed to the OS (fflush), which survives
+    /// a process crash but not a power loss.
+    bool sync_appends = false;
+    /// Optional flush-latency histogram (borrowed; its count doubles as
+    /// the flush counter). Null disables timing.
+    obs::Histogram* flush_hist = nullptr;
+  };
+
+  /// One decoded record.
+  struct Record {
+    uint8_t type = 0;
+    std::string payload;
+  };
+
+  /// Opens (or creates) the log at `path`.
+  static Result<std::unique_ptr<FramedLog>> Open(const std::string& path,
+                                                 Options options);
+
+  ~FramedLog();
+
+  FramedLog(const FramedLog&) = delete;
+  FramedLog& operator=(const FramedLog&) = delete;
+
+  /// Appends one record and flushes it to the OS; with sync_appends the
+  /// record is additionally fsynced before OK is returned, so a caller may
+  /// acknowledge the mutation the moment Append returns. If the fsync
+  /// fails transiently the appended tail is truncated away again — a
+  /// record that was never acknowledged must not surface at recovery.
+  Status Append(uint8_t type, std::string_view payload);
+
+  /// Decodes every intact record from the start of the log.
+  Result<std::vector<Record>> ReadAll();
+
+  /// Empties the log (after a successful checkpoint).
+  Status Truncate();
+
+  /// True when the log holds no bytes.
+  Result<bool> Empty();
+
+  /// Arms scripted faults on the op names configured in Options. `fault`
+  /// is borrowed and must outlive this log; nullptr disables injection.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FramedLog(std::FILE* file, std::string path, Options options)
+      : file_(file), path_(std::move(path)), options_(std::move(options)) {}
+
+  /// fsync for a synced append; `pre_append_size` is the log size before
+  /// the frame was written, used to roll a non-durable tail back on a
+  /// transient failure.
+  Status SyncAppend(long pre_append_size);
+
+  /// Cuts the file back to `size` bytes (best effort, transient-fsync
+  /// rollback only).
+  void RollBackTo(long size);
+
+  int TimedFlush();
+
+  std::FILE* file_;
+  std::string path_;
+  Options options_;
+  FaultInjector* fault_ = nullptr;
+};
+
+}  // namespace qatk
+
+#endif  // QATK_COMMON_FRAMED_LOG_H_

@@ -22,12 +22,24 @@ class CodeFrequencyBaseline {
   void AddObservation(const std::string& part_id,
                       const std::string& error_code);
 
+  /// Persistence path: restores a serialized count verbatim.
+  void Restore(const std::string& part_id, const std::string& error_code,
+               size_t count) {
+    counts_[part_id][error_code] = count;
+  }
+
   /// Error codes for the part, most frequent first (score = count).
   /// Frequency ties break lexicographically for determinism. Unknown
   /// parts yield an empty list.
   std::vector<ScoredCode> Rank(const std::string& part_id) const;
 
   size_t num_parts() const { return counts_.size(); }
+
+  /// Raw (part id -> error code -> count) table, ordered both ways
+  /// (std::map), for snapshot serialization.
+  const std::map<std::string, std::map<std::string, size_t>>& counts() const {
+    return counts_;
+  }
 
  private:
   std::map<std::string, std::map<std::string, size_t>> counts_;

@@ -52,6 +52,18 @@ void KnowledgeBase::AddInstance(const std::string& part_id,
   }
 }
 
+void KnowledgeBase::RestoreNode(KnowledgeNode node) {
+  QATK_DCHECK(std::is_sorted(node.features.begin(), node.features.end()));
+  num_instances_ += node.instance_count;
+  std::string key = ConfigKey(node.part_id, node.error_code, node.features);
+  const size_t index = nodes_.size();
+  config_index_.emplace(std::move(key), index);
+  by_part_[node.part_id].push_back(index);
+  auto& part_postings = postings_[node.part_id];
+  for (int64_t f : node.features) part_postings[f].push_back(index);
+  nodes_.push_back(std::move(node));
+}
+
 std::vector<const KnowledgeNode*> KnowledgeBase::SelectCandidates(
     const std::string& part_id, const std::vector<int64_t>& features) const {
   auto part_it = postings_.find(part_id);

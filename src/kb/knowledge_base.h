@@ -38,6 +38,13 @@ class KnowledgeBase {
   void AddInstance(const std::string& part_id, const std::string& error_code,
                    std::vector<int64_t> features);
 
+  /// Persistence path: re-inserts a node exactly as it was serialized,
+  /// keeping its instance_count. Nodes must be restored in their original
+  /// order — node indices (and therefore posting-list order and tie
+  /// breaking) are append-order, so replaying nodes() front to back
+  /// rebuilds a bit-identical knowledge base.
+  void RestoreNode(KnowledgeNode node);
+
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_instances() const { return num_instances_; }
   const std::vector<KnowledgeNode>& nodes() const { return nodes_; }

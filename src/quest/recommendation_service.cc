@@ -1,6 +1,7 @@
 #include "quest/recommendation_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -19,9 +20,13 @@ struct ServiceMetrics {
   obs::Histogram* retrain_us;
   obs::Histogram* confirm_us;
   obs::Histogram* extract_us;
+  obs::Histogram* recovery_us;
   obs::Counter* index_rebuilds;
   obs::Counter* state_publishes;
   obs::Counter* reader_refreshes;
+  obs::Counter* log_appends;
+  obs::Counter* replay_records;
+  obs::Counter* checkpoints;
   obs::Gauge* reader_states;
   obs::Gauge* index_nodes;
   obs::Gauge* index_parts;
@@ -43,6 +48,11 @@ const ServiceMetrics& Metrics() {
         registry.GetCounter("qatk_service_state_publishes_total");
     m.reader_refreshes =
         registry.GetCounter("qatk_service_reader_snapshot_refreshes_total");
+    m.recovery_us = registry.GetHistogram("qatk_service_recovery_us");
+    m.log_appends = registry.GetCounter("qatk_service_log_appends_total");
+    m.replay_records =
+        registry.GetCounter("qatk_service_replay_records_total");
+    m.checkpoints = registry.GetCounter("qatk_service_checkpoints_total");
     m.reader_states = registry.GetGauge("qatk_service_reader_states");
     m.index_nodes = registry.GetGauge("qatk_service_index_nodes");
     m.index_parts = registry.GetGauge("qatk_service_index_parts");
@@ -261,6 +271,16 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
   next->manual_codes = state_->manual_codes;
   next->generation = NextGeneration();
 
+  // Durability: the mutation is logged and fsynced *before* it is
+  // published. A failed append returns without publishing — the caller
+  // was never acknowledged, and the service keeps serving the old state.
+  if (log_ != nullptr && !replaying_) {
+    const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
+    QATK_RETURN_NOT_OK(log_->AppendTrain(lsn, corpus));
+    last_lsn_.store(lsn, std::memory_order_release);
+    Metrics().log_appends->Add();
+  }
+
   RecordIndexStats(next->index);
   QATK_LOG(INFO) << (allow_retrain ? "retrained" : "trained")
                  << " recommendation service: " << next->index.num_nodes()
@@ -364,6 +384,14 @@ Status RecommendationService::ConfirmAssignment(
   next->index = kb::FrozenIndex::Build(next->knowledge);
   next->frequency.AddObservation(bundle.part_id, error_code);
   next->generation = NextGeneration();
+  // Ack-after-fsync: log before publish; a failed append acknowledges
+  // nothing and changes nothing.
+  if (log_ != nullptr && !replaying_) {
+    const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
+    QATK_RETURN_NOT_OK(log_->AppendConfirm(lsn, bundle, error_code));
+    last_lsn_.store(lsn, std::memory_order_release);
+    Metrics().log_appends->Add();
+  }
   RecordIndexStats(next->index);
   Publish(std::move(next));
   return Status::OK();
@@ -400,6 +428,12 @@ Status RecommendationService::DefineErrorCode(const std::string& part_id,
   next->error_descriptions.emplace(code, description);
   PackComposeContext(next.get());
   next->generation = NextGeneration();
+  if (log_ != nullptr && !replaying_) {
+    const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
+    QATK_RETURN_NOT_OK(log_->AppendDefine(lsn, part_id, code, description));
+    last_lsn_.store(lsn, std::memory_order_release);
+    Metrics().log_appends->Add();
+  }
   Publish(std::move(next));
   return Status::OK();
 }
@@ -412,6 +446,153 @@ Result<std::string> RecommendationService::DescribeCode(
     return Status::KeyError("no description for error code '" + code + "'");
   }
   return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: Open / Recover / Checkpoint
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RecommendationService>> RecommendationService::Open(
+    const tax::Taxonomy* taxonomy, Options options,
+    const std::string& data_dir) {
+  auto service = std::make_unique<RecommendationService>(taxonomy, options);
+  QATK_RETURN_NOT_OK(service->Recover(data_dir));
+  return service;
+}
+
+Status RecommendationService::ApplyRecord(ServiceRecord record) {
+  switch (record.type) {
+    case ServiceRecordType::kTrainManifest:
+      // Replay through the retrain path: the first manifest trains an
+      // untrained service, a later one replaces the model — exactly the
+      // semantics the original call had.
+      return TrainInternal(record.corpus, /*allow_retrain=*/true);
+    case ServiceRecordType::kConfirmAssignment:
+      return ConfirmAssignment(record.bundle, record.error_code);
+    case ServiceRecordType::kDefineErrorCode:
+      return DefineErrorCode(record.part_id, record.code, record.description);
+  }
+  return Status::Internal("unhandled service record type");
+}
+
+Status RecommendationService::Recover(const std::string& data_dir) {
+  const auto start = std::chrono::steady_clock::now();
+  QATK_RETURN_NOT_OK(EnsureDataDir(data_dir));
+  data_dir_ = data_dir;
+
+  // 1. Latest checkpoint snapshot, if any. Absence is a fresh data dir;
+  //    anything else wrong with it is genuine corruption and must fail
+  //    the boot rather than silently serve partial state.
+  Result<ServiceSnapshot> snapshot_or =
+      ReadSnapshot(ServiceSnapshotPath(data_dir));
+  if (snapshot_or.ok()) {
+    ServiceSnapshot& snapshot = *snapshot_or;
+    auto next = std::make_shared<TrainedState>();
+    for (const auto& [word, id] : snapshot.vocabulary) {
+      QATK_RETURN_NOT_OK(next->vocabulary.Restore(word, id));
+    }
+    for (kb::KnowledgeNode& node : snapshot.nodes) {
+      next->knowledge.RestoreNode(std::move(node));
+    }
+    next->index = kb::FrozenIndex::Build(next->knowledge);
+    for (const auto& [part, codes] : snapshot.frequency) {
+      for (const auto& [code, count] : codes) {
+        next->frequency.Restore(part, code, static_cast<size_t>(count));
+      }
+    }
+    next->part_descriptions = std::move(snapshot.part_descriptions);
+    next->error_descriptions = std::move(snapshot.error_descriptions);
+    next->manual_codes = std::move(snapshot.manual_codes);
+    PackComposeContext(next.get());
+    next->generation = NextGeneration();
+    if (snapshot.trained) RecordIndexStats(next->index);
+    {
+      std::lock_guard<std::mutex> writer_lock(writer_mutex_);
+      Publish(std::move(next));
+    }
+    trained_.store(snapshot.trained, std::memory_order_release);
+    last_lsn_.store(snapshot.last_lsn, std::memory_order_release);
+    recovered_snapshot_ = true;
+  } else if (!snapshot_or.status().IsKeyError()) {
+    return snapshot_or.status();
+  }
+
+  // 2. Open the log and replay its tail on top of the snapshot. Records
+  //    the snapshot already covers (the crash window between snapshot
+  //    rename and log truncate) are skipped by lsn — replay twice, get
+  //    the same state.
+  QATK_ASSIGN_OR_RETURN(std::unique_ptr<ServiceLog> log,
+                        ServiceLog::Open(ServiceLogPath(data_dir)));
+  log_ = std::move(log);
+  if (options_.fault != nullptr) log_->set_fault_injector(options_.fault);
+  QATK_ASSIGN_OR_RETURN(std::vector<ServiceRecord> records, log_->ReadAll());
+  replaying_ = true;
+  for (ServiceRecord& record : records) {
+    if (record.lsn <= last_lsn_.load(std::memory_order_relaxed)) continue;
+    const uint64_t lsn = record.lsn;
+    Status applied = ApplyRecord(std::move(record));
+    if (!applied.ok()) {
+      replaying_ = false;
+      return Status(applied.code(),
+                    "replaying service log record lsn=" + std::to_string(lsn) +
+                        ": " + applied.message());
+    }
+    last_lsn_.store(lsn, std::memory_order_release);
+    ++replayed_records_;
+    Metrics().replay_records->Add();
+  }
+  replaying_ = false;
+
+  recovery_us_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  Metrics().recovery_us->Record(recovery_us_);
+  QATK_LOG(INFO) << "recovered service state from '" << data_dir << "': "
+                 << (recovered_snapshot_ ? "snapshot" : "no snapshot") << " + "
+                 << replayed_records_ << " replayed records, last_lsn="
+                 << last_lsn_.load(std::memory_order_relaxed) << " ("
+                 << recovery_us_ << " us)";
+  return Status::OK();
+}
+
+ServiceSnapshot RecommendationService::BuildSnapshot() const {
+  ServiceSnapshot snapshot;
+  snapshot.last_lsn = last_lsn_.load(std::memory_order_relaxed);
+  snapshot.trained = trained_.load(std::memory_order_relaxed);
+  const TrainedState& state = *state_;
+  snapshot.vocabulary = state.vocabulary.Entries();
+  snapshot.nodes = state.knowledge.nodes();
+  for (const auto& [part, codes] : state.frequency.counts()) {
+    auto& out = snapshot.frequency[part];
+    for (const auto& [code, count] : codes) {
+      out[code] = static_cast<uint64_t>(count);
+    }
+  }
+  snapshot.part_descriptions = state.part_descriptions;
+  snapshot.error_descriptions = state.error_descriptions;
+  snapshot.manual_codes = state.manual_codes;
+  return snapshot;
+}
+
+Status RecommendationService::Checkpoint() {
+  if (log_ == nullptr) {
+    return Status::Invalid("Checkpoint on an ephemeral service");
+  }
+  std::lock_guard<std::mutex> writer_lock(writer_mutex_);
+  ServiceSnapshot snapshot = BuildSnapshot();
+  // Order matters: the snapshot must be durably renamed into place before
+  // the log shrinks, so every record the truncate discards is covered by
+  // the snapshot. A crash between the two steps leaves both — replay
+  // skips the covered records by lsn.
+  QATK_RETURN_NOT_OK(WriteSnapshot(ServiceSnapshotPath(data_dir_), snapshot,
+                                   options_.fault));
+  QATK_RETURN_NOT_OK(log_->Truncate());
+  Metrics().checkpoints->Add();
+  QATK_LOG(INFO) << "checkpointed service state to '" << data_dir_
+                 << "' (last_lsn=" << snapshot.last_lsn << ", "
+                 << snapshot.nodes.size() << " nodes)";
+  return Status::OK();
 }
 
 }  // namespace qatk::quest

@@ -17,6 +17,7 @@
 #include "kb/features.h"
 #include "kb/frozen_index.h"
 #include "kb/knowledge_base.h"
+#include "quest/service_log.h"
 #include "taxonomy/taxonomy.h"
 
 namespace qatk::quest {
@@ -87,8 +88,59 @@ class RecommendationService {
     std::map<std::string, std::vector<std::string>> manual_codes;
   };
 
-  /// `taxonomy` must outlive the service.
+  /// `taxonomy` must outlive the service. A service constructed this way
+  /// is *ephemeral*: mutations live only in memory. Use Open for a
+  /// durable, crash-recoverable service.
   RecommendationService(const tax::Taxonomy* taxonomy, Options options);
+
+  /// Recovery outcome and live durability state of an Open'ed service.
+  struct DurabilityStats {
+    /// True when the service was opened with a data dir (mutations are
+    /// logged and fsynced before they are acknowledged).
+    bool durable = false;
+    /// True when boot restored a checkpoint snapshot.
+    bool recovered_snapshot = false;
+    /// Log records replayed on top of the snapshot at boot.
+    uint64_t replayed_records = 0;
+    /// Log sequence number of the last durable mutation.
+    uint64_t last_lsn = 0;
+    /// Wall time of the boot recovery pass (snapshot load + replay).
+    uint64_t recovery_us = 0;
+  };
+
+  /// Opens a durable service rooted at `data_dir` (created if missing):
+  /// restores the latest checkpoint snapshot if one exists, replays the
+  /// service log tail on top of it (skipping records the snapshot already
+  /// covers — replay is idempotent), and from then on appends every
+  /// mutation to the log with an ack-after-fsync contract. The recovered
+  /// state is bit-identical to the state an uncrashed service would hold
+  /// after the same acknowledged mutations, because every mutation is
+  /// logged logically and re-applied through the normal deterministic
+  /// code paths.
+  static Result<std::unique_ptr<RecommendationService>> Open(
+      const tax::Taxonomy* taxonomy, Options options,
+      const std::string& data_dir);
+
+  /// Writes a checkpoint snapshot of the current state and truncates the
+  /// log. Crash-safe in every window: the snapshot replaces the old one
+  /// atomically (tmp + rename), and a crash between the rename and the
+  /// truncate merely leaves records the snapshot already covers — replay
+  /// skips them by lsn. Invalid on an ephemeral service.
+  Status Checkpoint();
+
+  bool durable() const { return log_ != nullptr; }
+
+  /// Snapshot of the durability state; safe to call concurrently with
+  /// writers (recovery fields are frozen after Open returns).
+  DurabilityStats durability() const {
+    DurabilityStats stats;
+    stats.durable = durable();
+    stats.recovered_snapshot = recovered_snapshot_;
+    stats.replayed_records = replayed_records_;
+    stats.last_lsn = last_lsn_.load(std::memory_order_acquire);
+    stats.recovery_us = recovery_us_;
+    return stats;
+  }
 
   /// Builds the knowledge base, the frequency-sorted full lists, and the
   /// description catalogs from a coded corpus. Callable once. Atomic: the
@@ -193,6 +245,18 @@ class RecommendationService {
   /// and release-stores its generation so readers notice.
   void Publish(std::shared_ptr<const TrainedState> next);
 
+  /// Boot path of Open: snapshot restore + log-tail replay. Runs before
+  /// the service is shared, so it may call the public mutators directly
+  /// (with replaying_ set, so they skip the write-through).
+  Status Recover(const std::string& data_dir);
+
+  /// Applies one replayed log record through the normal mutation path.
+  Status ApplyRecord(ServiceRecord record);
+
+  /// Serializes the published state (plus `last_lsn_`) for Checkpoint.
+  /// Caller must hold writer_mutex_.
+  ServiceSnapshot BuildSnapshot() const;
+
   const tax::Taxonomy* taxonomy_;
   Options options_;
   std::atomic<bool> trained_{false};
@@ -209,6 +273,20 @@ class RecommendationService {
   /// Generation of `state_`, redundantly published as a plain atomic so
   /// the reader fast path can validate its cache without any lock.
   std::atomic<uint64_t> generation_{0};
+
+  /// Durability state (null/zero on an ephemeral service). `log_` and the
+  /// recovery outcome fields are set once during Open and never change;
+  /// `last_lsn_` advances under writer_mutex_ but is read lock-free by
+  /// durability().
+  std::string data_dir_;
+  std::unique_ptr<ServiceLog> log_;
+  std::atomic<uint64_t> last_lsn_{0};
+  /// True only inside Recover's replay loop: the mutators skip the
+  /// write-through so a replayed record is not re-appended.
+  bool replaying_ = false;
+  bool recovered_snapshot_ = false;
+  uint64_t replayed_records_ = 0;
+  uint64_t recovery_us_ = 0;
 
   core::RankedKnnClassifier classifier_;
 };

@@ -34,10 +34,15 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 Status Client::Connect(const std::string& host, uint16_t port,
-                       int timeout_ms) {
+                       int timeout_ms, int rcvbuf_bytes) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
+  if (rcvbuf_bytes > 0) {
+    // Before connect(), so the shrunken window is what gets negotiated.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -139,6 +144,27 @@ Result<Response> Client::Call(int64_t id, std::string_view method,
                               const Json& params, int64_t deadline_ms) {
   QATK_RETURN_NOT_OK(Send(id, method, params, deadline_ms));
   return Receive();
+}
+
+Result<Response> Client::CallWithRetry(int64_t id, std::string_view method,
+                                       const Json& params, int64_t deadline_ms,
+                                       int* attempts_out) {
+  int attempts = 0;
+  Result<Response> outcome = retry_policy_.Run([&]() -> Result<Response> {
+    ++attempts;
+    Result<Response> reply = Call(id, method, params, deadline_ms);
+    if (!reply.ok()) return reply;
+    // A transient code inside a well-formed response is the server saying
+    // "not now" (shed, expired budget) — surface it as an error Status so
+    // the policy's transiency check sees it; the request never executed,
+    // so retrying cannot double-apply anything.
+    const Response& response = reply.ValueOrDie();
+    Status carried(response.code, response.message);
+    if (IsTransient(carried)) return carried;
+    return reply;
+  });
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return outcome;
 }
 
 }  // namespace qatk::server

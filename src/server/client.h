@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "server/protocol.h"
 
 namespace qatk::server {
@@ -29,9 +30,11 @@ class Client {
   Client& operator=(Client&& other) noexcept;
 
   /// Connects to host:port. `timeout_ms` bounds each subsequent blocking
-  /// read/write; <= 0 means no timeout.
+  /// read/write; <= 0 means no timeout. `rcvbuf_bytes` > 0 shrinks the
+  /// socket receive buffer before connecting (tests use a tiny window to
+  /// pin server-side responses in flight deterministically).
   Status Connect(const std::string& host, uint16_t port,
-                 int timeout_ms = 5000);
+                 int timeout_ms = 5000, int rcvbuf_bytes = 0);
 
   bool connected() const { return fd_ >= 0; }
 
@@ -56,10 +59,31 @@ class Client {
   Result<Response> Call(int64_t id, std::string_view method,
                         const Json& params, int64_t deadline_ms = -1);
 
+  /// Call with transient-failure retries under the configured policy.
+  /// A response whose *payload* carries a transient code — the server
+  /// answering kUnavailable when shedding under admission control, or
+  /// kDeadlineExceeded when the request's budget expired queued — counts
+  /// as a failed attempt just like a transport error, is backed off
+  /// (jittered exponential, see RetryPolicy), and retried. Retrying is
+  /// safe because shed/expired requests were never executed. Exhausting
+  /// the budget returns the last transient code as an error Status.
+  /// `attempts_out` (optional) reports how many attempts were made.
+  Result<Response> CallWithRetry(int64_t id, std::string_view method,
+                                 const Json& params, int64_t deadline_ms = -1,
+                                 int* attempts_out = nullptr);
+
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   int fd_ = -1;
   std::string read_buf_;
   size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  /// Default: 3 attempts, 50us base backoff, no jitter. qatk_serve-facing
+  /// tools arm jitter to de-synchronize retry storms.
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace qatk::server

@@ -2,14 +2,15 @@
 // demo corpus, then serve it over TCP (length-prefixed JSON protocol, see
 // src/server/protocol.h). SIGTERM/SIGINT triggers a graceful drain: the
 // listener closes, every request already received is answered and flushed,
-// then the process exits 0 (nonzero only if the drain timed out and
-// dropped in-flight responses).
+// then (with --data-dir) the service state is checkpointed, and the
+// process exits 0 (nonzero only if the drain timed out and dropped
+// in-flight responses).
 //
 // Usage:
 //   qatk_serve [--host=127.0.0.1] [--port=0] [--threads=1]
 //              [--max-in-flight=1024] [--idle-timeout-ms=60000]
 //              [--drain-timeout-ms=10000] [--port-file=PATH]
-//              [--metrics-interval-s=0]
+//              [--metrics-interval-s=0] [--data-dir=DIR]
 //
 // --port=0 binds an ephemeral port; --port-file writes the bound port to
 // PATH once the server is accepting (how scripts/check.sh finds it).
@@ -17,6 +18,14 @@
 // p50/p99, shed) every N seconds; 0 (default) disables it. The full
 // metric set is always available over the wire via the MetricsText
 // method.
+//
+// --data-dir=DIR makes the service durable (DESIGN.md §13): on boot it
+// recovers whatever state DIR holds (checkpoint snapshot + service-log
+// replay) and only trains the demo corpus when DIR is empty; every
+// ConfirmAssignment/DefineErrorCode is fsynced to DIR's service log
+// before it is acknowledged, and the graceful drain ends with a
+// checkpoint. kill -9 it, restart with the same --data-dir, and every
+// acknowledged mutation is still there.
 //
 // Quick poke with nc (frames are 4-byte big-endian length + JSON):
 //   printf '{"id":1,"method":"Health","params":{}}' | awk '{
@@ -29,9 +38,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "datagen/world.h"
@@ -116,6 +127,7 @@ class MetricsReporter {
 int main(int argc, char** argv) {
   qatk::server::Server::Options options;
   std::string port_file;
+  std::string data_dir;
   int metrics_interval_s = 0;
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -133,6 +145,8 @@ int main(int argc, char** argv) {
       options.drain_timeout_ms = std::stoi(value);
     } else if (ParseFlag(argv[i], "--port-file", &value)) {
       port_file = value;
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      data_dir = value;
     } else if (ParseFlag(argv[i], "--metrics-interval-s", &value) ||
                ParseFlag(argv[i], "--metrics_interval_s", &value)) {
       metrics_interval_s = std::stoi(value);
@@ -145,15 +159,46 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "building demo world + corpus...\n");
   qatk::datagen::DomainWorld world(qatk::server::DemoWorldConfig());
   qatk::server::DemoSplit split = qatk::server::GenerateDemoSplit(world);
-  qatk::quest::RecommendationService service(&world.taxonomy(), {});
-  qatk::Status trained = service.Train(split.train);
-  if (!trained.ok()) {
-    std::fprintf(stderr, "training failed: %s\n",
-                 trained.ToString().c_str());
-    return 1;
+  std::unique_ptr<qatk::quest::RecommendationService> durable_service;
+  qatk::quest::RecommendationService* service = nullptr;
+  if (!data_dir.empty()) {
+    auto opened = qatk::quest::RecommendationService::Open(
+        &world.taxonomy(), {}, data_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "recovery from %s failed: %s\n",
+                   data_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+    durable_service = std::move(opened).ValueOrDie();
+    service = durable_service.get();
+    const qatk::quest::RecommendationService::DurabilityStats recovery =
+        service->durability();
+    std::fprintf(stderr,
+                 "recovered from %s: snapshot=%s replayed_records=%llu "
+                 "last_lsn=%llu recovery_us=%llu trained=%s\n",
+                 data_dir.c_str(),
+                 recovery.recovered_snapshot ? "yes" : "no",
+                 static_cast<unsigned long long>(recovery.replayed_records),
+                 static_cast<unsigned long long>(recovery.last_lsn),
+                 static_cast<unsigned long long>(recovery.recovery_us),
+                 service->trained() ? "yes" : "no");
+  } else {
+    durable_service = std::make_unique<qatk::quest::RecommendationService>(
+        &world.taxonomy(), qatk::quest::RecommendationService::Options{});
+    service = durable_service.get();
+  }
+  if (!service->trained()) {
+    // Recovered state wins; only an empty data dir (or an ephemeral run)
+    // trains the demo corpus.
+    qatk::Status trained = service->Train(split.train);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      return 1;
+    }
   }
 
-  qatk::server::Server server(&service, options);
+  qatk::server::Server server(service, options);
   qatk::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -208,6 +253,22 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.deadline_exceeded),
                static_cast<unsigned long long>(stats.protocol_errors),
                static_cast<unsigned long long>(stats.drain_dropped));
+  if (service->durable()) {
+    // Fold the replay tail into a snapshot so the next boot is O(1); the
+    // log already holds every acked mutation, so a failed checkpoint
+    // costs recovery time, not data.
+    const qatk::Status checkpointed = service->Checkpoint();
+    if (checkpointed.ok()) {
+      std::fprintf(stderr, "checkpointed %s at lsn=%llu\n",
+                   data_dir.c_str(),
+                   static_cast<unsigned long long>(
+                       service->durability().last_lsn));
+    } else {
+      std::fprintf(stderr, "checkpoint failed (state still recoverable "
+                           "from the service log): %s\n",
+                   checkpointed.ToString().c_str());
+    }
+  }
   if (!drained.ok()) {
     std::fprintf(stderr, "drain incomplete: %s\n",
                  drained.ToString().c_str());

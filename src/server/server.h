@@ -86,6 +86,12 @@ class Server {
     size_t max_in_flight = 1024;
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
     size_t max_write_buffer = 8u << 20;
+    /// > 0 shrinks each accepted connection's kernel send buffer. The
+    /// default (0, kernel-tuned ~4MiB) lets small responses "flush" into
+    /// the kernel instantly, releasing their admission slots; shedding
+    /// tests shrink it so in-flight responses stay pinned against a
+    /// slow-reading client deterministically.
+    int sndbuf_bytes = 0;
     /// Connections with no traffic for this long are closed. <= 0
     /// disables the idle sweep.
     int idle_timeout_ms = 60000;
@@ -107,7 +113,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the event loops. Callable once.
+  /// Binds, listens, and starts the event loops. Callable once. When it
+  /// returns OK, every loop's listener is bound and accepting (connections
+  /// land in the kernel backlog at worst) and every event-loop thread is
+  /// running — a port number published after Start is immediately usable.
   Status Start();
 
   /// The bound port (valid after Start), host order.

@@ -57,110 +57,35 @@ int TimedFlush(std::FILE* file) {
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<WalFile>> WalFile::Open(const std::string& path) {
-  QATK_ASSIGN_OR_RETURN(std::FILE * file, OpenAppendable(path));
-  return std::unique_ptr<WalFile>(new WalFile(file, path));
+  FramedLog::Options options;
+  options.append_op = "wal.append";
+  options.truncate_op = "wal.truncate";
+  options.flush_hist = WalFlushHistogram();
+  QATK_ASSIGN_OR_RETURN(std::unique_ptr<FramedLog> log,
+                        FramedLog::Open(path, std::move(options)));
+  return std::unique_ptr<WalFile>(new WalFile(std::move(log)));
 }
 
-WalFile::~WalFile() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+WalFile::~WalFile() = default;
 
 Status WalFile::Append(WalRecordType type, std::string_view payload) {
-  std::string body;
-  body.push_back(static_cast<char>(type));
-  body.append(payload);
-  std::string frame;
-  AppendU32(&frame, static_cast<uint32_t>(body.size()));
-  frame += body;
-  AppendU32(&frame, Crc32(body));
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed appending to WAL");
-  }
-  size_t write_len = frame.size();
-  if (fault_ != nullptr) {
-    FaultInjector::Decision d = fault_->OnOp("wal.append");
-    if (!d.status.ok()) return d.status;
-    if (d.torn) write_len = d.TornBytes(frame.size());
-  }
-  if (std::fwrite(frame.data(), 1, write_len, file_) != write_len) {
-    // A retried append could land after a torn frame, making every later
-    // record unreachable at recovery — so this is NOT transient.
-    return Status::IOError("short write appending to WAL");
-  }
-  if (TimedFlush(file_) != 0) {
-    return Status::IOError("flush failed appending to WAL");
-  }
-  if (write_len != frame.size()) {
-    return Status::Unavailable("fault injector: crash during torn WAL append");
-  }
-  return Status::OK();
+  return log_->Append(static_cast<uint8_t>(type), payload);
 }
 
 Result<std::vector<WalRecord>> WalFile::ReadAll() {
+  QATK_ASSIGN_OR_RETURN(std::vector<FramedLog::Record> raw, log_->ReadAll());
   std::vector<WalRecord> records;
-  if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    return Status::IOError("seek failed reading WAL");
-  }
-  bool torn_tail = false;
-  for (;;) {
-    unsigned char header[4];
-    size_t got = std::fread(header, 1, 4, file_);
-    if (got < 4) {
-      torn_tail = got > 0;  // Clean end (0) or torn length: stop.
-      break;
-    }
-    uint32_t len = ReadU32Le(header);
-    if (len == 0 || len > 64u * 1024 * 1024) {  // Corrupt length.
-      torn_tail = true;
-      break;
-    }
-    std::string body(len, '\0');
-    if (std::fread(body.data(), 1, len, file_) != len) {  // Torn.
-      torn_tail = true;
-      break;
-    }
-    unsigned char crc_bytes[4];
-    if (std::fread(crc_bytes, 1, 4, file_) != 4) {  // Torn.
-      torn_tail = true;
-      break;
-    }
-    if (ReadU32Le(crc_bytes) != Crc32(body)) {  // Corrupt.
-      torn_tail = true;
-      break;
-    }
-    WalRecord record;
-    record.type = static_cast<WalRecordType>(body[0]);
-    record.payload = body.substr(1);
-    records.push_back(std::move(record));
-  }
-  if (torn_tail) {
-    QATK_LOG(WARN) << "WAL '" << path_ << "': torn or corrupt tail after "
-                   << records.size()
-                   << " intact records; discarding the tail (crash-tail "
-                      "contract)";
+  records.reserve(raw.size());
+  for (FramedLog::Record& record : raw) {
+    records.push_back({static_cast<WalRecordType>(record.type),
+                       std::move(record.payload)});
   }
   return records;
 }
 
-Status WalFile::Truncate() {
-  if (fault_ != nullptr) {
-    FaultInjector::Decision d = fault_->OnOp("wal.truncate");
-    if (!d.status.ok()) return d.status;
-  }
-  std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "w+b");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot truncate WAL '" + path_ + "'");
-  }
-  return Status::OK();
-}
+Status WalFile::Truncate() { return log_->Truncate(); }
 
-Result<bool> WalFile::Empty() {
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed sizing WAL");
-  }
-  return std::ftell(file_) == 0;
-}
+Result<bool> WalFile::Empty() { return log_->Empty(); }
 
 // ---------------------------------------------------------------------------
 // PageJournal

@@ -11,6 +11,7 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/framed_log.h"
 #include "common/result.h"
 
 namespace qatk::db {
@@ -34,6 +35,11 @@ struct WalRecord {
 ///   [len u32][type u8][payload bytes][crc32 u32]
 /// where the CRC covers type + payload. Reading stops silently at the
 /// first torn or corrupt record (the standard crash-tail contract).
+///
+/// A thin typed wrapper over qatk::FramedLog (the framing was hoisted to
+/// common/ so the quest service log shares it); the byte format, the
+/// "wal.append"/"wal.truncate" fault points, and the flush-latency
+/// histogram are unchanged.
 class WalFile {
  public:
   /// Opens (or creates) the log at `path`.
@@ -59,15 +65,14 @@ class WalFile {
   /// Arms scripted faults on "wal.append" (which may tear the frame mid-
   /// write) and "wal.truncate". `fault` is borrowed and must outlive this
   /// file; nullptr disables injection.
-  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  void set_fault_injector(FaultInjector* fault) {
+    log_->set_fault_injector(fault);
+  }
 
  private:
-  WalFile(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  explicit WalFile(std::unique_ptr<FramedLog> log) : log_(std::move(log)) {}
 
-  std::FILE* file_;
-  std::string path_;
-  FaultInjector* fault_ = nullptr;
+  std::unique_ptr<FramedLog> log_;
 };
 
 /// \brief Rollback journal holding the before-image of every page that is

@@ -19,10 +19,12 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/retry.h"
 #include "datagen/oem.h"
 #include "datagen/world.h"
 #include "obs/metrics.h"
 #include "quest/recommendation_service.h"
+#include "quest/service_log.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -565,6 +567,183 @@ TEST_F(ServerTest, PermanentReadFaultClosesConnection) {
   ASSERT_TRUE(health.ok()) << health.status();
   EXPECT_TRUE(health->ok());
   server_.reset();
+}
+
+TEST_F(ServerTest, ClientRetriesThroughShedding) {
+  // Deliberately shedding server: one admission slot, a tiny send buffer
+  // so a pipelining-but-not-reading hog client pins that slot with its
+  // unflushed responses. Every other request sheds with kUnavailable
+  // until the hog goes away — exactly the condition CallWithRetry's
+  // jittered exponential backoff is for.
+  Server::Options options;
+  options.max_in_flight = 1;
+  options.sndbuf_bytes = 4096;
+  options.max_write_buffer = 64u << 20;  // Keep slow-client cutoff away.
+  Start(options);
+
+  Client hog;
+  ASSERT_TRUE(
+      hog.Connect("127.0.0.1", server_->port(), /*timeout_ms=*/5000,
+                  /*rcvbuf_bytes=*/4096)
+          .ok());
+  Json params = Json::Object();
+  params.Set("part_id", Json("P01"));
+  // The hog keeps pipelining until told to stop. Early admitted responses
+  // sit near the front of the write queue and still flush through the
+  // shrunken buffers; with a continuous stream, an admitted response
+  // eventually lands beyond everything the kernel will ever accept from a
+  // non-reading peer — and from then on the slot is pinned permanently
+  // (only CloseConn can release it).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::atomic<bool> stop_hog{false};
+  std::atomic<int> hog_sent{0};
+  std::thread hog_sender([&] {
+    int i = 0;
+    while (!stop_hog.load(std::memory_order_acquire)) {
+      if (!hog.Send(i, "FullListForPart", params).ok()) break;
+      hog_sent.store(++i, std::memory_order_release);
+      if (i % 16 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  // The pin is reached when the executed-request tally freezes while the
+  // shed tally still moves: no admissions happened across two polls, so
+  // the one slot stayed held the whole time.
+  uint64_t last_ok = ~0ull;
+  int stable_polls = 0;
+  while (stable_polls < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const ServerStats stats = server_->stats();
+    if (stats.responses_ok == last_ok && stats.shed > 0) {
+      ++stable_polls;
+    } else {
+      stable_polls = 0;
+      last_ok = stats.responses_ok;
+    }
+  }
+  stop_hog.store(true, std::memory_order_release);
+  hog_sender.join();
+  ASSERT_GE(stable_polls, 2) << "hog failed to pin the slot";
+  // Drain the parser: once every sent hog request has been parsed (each
+  // now shedding against the pinned slot), the shed counter only moves
+  // for the retrying client below.
+  while (server_->stats().requests <
+             static_cast<uint64_t>(hog_sent.load()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server_->stats().requests,
+            static_cast<uint64_t>(hog_sent.load()));
+  const uint64_t baseline_shed = server_->stats().shed;
+  ASSERT_GT(baseline_shed, 0u);
+
+  RetryPolicy::Options retry;
+  retry.max_attempts = 200;
+  retry.base_backoff = std::chrono::microseconds(500);
+  retry.jitter = 0.5;
+  retry.seed = 42;
+  client_.set_retry_policy(RetryPolicy(retry));
+
+  // Any shed beyond the baseline is the retrying client's (the hog sent
+  // everything it ever will): only then is the hog drained away, so the
+  // client must observe at least one shed attempt before succeeding.
+  std::thread unblocker([&] {
+    while (server_->stats().shed <= baseline_shed &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    hog.Close();
+  });
+  int attempts = 0;
+  auto response =
+      client_.CallWithRetry(999, "FullListForPart", params,
+                            /*deadline_ms=*/-1, &attempts);
+  unblocker.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->ok()) << response->message;
+  EXPECT_GT(attempts, 1) << "the first attempt must have been shed";
+  EXPECT_LT(attempts, retry.max_attempts)
+      << "success must come from the freed slot, not budget exhaustion";
+}
+
+TEST_F(ServerTest, DrainPersistsAcknowledgedConfirms) {
+  // A durable service behind the server: every ConfirmAssignment answered
+  // OK over the wire must still exist after the data dir is reopened —
+  // the ack happened only after the service-log fsync, and the graceful
+  // drain must not lose any of it.
+  const std::string dir = ::testing::TempDir() + "/server_drain_durable";
+  std::remove(quest::ServiceLogPath(dir).c_str());
+  std::remove(quest::ServiceSnapshotPath(dir).c_str());
+  auto durable = quest::RecommendationService::Open(
+      &world_->taxonomy(), quest::RecommendationService::Options{}, dir);
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  ASSERT_TRUE(durable.ValueOrDie()->Train(*corpus_).ok());
+
+  Server::Options options;
+  options.port = 0;
+  server_ = std::make_unique<Server>(durable.ValueOrDie().get(), options);
+  ASSERT_TRUE(server_->Start().ok());
+  ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()).ok());
+
+  auto health = client_.Call(0, "Health", Json::Object());
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->result.GetBool("durable", false));
+
+  // A few synchronous confirms, then a pipelined burst that the drain cuts
+  // into: whatever subset comes back OK is the acknowledged set.
+  constexpr int kSyncConfirms = 3;
+  constexpr int kPipelined = 5;
+  uint64_t acked = 0;
+  for (int i = 0; i < kSyncConfirms; ++i) {
+    const kb::DataBundle& bundle = corpus_->bundles[i];
+    Json params = BundleToParams(bundle);
+    params.Set("error_code", Json(bundle.error_code));
+    auto response = client_.Call(i + 1, "ConfirmAssignment", params);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->ok()) << response->message;
+    ++acked;
+  }
+  for (int i = 0; i < kPipelined; ++i) {
+    const kb::DataBundle& bundle = corpus_->bundles[kSyncConfirms + i];
+    Json params = BundleToParams(bundle);
+    params.Set("error_code", Json(bundle.error_code));
+    ASSERT_TRUE(
+        client_.Send(100 + i, "ConfirmAssignment", params).ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->stats().requests <
+             static_cast<uint64_t>(1 + kSyncConfirms + kPipelined) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->RequestDrain();
+  for (int i = 0; i < kPipelined; ++i) {
+    auto response = client_.Receive();
+    ASSERT_TRUE(response.ok()) << "pipelined confirm " << i << ": "
+                               << response.status();
+    if (response->ok()) ++acked;
+  }
+  EXPECT_TRUE(server_->Wait().ok());
+  EXPECT_EQ(server_->stats().drain_dropped, 0u);
+  // lsn 1 is the Train; each acked confirm advanced it by exactly one.
+  EXPECT_EQ(durable.ValueOrDie()->durability().last_lsn, 1 + acked);
+  server_.reset();
+  durable.ValueOrDie().reset();  // Crash-style close: no checkpoint.
+
+  auto reopened = quest::RecommendationService::Open(
+      &world_->taxonomy(), quest::RecommendationService::Options{}, dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const auto stats = reopened.ValueOrDie()->durability();
+  EXPECT_TRUE(reopened.ValueOrDie()->trained());
+  EXPECT_EQ(stats.replayed_records, 1 + acked)
+      << "every wire-acknowledged confirm must replay";
+  EXPECT_EQ(stats.last_lsn, 1 + acked);
+  std::remove(quest::ServiceLogPath(dir).c_str());
+  std::remove(quest::ServiceSnapshotPath(dir).c_str());
 }
 
 TEST_F(ServerTest, AcceptFaultDelaysButDoesNotLoseConnections) {
