@@ -32,6 +32,7 @@
 #include "kb/features.h"
 #include "kb/frozen_index.h"
 #include "kb/knowledge_base.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -89,6 +90,10 @@ struct ModelResult {
   size_t parts = 0;
   size_t postings = 0;
   size_t probes = 0;
+  /// Postings touched by one full indexed probe sweep (delta of the
+  /// qatk_kb_postings_scanned_total counter; 0 under QATK_NO_METRICS).
+  uint64_t postings_scanned = 0;
+  double postings_per_query = 0;
   LatencyStats brute;
   LatencyStats indexed;
   double speedup = 0;
@@ -121,6 +126,8 @@ void WriteJson(const char* path, bool quick, unsigned cores, bool enforced,
     json.Key("parts").Value(static_cast<uint64_t>(r.parts));
     json.Key("postings").Value(static_cast<uint64_t>(r.postings));
     json.Key("probes").Value(static_cast<uint64_t>(r.probes));
+    json.Key("postings_scanned").Value(r.postings_scanned);
+    json.Key("postings_per_query").Value(r.postings_per_query, 2);
     const auto emit_stats = [&json](const char* label,
                                     const LatencyStats& stats) {
       json.Key(label).BeginObject();
@@ -251,6 +258,24 @@ int main(int argc, char** argv) {
     const size_t brute_passes = 1;
     const size_t indexed_passes = quick ? 4 : 16;
     size_t sink = 0;  // Defeats dead-code elimination of the scoring.
+
+    // Index selectivity: postings touched by one untimed probe sweep,
+    // read off the obs counter the scorer already maintains. Scanning is
+    // deterministic per query, so one sweep gives the exact per-query
+    // average (0 under QATK_NO_METRICS).
+    qatk::obs::Counter* scanned_counter = qatk::obs::Registry::Global()
+        .GetCounter("qatk_kb_postings_scanned_total");
+    const uint64_t scanned_before = scanned_counter->Value();
+    for (const Probe& probe : probes) {
+      sink += classifier
+                  .Classify(index, *probe.part_id, probe.features, &scratch)
+                  .size();
+    }
+    result.postings_scanned = scanned_counter->Value() - scanned_before;
+    result.postings_per_query =
+        probes.empty() ? 0
+                       : static_cast<double>(result.postings_scanned) /
+                             static_cast<double>(probes.size());
     result.brute = Measure(brute_passes, probes.size(), [&](size_t i) {
       sink += classifier
                   .Classify(knowledge, *probes[i].part_id,
@@ -302,6 +327,12 @@ int main(int argc, char** argv) {
     std::printf("%s: %zu nodes, %zu parts, %zu postings, %zu probes\n",
                 spec.name, result.nodes, result.parts, result.postings,
                 result.probes);
+    std::printf("  postings scanned/query: %.2f (%.1f%% of the index)\n",
+                result.postings_per_query,
+                result.postings > 0
+                    ? 100.0 * result.postings_per_query /
+                          static_cast<double>(result.postings)
+                    : 0.0);
     std::printf("  %-12s %12s %10s %10s\n", "path", "queries/s", "p50 us",
                 "p99 us");
     std::printf("  %-12s %12.0f %10.2f %10.2f\n", "brute-force",

@@ -34,7 +34,18 @@
 #                           recovery_replay gate fails the stage on any
 #                           recovery mismatch or a replay-free sweep.
 #                           Writes BENCH_crash.json at the repo root.
-#   7. scaling            — multi-core scaling gates: full (non-quick)
+#   7. cluster            — sharded serving end-to-end: Release build of
+#                           bench_cluster_scaling --quick in-process
+#                           (cluster responses over 1..4 hash shards plus
+#                           a range cross-check must be bit-identical to
+#                           single-node; the 1->4 shard throughput table
+#                           gates on >= 4-core hosts, SKIPPED elsewhere),
+#                           then a real 3-shard qatk_cluster process tree
+#                           on ephemeral ports, the equivalence replay
+#                           against its front end over TCP, and a SIGTERM
+#                           cluster drain that must exit 0. Writes
+#                           BENCH_cluster.json at the repo root.
+#   8. scaling            — multi-core scaling gates: full (non-quick)
 #                           1->4 thread tables from bench_knn_throughput
 #                           (monotonically non-decreasing) and
 #                           bench_serving_load (>= 2.4x 1->4, i.e. 0.6x
@@ -55,6 +66,7 @@
 #   scripts/check.sh serve      # serving stack end-to-end only
 #   scripts/check.sh obs        # observability tests + overhead smoke
 #   scripts/check.sh durability # crash torture under ASan+UBSan
+#   scripts/check.sh cluster    # sharded scatter-gather serving end-to-end
 #   scripts/check.sh scaling    # 1->4 multi-core scaling gates
 set -euo pipefail
 
@@ -63,7 +75,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 STAGES=("${1:-address,undefined}")
 if [[ $# -eq 0 ]]; then
-  STAGES=("address,undefined" "thread" "perf" "serve" "obs" "durability" "scaling")
+  STAGES=("address,undefined" "thread" "perf" "serve" "obs" "durability" "cluster" "scaling")
 fi
 
 # Pulls the first indexed-path qps out of a (pretty-printed) BENCH_knn
@@ -114,6 +126,44 @@ for STAGE in "${STAGES[@]}"; do
     kill -TERM "${SERVE_PID}"
     # The graceful drain must finish all in-flight work and exit 0.
     wait "${SERVE_PID}"
+    continue
+  fi
+  if [[ "${STAGE}" == "cluster" ]]; then
+    BUILD_DIR="build-perf"
+    echo "=== cluster smoke: bench_cluster_scaling + qatk_cluster drain (build: ${BUILD_DIR}) ==="
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+      --target bench_cluster_scaling qatk_cluster qatk_serve
+    # In-process gates: bit-identical responses at every shard count
+    # (hash 1..4 + range cross-check, unknown-part fallbacks included);
+    # the shard-scaling table gates itself only on >= 4-core hosts.
+    "${BUILD_DIR}/bench/bench_cluster_scaling" --quick --out=BENCH_cluster.json
+    # Cross-process: a real 3-shard cluster (launcher forks qatk_serve
+    # workers, each training its own slice), the equivalence replay
+    # against the front end, then a SIGTERM drain of the whole tree.
+    PORT_FILE="$(mktemp)"
+    rm -f "${PORT_FILE}"
+    "${BUILD_DIR}/src/cluster/qatk_cluster" --port=0 --shards=3 \
+      --serve-bin="${BUILD_DIR}/src/server/qatk_serve" \
+      --port-file="${PORT_FILE}" &
+    CLUSTER_PID=$!
+    for _ in $(seq 1 600); do
+      [[ -f "${PORT_FILE}" ]] && break
+      sleep 0.5
+    done
+    if [[ ! -f "${PORT_FILE}" ]]; then
+      echo "qatk_cluster never wrote its port file" >&2
+      kill -9 "${CLUSTER_PID}" 2>/dev/null || true
+      exit 1
+    fi
+    PORT="$(cat "${PORT_FILE}")"
+    rm -f "${PORT_FILE}"
+    "${BUILD_DIR}/bench/bench_cluster_scaling" --quick --connect="${PORT}" \
+      --out=/dev/null
+    kill -TERM "${CLUSTER_PID}"
+    # The cluster drain must finish in-flight work on the front end and
+    # every shard worker, reap all children, and exit 0.
+    wait "${CLUSTER_PID}"
     continue
   fi
   if [[ "${STAGE}" == "scaling" ]]; then

@@ -1,0 +1,46 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+namespace qatk::cluster {
+
+MergedRecommendation MergePartials(
+    const std::vector<quest::RecommendationService::ShardPartial>& partials,
+    size_t max_nodes, size_t top_n) {
+  using Item = quest::RecommendationService::ShardPartialItem;
+  MergedRecommendation merged;
+  std::vector<const Item*> pool;
+  for (const auto& partial : partials) {
+    merged.known_part = merged.known_part || partial.known_part;
+    for (const Item& item : partial.items) pool.push_back(&item);
+  }
+  // The same total order every shard ranked under locally. stable_sort
+  // is not needed: (score, ordinal) pairs are unique across shards
+  // (each node has exactly one global ordinal).
+  std::sort(pool.begin(), pool.end(), [](const Item* a, const Item* b) {
+    if (a->score != b->score) return a->score > b->score;
+    return a->ordinal < b->ordinal;
+  });
+  if (pool.size() > max_nodes) pool.resize(max_nodes);
+
+  // Global code dedup, first (best) occurrence wins — mirrors the
+  // single-node Classify tail exactly.
+  std::vector<core::ScoredCode> deduped;
+  std::unordered_set<std::string> seen_codes;
+  for (const Item* item : pool) {
+    if (!seen_codes.insert(item->error_code).second) continue;
+    core::ScoredCode scored;
+    scored.error_code = item->error_code;
+    scored.score = item->score;
+    deduped.push_back(std::move(scored));
+  }
+  merged.recommendation.truncated = deduped.size() > top_n;
+  if (deduped.size() > top_n) deduped.resize(top_n);
+  merged.recommendation.top = std::move(deduped);
+  return merged;
+}
+
+}  // namespace qatk::cluster

@@ -1,0 +1,37 @@
+#ifndef QATK_CLUSTER_MERGE_H_
+#define QATK_CLUSTER_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "quest/recommendation_service.h"
+
+namespace qatk::cluster {
+
+/// Result of merging per-shard partials into one ranked answer.
+struct MergedRecommendation {
+  /// True when any contributing shard knew the probed part id.
+  bool known_part = false;
+  quest::RecommendationService::Recommendation recommendation;
+};
+
+/// \brief Gathers per-shard top-k partials into the exact single-node
+/// ranked list (DESIGN.md §14).
+///
+/// Each shard contributes its local best `max_nodes` pre-dedup nodes,
+/// already ordered by (score desc, ordinal asc). The merge concatenates
+/// them, re-sorts under the same total order — the ordinal is the node's
+/// global insertion position, so (score desc, ordinal asc) across shards
+/// is the single node's (score desc, node-index asc) — truncates to
+/// `max_nodes`, dedups error codes keeping the first (best) occurrence,
+/// sets `truncated` when more than `top_n` distinct codes survived, and
+/// returns the first `top_n`. Bit-identical to the single-node
+/// Recommend: scores travel through the %.17g JSON codec and the
+/// comparisons here are the same double comparisons the classifier makes.
+MergedRecommendation MergePartials(
+    const std::vector<quest::RecommendationService::ShardPartial>& partials,
+    size_t max_nodes, size_t top_n);
+
+}  // namespace qatk::cluster
+
+#endif  // QATK_CLUSTER_MERGE_H_

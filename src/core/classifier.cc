@@ -73,10 +73,11 @@ std::vector<ScoredCode> RankedKnnClassifier::Classify(
   return Rank(features, knowledge.SelectCandidates(part_id, features));
 }
 
-std::vector<ScoredCode> RankedKnnClassifier::Classify(
-    const kb::FrozenIndex& index, const std::string& part_id,
-    const std::vector<int64_t>& features, kb::FrozenIndex::Scratch* scratch,
-    size_t* num_candidates) const {
+bool RankedKnnClassifier::SelectTopNodes(const kb::FrozenIndex& index,
+                                         const std::string& part_id,
+                                         const std::vector<int64_t>& features,
+                                         kb::FrozenIndex::Scratch* scratch,
+                                         size_t* num_candidates) const {
   bool known_part;
   {
     obs::SampledTimer score_span(ScoreStageHistogram());
@@ -86,7 +87,10 @@ std::vector<ScoredCode> RankedKnnClassifier::Classify(
   if (num_candidates != nullptr) {
     *num_candidates = known_part ? scratch->touched.size() : index.num_nodes();
   }
-  if (config_.max_nodes == 0) return {};
+  if (config_.max_nodes == 0) {
+    scratch->heap.clear();
+    return known_part;
+  }
   obs::SampledTimer rank_span(RankStageHistogram());
 
   // An Item is (score, node). In Rank, candidates arrive in ascending
@@ -128,6 +132,16 @@ std::vector<ScoredCode> RankedKnnClassifier::Classify(
     }
   }
   std::sort_heap(heap.begin(), heap.end(), better);  // Best first.
+  return known_part;
+}
+
+std::vector<ScoredCode> RankedKnnClassifier::Classify(
+    const kb::FrozenIndex& index, const std::string& part_id,
+    const std::vector<int64_t>& features, kb::FrozenIndex::Scratch* scratch,
+    size_t* num_candidates) const {
+  SelectTopNodes(index, part_id, features, scratch, num_candidates);
+  const std::vector<std::pair<double, uint32_t>>& heap = scratch->heap;
+  using Item = std::pair<double, uint32_t>;
 
   std::vector<ScoredCode> ranked;
   // Distinct codes keep the score of their best node. At most max_nodes

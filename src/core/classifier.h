@@ -75,6 +75,18 @@ class RankedKnnClassifier {
                                    kb::FrozenIndex::Scratch* scratch,
                                    size_t* num_candidates = nullptr) const;
 
+  /// Node-level half of the indexed Classify: accumulation plus the
+  /// bounded top-max_nodes heap, stopping *before* code dedup. On return
+  /// `scratch->heap` holds the best max_nodes (score, node) pairs sorted
+  /// best-first under the exact (score desc, node asc) order; the return
+  /// value says whether the part was known. Shard workers serve this raw
+  /// per-node list so a scatter-gather front-end can merge partials and
+  /// dedup codes globally with unchanged tie-breaking.
+  bool SelectTopNodes(const kb::FrozenIndex& index, const std::string& part_id,
+                      const std::vector<int64_t>& features,
+                      kb::FrozenIndex::Scratch* scratch,
+                      size_t* num_candidates = nullptr) const;
+
   const Config& config() const { return config_; }
 
  private:

@@ -19,6 +19,10 @@ const char* FeatureModelToString(FeatureModel model) {
   return "?";
 }
 
+bool ModelUsesVocabulary(FeatureModel model) {
+  return model != FeatureModel::kBagOfConcepts;
+}
+
 int64_t FeatureVocabulary::Intern(const std::string& word) {
   auto it = word_to_id_.find(word);
   if (it != word_to_id_.end()) return it->second;

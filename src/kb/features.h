@@ -26,6 +26,14 @@ enum class FeatureModel {
 
 const char* FeatureModelToString(FeatureModel model);
 
+/// True when the model's feature ids depend on the training-time
+/// FeatureVocabulary (word ids are interned first-seen, so two extractors
+/// agree only if they saw the same corpus in the same order). Concept
+/// features come from fixed taxonomy ids and are vocabulary-independent.
+/// Shard-scoped training uses this to decide whether non-owned bundles
+/// must still be run through extraction to reproduce the vocabulary.
+bool ModelUsesVocabulary(FeatureModel model);
+
 /// \brief Bidirectional word <-> id interning for bag-of-words features.
 ///
 /// Word features are interned to int64 ids so both feature models share

@@ -249,19 +249,44 @@ Status RecommendationService::TrainInternal(const kb::Corpus& corpus,
   auto next = std::make_shared<TrainedState>();
   kb::FeatureExtractor extractor(options_.model, taxonomy_,
                                  &next->vocabulary);
+  // Shard scoping: a scoped shard keeps only the nodes of the parts it
+  // owns, but still walks the whole corpus in order. `seq` numbers every
+  // coded bundle globally; a node's merge ordinal is the seq at first
+  // sight of its configuration, which is monotone with the node index the
+  // unrestricted build would have assigned — the invariant the
+  // scatter-gather (score desc, ordinal asc) merge rests on. Word-model
+  // features additionally need extraction of *non-owned* bundles (interned
+  // word ids depend on corpus order); concept ids are taxonomy-fixed, so
+  // the bag-of-concepts model skips that work.
+  const Options::ShardScope& scope = options_.shard;
+  const bool vocab_needs_all = kb::ModelUsesVocabulary(options_.model);
+  uint64_t seq = 0;
   for (const kb::DataBundle& bundle : corpus.bundles) {
     if (options_.fault != nullptr) {
       QATK_RETURN_NOT_OK(options_.fault->OnOp("train.bundle").status);
     }
     if (bundle.error_code.empty()) continue;  // Not yet coded: no label.
+    const bool owned = !scope.active() || scope.owns_part(bundle.part_id);
+    if (!owned && !vocab_needs_all) {
+      ++seq;
+      continue;
+    }
     QATK_ASSIGN_OR_RETURN(
         std::vector<int64_t> features,
         extractor.Extract(
             kb::ComposeDocument(bundle, kb::kTrainSources, corpus)));
-    next->knowledge.AddInstance(bundle.part_id, bundle.error_code,
-                                std::move(features));
-    next->frequency.AddObservation(bundle.part_id, bundle.error_code);
+    if (owned) {
+      const size_t nodes_before = next->knowledge.num_nodes();
+      next->knowledge.AddInstance(bundle.part_id, bundle.error_code,
+                                  std::move(features));
+      if (next->knowledge.num_nodes() > nodes_before) {
+        next->node_ordinals.push_back(seq);
+      }
+      next->frequency.AddObservation(bundle.part_id, bundle.error_code);
+    }
+    ++seq;
   }
+  next->ordinal_high = seq;
   next->index = kb::FrozenIndex::Build(next->knowledge);
   next->part_descriptions = corpus.part_descriptions;
   next->error_descriptions = corpus.error_descriptions;
@@ -357,11 +382,69 @@ RecommendationService::RecommendForText(const std::string& part_id,
   return RecommendWithReader(AcquireReader(), part_id, text);
 }
 
-Status RecommendationService::ConfirmAssignment(
-    const kb::DataBundle& bundle, const std::string& error_code) {
+Result<RecommendationService::ShardPartial>
+RecommendationService::ShardTopKWithReader(ReaderState& reader,
+                                           const std::string& part_id,
+                                           const std::string& text,
+                                           bool fallback) const {
+  const TrainedState& state = *reader.state;
+  ShardPartial partial;
+  partial.fallback = fallback;
+  partial.known_part = state.index.HasPart(part_id);
+  if (!partial.known_part && !fallback) {
+    // Owner probe on a part this slice does not hold: answer without
+    // extracting or scoring. The coordinator falls back to an all-shards
+    // scatter only when the *owner* reports the part unknown.
+    return partial;
+  }
+  std::vector<int64_t> features;
+  {
+    obs::ScopedTimer extract_span(Metrics().extract_us);
+    QATK_ASSIGN_OR_RETURN(features, reader.extractor->Extract(text));
+  }
+  classifier_.SelectTopNodes(state.index, part_id, features, &reader.scratch);
+  partial.items.reserve(reader.scratch.heap.size());
+  for (const auto& [score, node] : reader.scratch.heap) {
+    const uint64_t ordinal = node < state.node_ordinals.size()
+                                 ? state.node_ordinals[node]
+                                 : static_cast<uint64_t>(node);
+    partial.items.push_back(
+        {state.index.node_error_code(node), score, ordinal});
+  }
+  return partial;
+}
+
+Result<RecommendationService::ShardPartial> RecommendationService::ShardTopK(
+    const kb::DataBundle& bundle, bool fallback) const {
+  if (!trained()) return Status::Invalid("service not trained");
+  ReaderState& reader = AcquireReader();
+  // Same test-time document composition as Recommend — every shard keeps
+  // the full description catalogs, so the composed text is identical on
+  // all of them.
+  std::string document = kb::ComposeDocument(bundle, kb::kTestSources,
+                                             reader.state->compose_context);
+  return ShardTopKWithReader(reader, bundle.part_id, document, fallback);
+}
+
+Result<RecommendationService::ShardPartial>
+RecommendationService::ShardTopKForText(const std::string& part_id,
+                                        const std::string& text,
+                                        bool fallback) const {
+  if (!trained()) return Status::Invalid("service not trained");
+  return ShardTopKWithReader(AcquireReader(), part_id, text, fallback);
+}
+
+Status RecommendationService::ConfirmAssignment(const kb::DataBundle& bundle,
+                                                const std::string& error_code,
+                                                int64_t ordinal) {
   if (!trained()) return Status::Invalid("service not trained");
   if (error_code.empty()) {
     return Status::Invalid("cannot confirm an empty error code");
+  }
+  if (options_.shard.active() && !options_.shard.owns_part(bundle.part_id)) {
+    return Status::Invalid(
+        "shard " + std::to_string(options_.shard.shard_index) +
+        " does not own part '" + bundle.part_id + "'");
   }
   obs::ScopedTimer confirm_span(Metrics().confirm_us);
   std::lock_guard<std::mutex> writer_lock(writer_mutex_);
@@ -379,8 +462,20 @@ Status RecommendationService::ConfirmAssignment(
       extractor.Extract(
           kb::ComposeDocument(coded, kb::kTrainSources,
                               next->compose_context)));
+  // Resolve the merge ordinal: coordinator-assigned in a cluster,
+  // self-assigned (next free) on a single node. A confirm that merges into
+  // an existing configuration records nothing — the node keeps its
+  // original ordinal, exactly as it keeps its node index.
+  const uint64_t resolved_ordinal =
+      ordinal < 0 ? next->ordinal_high : static_cast<uint64_t>(ordinal);
+  const size_t nodes_before = next->knowledge.num_nodes();
   next->knowledge.AddInstance(bundle.part_id, error_code,
                               std::move(features));
+  if (next->knowledge.num_nodes() > nodes_before &&
+      next->node_ordinals.size() == nodes_before) {
+    next->node_ordinals.push_back(resolved_ordinal);
+  }
+  next->ordinal_high = std::max(next->ordinal_high, resolved_ordinal + 1);
   next->index = kb::FrozenIndex::Build(next->knowledge);
   next->frequency.AddObservation(bundle.part_id, error_code);
   next->generation = NextGeneration();
@@ -388,7 +483,8 @@ Status RecommendationService::ConfirmAssignment(
   // nothing and changes nothing.
   if (log_ != nullptr && !replaying_) {
     const uint64_t lsn = last_lsn_.load(std::memory_order_relaxed) + 1;
-    QATK_RETURN_NOT_OK(log_->AppendConfirm(lsn, bundle, error_code));
+    QATK_RETURN_NOT_OK(
+        log_->AppendConfirm(lsn, bundle, error_code, resolved_ordinal));
     last_lsn_.store(lsn, std::memory_order_release);
     Metrics().log_appends->Add();
   }
@@ -468,7 +564,8 @@ Status RecommendationService::ApplyRecord(ServiceRecord record) {
       // semantics the original call had.
       return TrainInternal(record.corpus, /*allow_retrain=*/true);
     case ServiceRecordType::kConfirmAssignment:
-      return ConfirmAssignment(record.bundle, record.error_code);
+      return ConfirmAssignment(record.bundle, record.error_code,
+                               static_cast<int64_t>(record.ordinal));
     case ServiceRecordType::kDefineErrorCode:
       return DefineErrorCode(record.part_id, record.code, record.description);
   }
@@ -503,6 +600,8 @@ Status RecommendationService::Recover(const std::string& data_dir) {
     next->part_descriptions = std::move(snapshot.part_descriptions);
     next->error_descriptions = std::move(snapshot.error_descriptions);
     next->manual_codes = std::move(snapshot.manual_codes);
+    next->node_ordinals = std::move(snapshot.node_ordinals);
+    next->ordinal_high = snapshot.ordinal_high;
     PackComposeContext(next.get());
     next->generation = NextGeneration();
     if (snapshot.trained) RecordIndexStats(next->index);
@@ -572,6 +671,8 @@ ServiceSnapshot RecommendationService::BuildSnapshot() const {
   snapshot.part_descriptions = state.part_descriptions;
   snapshot.error_descriptions = state.error_descriptions;
   snapshot.manual_codes = state.manual_codes;
+  snapshot.node_ordinals = state.node_ordinals;
+  snapshot.ordinal_high = state.ordinal_high;
   return snapshot;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,22 @@ class RecommendationService {
     /// observes op "train.bundle" once per corpus bundle, so tests can
     /// fail a training pass at any point and assert it had no effect.
     FaultInjector* fault = nullptr;
+
+    /// Cluster shard scoping. When active, Train keeps only the knowledge
+    /// nodes whose part id this shard owns (per `owns_part`), while still
+    /// walking the *whole* corpus in order so vocabulary interning and
+    /// merge ordinals come out identical on every shard. The scope is a
+    /// plain predicate so quest/ stays independent of src/cluster/.
+    struct ShardScope {
+      uint32_t shard_index = 0;
+      uint32_t num_shards = 1;
+      /// Sharder name ("hash", "range"), surfaced in Health so the
+      /// coordinator can verify the cluster is partitioned consistently.
+      std::string sharder;
+      std::function<bool(const std::string&)> owns_part;
+      bool active() const { return static_cast<bool>(owns_part); }
+    };
+    ShardScope shard;
   };
 
   /// One immutable, internally consistent trained model: the knowledge
@@ -86,6 +103,17 @@ class RecommendationService {
     kb::Corpus compose_context;
     /// Codes defined through the UI after training (frequency 0).
     std::map<std::string, std::vector<std::string>> manual_codes;
+    /// Cluster merge ordinals, parallel to `knowledge.nodes()`: the node's
+    /// position in the *global* (all-shards) insertion order. On a shard
+    /// that owns only a slice, local node indices are not comparable across
+    /// shards, but ordinals are — the scatter-gather merge breaks score
+    /// ties on (ordinal asc) and reproduces the single-node (node asc)
+    /// tie-breaking exactly. Empty entries fall back to the local node
+    /// index (correct for an unscoped state, where local == global).
+    std::vector<uint64_t> node_ordinals;
+    /// One past the highest ordinal consumed; confirms without an explicit
+    /// ordinal (single-node operation) continue from here.
+    uint64_t ordinal_high = 0;
   };
 
   /// `taxonomy` must outlive the service. A service constructed this way
@@ -165,6 +193,42 @@ class RecommendationService {
   };
   Result<Recommendation> Recommend(const kb::DataBundle& bundle) const;
 
+  /// One pre-dedup candidate node of a shard's local top-max_nodes, as
+  /// served to the scatter-gather front-end.
+  struct ShardPartialItem {
+    std::string error_code;
+    double score = 0;
+    /// Global insertion ordinal of the node (see TrainedState).
+    uint64_t ordinal = 0;
+  };
+
+  /// A shard's answer to one fan-out probe.
+  struct ShardPartial {
+    /// Whether this shard's index knows the probed part id.
+    bool known_part = false;
+    /// Echo of the request's fallback flag (all-nodes sweep ran).
+    bool fallback = false;
+    /// Local best max_nodes nodes, best-first under the exact
+    /// (score desc, ordinal asc) order, *before* code dedup — the
+    /// coordinator dedups globally after merging.
+    std::vector<ShardPartialItem> items;
+  };
+
+  /// Shard-side scatter-gather probe for one bundle: composes the
+  /// test-time document exactly like Recommend, but returns the raw
+  /// per-node top-max_nodes partial instead of a deduped code list. With
+  /// `fallback` false, an unknown part returns {known_part=false} without
+  /// scoring (the coordinator probes the owner first); with `fallback`
+  /// true the all-nodes sweep runs, zero-shared nodes included, exactly
+  /// like the single-node unknown-part path.
+  Result<ShardPartial> ShardTopK(const kb::DataBundle& bundle,
+                                 bool fallback) const;
+
+  /// ShardTopK for a foreign-source text (the RecommendForText analogue).
+  Result<ShardPartial> ShardTopKForText(const std::string& part_id,
+                                        const std::string& text,
+                                        bool fallback) const;
+
   /// Classifies a foreign-source text under an OEM part id (§5.4: applying
   /// the knowledge base to NHTSA complaint narratives).
   Result<Recommendation> RecommendForText(const std::string& part_id,
@@ -181,8 +245,17 @@ class RecommendationService {
   /// knowledge base and the frequency statistics, so the next
   /// recommendations benefit from the expert's decision. `bundle` should
   /// carry all reports available at confirmation time.
+  /// `ordinal` is the cluster-wide insertion ordinal assigned by the
+  /// scatter-gather coordinator (-1 = single-node operation: the service
+  /// continues from its own ordinal_high). When the confirm merges into an
+  /// existing (part, code, features) node, no new ordinal is recorded —
+  /// exactly as the single-node knowledge base keeps the original node
+  /// index on a merge. When the service is shard-scoped, a bundle whose
+  /// part this shard does not own is rejected (the coordinator routes to
+  /// the owner).
   Status ConfirmAssignment(const kb::DataBundle& bundle,
-                           const std::string& error_code);
+                           const std::string& error_code,
+                           int64_t ordinal = -1);
 
   /// Registers a new error code for a part (QUEST "create new error
   /// codes" capability). Fails if the code already exists for the part,
@@ -196,6 +269,12 @@ class RecommendationService {
   Result<std::string> DescribeCode(const std::string& code) const;
 
   bool trained() const { return trained_.load(std::memory_order_acquire); }
+
+  const Options& options() const { return options_; }
+
+  /// One past the highest merge ordinal of the published state. Same
+  /// synchronization caveat as knowledge().
+  uint64_t ordinal_high() const { return Snapshot()->ordinal_high; }
 
   /// Direct knowledge-base access for tests and offline analysis. Not
   /// synchronized: call only while no writer is active.
@@ -240,6 +319,12 @@ class RecommendationService {
   Result<Recommendation> RecommendWithReader(ReaderState& reader,
                                              const std::string& part_id,
                                              const std::string& text) const;
+
+  /// Shared body of ShardTopK / ShardTopKForText.
+  Result<ShardPartial> ShardTopKWithReader(ReaderState& reader,
+                                           const std::string& part_id,
+                                           const std::string& text,
+                                           bool fallback) const;
 
   /// Swaps `next` in as the published state (writer_mutex_ must be held)
   /// and release-stores its generation so readers notice.

@@ -230,11 +230,13 @@ Status ServiceLog::AppendTrain(uint64_t lsn, const kb::Corpus& corpus) {
 }
 
 Status ServiceLog::AppendConfirm(uint64_t lsn, const kb::DataBundle& bundle,
-                                 const std::string& error_code) {
+                                 const std::string& error_code,
+                                 uint64_t ordinal) {
   std::string payload;
   AppendU64(&payload, lsn);
   AppendBundle(&payload, bundle);
   AppendStr(&payload, error_code);
+  AppendU64(&payload, ordinal);
   return log_->Append(
       static_cast<uint8_t>(ServiceRecordType::kConfirmAssignment), payload);
 }
@@ -268,6 +270,7 @@ Result<std::vector<ServiceRecord>> ServiceLog::ReadAll() {
         record.type = ServiceRecordType::kConfirmAssignment;
         record.bundle = ReadBundle(&in);
         record.error_code = in.ReadStr();
+        record.ordinal = in.ReadU64();
         break;
       case ServiceRecordType::kDefineErrorCode:
         record.type = ServiceRecordType::kDefineErrorCode;
@@ -334,6 +337,11 @@ std::string SerializeSnapshot(const ServiceSnapshot& snapshot) {
     AppendU32(&payload, static_cast<uint32_t>(codes.size()));
     for (const std::string& code : codes) AppendStr(&payload, code);
   }
+  AppendU32(&payload, static_cast<uint32_t>(snapshot.node_ordinals.size()));
+  for (const uint64_t ordinal : snapshot.node_ordinals) {
+    AppendU64(&payload, ordinal);
+  }
+  AppendU64(&payload, snapshot.ordinal_high);
   return payload;
 }
 
@@ -385,6 +393,12 @@ Result<ServiceSnapshot> DeserializeSnapshot(std::string_view payload) {
       codes.push_back(in.ReadStr());
     }
   }
+  uint32_t ordinal_count = in.ReadU32();
+  snapshot.node_ordinals.reserve(in.ok() ? ordinal_count : 0);
+  for (uint32_t i = 0; i < ordinal_count && in.ok(); ++i) {
+    snapshot.node_ordinals.push_back(in.ReadU64());
+  }
+  snapshot.ordinal_high = in.ReadU64();
   if (!in.AtEnd()) {
     return Status::DataLoss("snapshot payload does not decode");
   }

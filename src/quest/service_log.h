@@ -47,6 +47,10 @@ struct ServiceRecord {
   // kConfirmAssignment
   kb::DataBundle bundle;
   std::string error_code;
+  /// Cluster ordinal assigned by the coordinator (0 when single-node; see
+  /// RecommendationService::ConfirmAssignment). Persisted so replay
+  /// reproduces the exact cross-shard tie-breaking order.
+  uint64_t ordinal = 0;
 
   // kDefineErrorCode
   std::string part_id;
@@ -77,7 +81,7 @@ class ServiceLog {
 
   Status AppendTrain(uint64_t lsn, const kb::Corpus& corpus);
   Status AppendConfirm(uint64_t lsn, const kb::DataBundle& bundle,
-                       const std::string& error_code);
+                       const std::string& error_code, uint64_t ordinal);
   Status AppendDefine(uint64_t lsn, const std::string& part_id,
                       const std::string& code, const std::string& description);
 
@@ -123,6 +127,11 @@ struct ServiceSnapshot {
   std::map<std::string, std::string> part_descriptions;
   std::map<std::string, std::string> error_descriptions;
   std::map<std::string, std::vector<std::string>> manual_codes;
+  /// Cluster merge ordinals, parallel to `nodes` (empty when the state
+  /// was never shard-scoped and never confirmed with explicit ordinals).
+  std::vector<uint64_t> node_ordinals;
+  /// One past the highest ordinal consumed so far.
+  uint64_t ordinal_high = 0;
 };
 
 /// Writes `snapshot` atomically: serialized (magic + CRC32 over the whole

@@ -1,8 +1,10 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -18,8 +20,15 @@ Client::~Client() { Close(); }
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       read_buf_(std::move(other.read_buf_)),
-      max_frame_bytes_(other.max_frame_bytes_) {
+      max_frame_bytes_(other.max_frame_bytes_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      rcvbuf_bytes_(other.rcvbuf_bytes_),
+      connect_timeout_ms_(other.connect_timeout_ms_),
+      has_endpoint_(other.has_endpoint_) {
   other.fd_ = -1;
+  other.has_endpoint_ = false;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -28,15 +37,32 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = other.fd_;
     read_buf_ = std::move(other.read_buf_);
     max_frame_bytes_ = other.max_frame_bytes_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    rcvbuf_bytes_ = other.rcvbuf_bytes_;
+    connect_timeout_ms_ = other.connect_timeout_ms_;
+    has_endpoint_ = other.has_endpoint_;
     other.fd_ = -1;
+    other.has_endpoint_ = false;
   }
   return *this;
 }
 
 Status Client::Connect(const std::string& host, uint16_t port,
-                       int timeout_ms, int rcvbuf_bytes) {
+                       int timeout_ms, int rcvbuf_bytes,
+                       int connect_timeout_ms) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  host_ = host;
+  port_ = port;
+  timeout_ms_ = timeout_ms;
+  rcvbuf_bytes_ = rcvbuf_bytes;
+  connect_timeout_ms_ = connect_timeout_ms;
+  has_endpoint_ = true;
+  // Non-blocking connect so establishment is bounded by
+  // `connect_timeout_ms` instead of the kernel's SYN retry schedule (which
+  // can sit in the minutes against a silently dead peer).
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) return Status::IOError("socket() failed");
   if (rcvbuf_bytes > 0) {
     // Before connect(), so the shrunken window is what gets negotiated.
@@ -50,13 +76,40 @@ Status Client::Connect(const std::string& host, uint16_t port,
     Close();
     return Status::Invalid("cannot parse host '" + host + "'");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, connect_timeout_ms > 0 ? connect_timeout_ms : -1);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      Close();
+      return Status::Unavailable("connect to " + host + ":" +
+                                 std::to_string(port) + " timed out after " +
+                                 std::to_string(connect_timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      const std::string what = std::strerror(err != 0 ? err : errno);
+      Close();
+      return Status::IOError("connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + what);
+    }
+  } else if (rc != 0) {
     const std::string err = std::strerror(errno);
     Close();
     return Status::IOError("connect to " + host + ":" +
                            std::to_string(port) + " failed: " + err);
   }
+  // Back to blocking mode: reads/writes are bounded by SO_RCVTIMEO /
+  // SO_SNDTIMEO below, matching the pre-timeout behavior.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (timeout_ms > 0) {
@@ -67,6 +120,14 @@ Status Client::Connect(const std::string& host, uint16_t port,
     ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   return Status::OK();
+}
+
+Status Client::Reconnect() {
+  if (!has_endpoint_) {
+    return Status::Invalid("Reconnect before any Connect");
+  }
+  return Connect(host_, port_, timeout_ms_, rcvbuf_bytes_,
+                 connect_timeout_ms_);
 }
 
 void Client::Close() {
@@ -152,8 +213,27 @@ Result<Response> Client::CallWithRetry(int64_t id, std::string_view method,
   int attempts = 0;
   Result<Response> outcome = retry_policy_.Run([&]() -> Result<Response> {
     ++attempts;
+    // A dead connection from a previous failed attempt (or a peer that
+    // restarted between calls): re-establish before trying.
+    if (!connected() && has_endpoint_) {
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        return Status::Unavailable("reconnect failed: " +
+                                   reconnected.message());
+      }
+    }
     Result<Response> reply = Call(id, method, params, deadline_ms);
-    if (!reply.ok()) return reply;
+    if (!reply.ok()) {
+      if (reply.status().IsIOError()) {
+        // Transport failure: drop the (now unusable, possibly mid-frame)
+        // connection and surface a transient code so the policy retries
+        // through the reconnect above.
+        Close();
+        return Status::Unavailable("transport failure: " +
+                                   reply.status().message());
+      }
+      return reply;
+    }
     // A transient code inside a well-formed response is the server saying
     // "not now" (shed, expired budget) — surface it as an error Status so
     // the policy's transiency check sees it; the request never executed,

@@ -14,11 +14,13 @@ namespace qatk::server {
 
 /// \brief Minimal blocking TCP client for the QUEST wire protocol.
 ///
-/// Intended for tests, the load bench, and command-line poking — it is a
-/// protocol reference implementation, not a production client (one
-/// in-order connection, no reconnect). Supports pipelining: send any
-/// number of requests with Send/SendRaw, then collect responses in order
-/// with Receive. Not thread-safe.
+/// One in-order connection; supports pipelining: send any number of
+/// requests with Send/SendRaw, then collect responses in order with
+/// Receive. Not thread-safe. Connect is bounded by `connect_timeout_ms`
+/// (non-blocking connect + poll), and CallWithRetry transparently
+/// reconnects to the remembered endpoint after a transport failure, so a
+/// peer restarting between calls costs a retry, not a hard error — the
+/// tolerance the cluster front-end needs for shard restarts.
 class Client {
  public:
   Client() = default;
@@ -33,8 +35,16 @@ class Client {
   /// read/write; <= 0 means no timeout. `rcvbuf_bytes` > 0 shrinks the
   /// socket receive buffer before connecting (tests use a tiny window to
   /// pin server-side responses in flight deterministically).
+  /// `connect_timeout_ms` bounds the connection establishment itself
+  /// (kUnavailable on expiry); <= 0 blocks indefinitely. The endpoint is
+  /// remembered for Reconnect.
   Status Connect(const std::string& host, uint16_t port,
-                 int timeout_ms = 5000, int rcvbuf_bytes = 0);
+                 int timeout_ms = 5000, int rcvbuf_bytes = 0,
+                 int connect_timeout_ms = 5000);
+
+  /// Re-establishes the connection to the endpoint of the last Connect
+  /// (same timeouts and buffer sizing). Invalid before any Connect.
+  Status Reconnect();
 
   bool connected() const { return fd_ >= 0; }
 
@@ -65,9 +75,15 @@ class Client {
   /// kDeadlineExceeded when the request's budget expired queued — counts
   /// as a failed attempt just like a transport error, is backed off
   /// (jittered exponential, see RetryPolicy), and retried. Retrying is
-  /// safe because shed/expired requests were never executed. Exhausting
-  /// the budget returns the last transient code as an error Status.
-  /// `attempts_out` (optional) reports how many attempts were made.
+  /// safe because shed/expired requests were never executed. A transport
+  /// failure (peer died, connection reset, read timeout) closes the
+  /// connection, reconnects to the remembered endpoint, and counts as a
+  /// kUnavailable attempt — so a peer restarting mid-run is ridden out by
+  /// the backoff instead of failing the call. Note a transport-failure
+  /// retry is at-least-once: the lost reply may have been for an executed
+  /// request. Exhausting the budget returns the last transient code as an
+  /// error Status. `attempts_out` (optional) reports how many attempts
+  /// were made.
   Result<Response> CallWithRetry(int64_t id, std::string_view method,
                                  const Json& params, int64_t deadline_ms = -1,
                                  int* attempts_out = nullptr);
@@ -81,6 +97,13 @@ class Client {
   int fd_ = -1;
   std::string read_buf_;
   size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  /// Endpoint memory for Reconnect (set by Connect).
+  std::string host_;
+  uint16_t port_ = 0;
+  int timeout_ms_ = 0;
+  int rcvbuf_bytes_ = 0;
+  int connect_timeout_ms_ = 0;
+  bool has_endpoint_ = false;
   /// Default: 3 attempts, 50us base backoff, no jitter. qatk_serve-facing
   /// tools arm jitter to de-synchronize retry storms.
   RetryPolicy retry_policy_;

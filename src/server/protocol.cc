@@ -63,6 +63,8 @@ constexpr MethodName kMethodNames[] = {
     {Method::kHealth, "Health"},
     {Method::kStats, "Stats"},
     {Method::kMetricsText, "MetricsText"},
+    {Method::kShardQuery, "ShardQuery"},
+    {Method::kShardTopK, "ShardTopK"},
 };
 
 Json ScoredCodesToJson(const std::vector<core::ScoredCode>& codes) {
@@ -196,6 +198,49 @@ Json RecommendationToJson(
   return result;
 }
 
+Json ShardPartialToJson(
+    const quest::RecommendationService::ShardPartial& partial) {
+  Json result = Json::Object();
+  result.Set("known", Json(partial.known_part));
+  result.Set("fallback", Json(partial.fallback));
+  Json items = Json::Array();
+  for (const auto& item : partial.items) {
+    Json entry = Json::Object();
+    entry.Set("code", Json(item.error_code));
+    entry.Set("score", Json(item.score));
+    entry.Set("ordinal", Json(static_cast<int64_t>(item.ordinal)));
+    items.Append(std::move(entry));
+  }
+  result.Set("items", std::move(items));
+  return result;
+}
+
+Result<quest::RecommendationService::ShardPartial> ShardPartialFromJson(
+    const Json& result) {
+  if (!result.is_object()) {
+    return Status::Invalid("shard partial is not a JSON object");
+  }
+  quest::RecommendationService::ShardPartial partial;
+  partial.known_part = result.GetBool("known", false);
+  partial.fallback = result.GetBool("fallback", false);
+  const Json* items = result.Find("items");
+  if (items == nullptr || !items->is_array()) {
+    return Status::Invalid("shard partial is missing its \"items\" array");
+  }
+  partial.items.reserve(items->items().size());
+  for (const Json& entry : items->items()) {
+    if (!entry.is_object()) {
+      return Status::Invalid("shard partial item is not a JSON object");
+    }
+    quest::RecommendationService::ShardPartialItem item;
+    item.error_code = entry.GetString("code");
+    item.score = entry.GetNumber("score", 0);
+    item.ordinal = static_cast<uint64_t>(entry.GetInt("ordinal", 0));
+    partial.items.push_back(std::move(item));
+  }
+  return partial;
+}
+
 Response Dispatch(quest::RecommendationService* service,
                   const Request& request) {
   Response response;
@@ -239,7 +284,8 @@ Response Dispatch(quest::RecommendationService* service,
     case Method::kConfirmAssignment: {
       status = service->ConfirmAssignment(
           BundleFromParams(request.params),
-          request.params.GetString("error_code"));
+          request.params.GetString("error_code"),
+          request.params.GetInt("ordinal", -1));
       break;
     }
     case Method::kDefineErrorCode: {
@@ -247,6 +293,23 @@ Response Dispatch(quest::RecommendationService* service,
           request.params.GetString("part_id"),
           request.params.GetString("code"),
           request.params.GetString("description"));
+      break;
+    }
+    case Method::kShardQuery: {
+      auto partial =
+          service->ShardTopK(BundleFromParams(request.params),
+                             request.params.GetBool("fallback", false));
+      status = partial.status();
+      if (partial.ok()) result = ShardPartialToJson(*partial);
+      break;
+    }
+    case Method::kShardTopK: {
+      auto partial = service->ShardTopKForText(
+          request.params.GetString("part_id"),
+          request.params.GetString("text"),
+          request.params.GetBool("fallback", false));
+      status = partial.status();
+      if (partial.ok()) result = ShardPartialToJson(*partial);
       break;
     }
     case Method::kHealth:

@@ -71,12 +71,17 @@ enum class Method {
   kHealth,
   kStats,
   kMetricsText,
+  /// Cluster-internal scatter-gather probes (DESIGN.md §14): a shard
+  /// worker answers with its raw pre-dedup top-k partial instead of a
+  /// deduped recommendation. Front-ends reject them (shard context only).
+  kShardQuery,
+  kShardTopK,
 };
 
 /// Number of Method values (kUnknown included); per-method metric tables
 /// are indexed by static_cast<size_t>(method).
 inline constexpr size_t kNumMethods =
-    static_cast<size_t>(Method::kMetricsText) + 1;
+    static_cast<size_t>(Method::kShardTopK) + 1;
 
 const char* MethodToString(Method method);
 Method MethodFromString(std::string_view name);
@@ -140,6 +145,18 @@ Json BundleToParams(const kb::DataBundle& bundle);
 /// JSON shape of one ranked recommendation list.
 Json RecommendationToJson(
     const quest::RecommendationService::Recommendation& recommendation);
+
+/// JSON shape of one shard partial: {"known": b, "fallback": b, "items":
+/// [{"code", "score", "ordinal"}, ...]}. Scores print through the JSON
+/// codec's %.17g, so the merge on the coordinator side sees bit-identical
+/// doubles.
+Json ShardPartialToJson(
+    const quest::RecommendationService::ShardPartial& partial);
+
+/// Coordinator-side inverse of ShardPartialToJson. Invalid on a result
+/// that does not have the expected shape.
+Result<quest::RecommendationService::ShardPartial> ShardPartialFromJson(
+    const Json& result);
 
 /// Executes one already-parsed service request against `service` and
 /// returns the full response (id echoed, status mapped). Handles exactly

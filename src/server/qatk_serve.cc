@@ -11,6 +11,7 @@
 //              [--max-in-flight=1024] [--idle-timeout-ms=60000]
 //              [--drain-timeout-ms=10000] [--port-file=PATH]
 //              [--metrics-interval-s=0] [--data-dir=DIR]
+//              [--shard-index=I --shards=N [--sharder=hash]]
 //
 // --port=0 binds an ephemeral port; --port-file writes the bound port to
 // PATH once the server is accepting (how scripts/check.sh finds it).
@@ -26,6 +27,14 @@
 // before it is acknowledged, and the graceful drain ends with a
 // checkpoint. kill -9 it, restart with the same --data-dir, and every
 // acknowledged mutation is still there.
+//
+// --shards=N with --shard-index=I runs this process as shard I of an
+// N-way cluster (DESIGN.md §14): training keeps only the knowledge nodes
+// of the parts this shard owns under --sharder, and the ShardQuery /
+// ShardTopK probes answer raw pre-dedup partials for the qatk_cluster
+// front end to merge. The sharder must be stateless (hash or range) and
+// identical across the whole cluster; the front end verifies it via the
+// "shard" object in Health.
 //
 // Quick poke with nc (frames are 4-byte big-endian length + JSON):
 //   printf '{"id":1,"method":"Health","params":{}}' | awk '{
@@ -44,6 +53,7 @@
 #include <thread>
 #include <utility>
 
+#include "cluster/sharder.h"
 #include "common/logging.h"
 #include "datagen/world.h"
 #include "obs/metrics.h"
@@ -129,6 +139,9 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string data_dir;
   int metrics_interval_s = 0;
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  std::string sharder_name = "hash";
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--host", &value)) {
@@ -147,6 +160,12 @@ int main(int argc, char** argv) {
       port_file = value;
     } else if (ParseFlag(argv[i], "--data-dir", &value)) {
       data_dir = value;
+    } else if (ParseFlag(argv[i], "--shard-index", &value)) {
+      shard_index = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      num_shards = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--sharder", &value)) {
+      sharder_name = value;
     } else if (ParseFlag(argv[i], "--metrics-interval-s", &value) ||
                ParseFlag(argv[i], "--metrics_interval_s", &value)) {
       metrics_interval_s = std::stoi(value);
@@ -156,6 +175,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  qatk::quest::RecommendationService::Options service_options;
+  if (num_shards > 1 || num_shards == 0) {
+    if (num_shards == 0 || shard_index >= num_shards) {
+      std::fprintf(stderr, "--shard-index=%u out of range for --shards=%u\n",
+                   shard_index, num_shards);
+      return 2;
+    }
+    std::shared_ptr<qatk::cluster::Sharder> sharder(
+        qatk::cluster::MakeSharder(sharder_name, num_shards));
+    if (sharder == nullptr) {
+      std::fprintf(stderr, "unknown sharder: %s\n", sharder_name.c_str());
+      return 2;
+    }
+    if (!sharder->stateless()) {
+      std::fprintf(stderr,
+                   "sharder %s is stateful; shard workers need a stateless "
+                   "sharder (hash or range)\n",
+                   sharder_name.c_str());
+      return 2;
+    }
+    service_options.shard.shard_index = shard_index;
+    service_options.shard.num_shards = num_shards;
+    service_options.shard.sharder = sharder_name;
+    service_options.shard.owns_part =
+        [sharder, shard_index](const std::string& part_id) {
+          return sharder->ShardFor(part_id) == shard_index;
+        };
+    std::fprintf(stderr, "shard %u/%u (sharder=%s)\n", shard_index,
+                 num_shards, sharder_name.c_str());
+  }
+
   std::fprintf(stderr, "building demo world + corpus...\n");
   qatk::datagen::DomainWorld world(qatk::server::DemoWorldConfig());
   qatk::server::DemoSplit split = qatk::server::GenerateDemoSplit(world);
@@ -163,7 +213,7 @@ int main(int argc, char** argv) {
   qatk::quest::RecommendationService* service = nullptr;
   if (!data_dir.empty()) {
     auto opened = qatk::quest::RecommendationService::Open(
-        &world.taxonomy(), {}, data_dir);
+        &world.taxonomy(), service_options, data_dir);
     if (!opened.ok()) {
       std::fprintf(stderr, "recovery from %s failed: %s\n",
                    data_dir.c_str(), opened.status().ToString().c_str());
@@ -184,7 +234,7 @@ int main(int argc, char** argv) {
                  service->trained() ? "yes" : "no");
   } else {
     durable_service = std::make_unique<qatk::quest::RecommendationService>(
-        &world.taxonomy(), qatk::quest::RecommendationService::Options{});
+        &world.taxonomy(), service_options);
     service = durable_service.get();
   }
   if (!service->trained()) {

@@ -32,6 +32,51 @@ struct ServerStats {
   uint64_t drain_dropped = 0;     ///< In-flight work lost at forced drain.
 };
 
+/// \brief Pluggable request execution behind the Server event loops.
+///
+/// The server owns transport concerns — framing, admission control,
+/// deadlines, drain — and answers Health / Stats / MetricsText from its
+/// own counters; everything else is forwarded to the handler. A custom
+/// handler (the cluster scatter-gather coordinator) swaps the execution
+/// semantics without touching the event-loop machinery. The hooks splice
+/// handler-owned fields into the server-owned Health / Stats payloads at
+/// fixed positions, so the standard handler reproduces the pre-handler
+/// payloads byte for byte (golden wire frames guard this).
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Executes one parsed request (service-backed methods only). Called
+  /// concurrently from every event-loop thread; implementations must be
+  /// thread-safe.
+  virtual Response Handle(const Request& request) = 0;
+
+  /// Fields preceding the server-owned Health fields (e.g. "trained").
+  virtual void AddHealthPrefix(Json* /*health*/) const {}
+  /// Fields following the server-owned Health fields (e.g. durability).
+  virtual void AddHealthSuffix(Json* /*health*/) const {}
+  /// Fields appended after the server-owned Stats fields.
+  virtual void AddStatsFields(Json* /*stats*/) const {}
+};
+
+/// The standard handler: Dispatch against one RecommendationService, with
+/// the service's trained flag, durability block, and (when shard-scoped)
+/// shard identity spliced into Health / Stats.
+class ServiceRequestHandler : public RequestHandler {
+ public:
+  /// `service` must outlive the handler.
+  explicit ServiceRequestHandler(quest::RecommendationService* service)
+      : service_(service) {}
+
+  Response Handle(const Request& request) override;
+  void AddHealthPrefix(Json* health) const override;
+  void AddHealthSuffix(Json* health) const override;
+  void AddStatsFields(Json* stats) const override;
+
+ private:
+  quest::RecommendationService* service_;
+};
+
 /// \brief Dependency-free epoll TCP front end for RecommendationService.
 ///
 /// Threading model: `threads` event loops, each owning a private epoll
@@ -106,8 +151,12 @@ class Server {
   };
 
   /// `service` must be trained (or be trained before the first request)
-  /// and must outlive the server.
+  /// and must outlive the server. Equivalent to constructing with an
+  /// owned ServiceRequestHandler.
   Server(quest::RecommendationService* service, Options options);
+
+  /// Serves through a caller-owned handler (must outlive the server).
+  Server(RequestHandler* handler, Options options);
   ~Server();
 
   Server(const Server&) = delete;

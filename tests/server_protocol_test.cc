@@ -248,7 +248,8 @@ TEST(MethodNamesTest, RoundTripAllMethods) {
       Method::kFullListForPart, Method::kDescribeCode,
       Method::kConfirmAssignment, Method::kDefineErrorCode,
       Method::kHealth,         Method::kStats,
-      Method::kMetricsText,
+      Method::kMetricsText,    Method::kShardQuery,
+      Method::kShardTopK,
   };
   static_assert(kNumMethods == sizeof(methods) / sizeof(methods[0]) + 1,
                 "new Method added: extend this test and the golden frames");
@@ -303,6 +304,14 @@ constexpr char kGoldenStatsRequest[] =
 constexpr char kGoldenMetricsTextRequest[] =
     "\x00" "\x00" "\x00" "?{\"id\":10,\"method\":\"MetricsText\""
     ",\"deadline_ms\":1000,\"params\":{}}";
+constexpr char kGoldenShardQueryRequest[] =
+    "\x00" "\x00" "\x00" "u{\"id\":11,\"method\":\"ShardQuery\","
+    "\"params\":{\"part_id\":\"P01\",\"mechanic_report\":\"engine "
+    "stalls at idle\",\"fallback\":false}}";
+constexpr char kGoldenShardTopKRequest[] =
+    "\x00" "\x00" "\x00" "c{\"id\":12,\"method\":\"ShardTopK\",\""
+    "params\":{\"part_id\":\"P02\",\"text\":\"fuel pump whines\",\""
+    "fallback\":true}}";
 constexpr char kGoldenOkResponse[] =
     "\x00" "\x00" "\x00" "c{\"id\":2,\"code\":\"OK\",\"message\""
     ":\"\",\"result\":{\"top\":[{\"code\":\"E042\",\"score\":0.25}"
@@ -321,6 +330,10 @@ constexpr char kGoldenDeadlineResponse[] =
 constexpr char kGoldenInvalidResponse[] =
     "\x00" "\x00" "\x00" "O{\"id\":1,\"code\":\"Invalid\",\"mes"
     "sage\":\"unknown method 'Frobnicate'\",\"result\":null}";
+constexpr char kGoldenShardPartialResponse[] =
+    "\x00" "\x00" "\x00" "~{\"id\":11,\"code\":\"OK\",\"message"
+    "\":\"\",\"result\":{\"known\":true,\"fallback\":false,\"items"
+    "\":[{\"code\":\"E042\",\"score\":0.25,\"ordinal\":7}]}}";
 
 template <size_t N>
 std::string_view GoldenBytes(const char (&literal)[N]) {
@@ -352,6 +365,16 @@ TEST(GoldenFrameTest, RequestEncodersReproduceRecordedFramesBitExact) {
   define.Set("part_id", Json("P03"));
   define.Set("code", Json("E900"));
   define.Set("description", Json("cracked housing"));
+  // Shard probes: the public params plus the routing round's "fallback"
+  // flag, exactly as the coordinator builds them.
+  Json shard_query = Json::Object();
+  shard_query.Set("part_id", Json("P01"));
+  shard_query.Set("mechanic_report", Json("engine stalls at idle"));
+  shard_query.Set("fallback", Json(false));
+  Json shard_topk = Json::Object();
+  shard_topk.Set("part_id", Json("P02"));
+  shard_topk.Set("text", Json("fuel pump whines"));
+  shard_topk.Set("fallback", Json(true));
 
   EXPECT_EQ(Framed(EncodeRequest(1, "Frobnicate", Json::Object())),
             GoldenBytes(kGoldenUnknownRequest));
@@ -373,6 +396,10 @@ TEST(GoldenFrameTest, RequestEncodersReproduceRecordedFramesBitExact) {
             GoldenBytes(kGoldenStatsRequest));
   EXPECT_EQ(Framed(EncodeRequest(10, "MetricsText", Json::Object(), 1000)),
             GoldenBytes(kGoldenMetricsTextRequest));
+  EXPECT_EQ(Framed(EncodeRequest(11, "ShardQuery", shard_query)),
+            GoldenBytes(kGoldenShardQueryRequest));
+  EXPECT_EQ(Framed(EncodeRequest(12, "ShardTopK", shard_topk)),
+            GoldenBytes(kGoldenShardTopKRequest));
 }
 
 TEST(GoldenFrameTest, RecordedRequestFramesDecodeToTheRightMethods) {
@@ -395,6 +422,8 @@ TEST(GoldenFrameTest, RecordedRequestFramesDecodeToTheRightMethods) {
       {GoldenBytes(kGoldenStatsRequest), 9, Method::kStats, -1},
       {GoldenBytes(kGoldenMetricsTextRequest), 10, Method::kMetricsText,
        1000},
+      {GoldenBytes(kGoldenShardQueryRequest), 11, Method::kShardQuery, -1},
+      {GoldenBytes(kGoldenShardTopKRequest), 12, Method::kShardTopK, -1},
   };
   // One golden frame per Method value, by construction.
   ASSERT_EQ(sizeof(cases) / sizeof(cases[0]), kNumMethods);
@@ -441,6 +470,44 @@ TEST(GoldenFrameTest, ResponseEncodersReproduceRecordedFramesBitExact) {
   EXPECT_EQ(Framed(EncodeResponse(
                 1, Status::Invalid("unknown method 'Frobnicate'"), Json())),
             GoldenBytes(kGoldenInvalidResponse));
+
+  // The shard partial travels through ShardPartialToJson: member order
+  // and the %.17g score formatting are part of the wire contract (the
+  // coordinator merges the parsed-back doubles bit-for-bit).
+  quest::RecommendationService::ShardPartial partial;
+  partial.known_part = true;
+  partial.fallback = false;
+  partial.items.push_back({"E042", 0.25, 7});
+  EXPECT_EQ(Framed(EncodeResponse(11, Status::OK(),
+                                  ShardPartialToJson(partial))),
+            GoldenBytes(kGoldenShardPartialResponse));
+}
+
+TEST(GoldenFrameTest, ShardPartialRoundTripsThroughTheWire) {
+  quest::RecommendationService::ShardPartial partial;
+  partial.known_part = true;
+  partial.fallback = true;
+  partial.items.push_back({"E042", 1.0 / 3.0, 12345678901ull});
+  partial.items.push_back({"E007", 0.0, 0});
+  const std::string payload =
+      EncodeResponse(1, Status::OK(), ShardPartialToJson(partial));
+  auto response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto back = ShardPartialFromJson(response->result);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->known_part, partial.known_part);
+  EXPECT_EQ(back->fallback, partial.fallback);
+  ASSERT_EQ(back->items.size(), partial.items.size());
+  for (size_t i = 0; i < partial.items.size(); ++i) {
+    EXPECT_EQ(back->items[i].error_code, partial.items[i].error_code);
+    // Bit-identical doubles: the merge compares these.
+    EXPECT_EQ(std::memcmp(&back->items[i].score, &partial.items[i].score,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(back->items[i].ordinal, partial.items[i].ordinal);
+  }
+  EXPECT_FALSE(
+      ShardPartialFromJson(Json("not an object")).ok());
 }
 
 TEST(GoldenFrameTest, RecordedResponseFramesParseBack) {
@@ -455,6 +522,7 @@ TEST(GoldenFrameTest, RecordedResponseFramesParseBack) {
       {GoldenBytes(kGoldenDeadlineResponse), 4,
        StatusCode::kDeadlineExceeded},
       {GoldenBytes(kGoldenInvalidResponse), 1, StatusCode::kInvalid},
+      {GoldenBytes(kGoldenShardPartialResponse), 11, StatusCode::kOk},
   };
   for (const auto& c : cases) {
     const FrameDecode decode = DecodeFrame(c.frame);

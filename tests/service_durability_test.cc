@@ -342,7 +342,8 @@ Status AppendRecordOfType(ServiceLog* log, ServiceRecordType type,
       return log->AppendTrain(lsn, SmallCorpus());
     case ServiceRecordType::kConfirmAssignment:
       return log->AppendConfirm(
-          lsn, Bundle("P1", "", "torn tail probe", "probe"), "E1");
+          lsn, Bundle("P1", "", "torn tail probe", "probe"), "E1",
+          /*ordinal=*/7);
     case ServiceRecordType::kDefineErrorCode:
       return log->AppendDefine(lsn, "P1", "E7", "torn tail code");
   }
@@ -366,7 +367,8 @@ TEST(ServiceLogTest, TornTailAtEveryByteOffsetForEveryRecordType) {
       ASSERT_TRUE(log.ValueOrDie()->AppendDefine(1, "P1", "E5", "first").ok());
       ASSERT_TRUE(
           log.ValueOrDie()
-              ->AppendConfirm(2, Bundle("P2", "", "second rec", "sup"), "E3")
+              ->AppendConfirm(2, Bundle("P2", "", "second rec", "sup"), "E3",
+                              /*ordinal=*/9)
               .ok());
     }
     const std::string prefix = SlurpFile(path);
@@ -450,7 +452,8 @@ TEST(ServiceLogTest, RecordsRoundTripAllFields) {
   kb::DataBundle bundle =
       Bundle("P2", "", "exact field check", "supplier text");
   bundle.initial_oem_report = "initial text";
-  ASSERT_TRUE(log.ValueOrDie()->AppendConfirm(2, bundle, "E2").ok());
+  ASSERT_TRUE(
+      log.ValueOrDie()->AppendConfirm(2, bundle, "E2", /*ordinal=*/41).ok());
   ASSERT_TRUE(log.ValueOrDie()->AppendDefine(3, "P9", "E42", "described").ok());
   auto records = log.ValueOrDie()->ReadAll();
   ASSERT_TRUE(records.ok());
@@ -466,6 +469,7 @@ TEST(ServiceLogTest, RecordsRoundTripAllFields) {
   EXPECT_EQ(confirm.type, ServiceRecordType::kConfirmAssignment);
   EXPECT_EQ(confirm.lsn, 2u);
   EXPECT_EQ(confirm.error_code, "E2");
+  EXPECT_EQ(confirm.ordinal, 41u);
   EXPECT_EQ(confirm.bundle.part_id, "P2");
   EXPECT_EQ(confirm.bundle.initial_oem_report, "initial text");
   EXPECT_EQ(confirm.bundle.supplier_report, "supplier text");
