@@ -1,0 +1,77 @@
+#include "kb/posting_codec.h"
+
+#include "common/logging.h"
+
+namespace qatk {
+namespace kb {
+
+std::size_t EncodePostingBlocks(const uint32_t* ids, std::size_t n,
+                                std::size_t max_block,
+                                std::vector<PostingBlock>* blocks,
+                                std::vector<uint16_t>* deltas) {
+  QATK_CHECK(max_block >= 1);
+  const std::size_t before = blocks->size();
+  std::size_t i = 0;
+  while (i < n) {
+    PostingBlock block;
+    block.first = ids[i];
+    block.delta_offset = static_cast<uint32_t>(deltas->size());
+    uint16_t count = 1;
+    ++i;
+    while (i < n && count < max_block) {
+      QATK_CHECK(ids[i] > ids[i - 1]) << "posting ids must strictly increase";
+      const uint64_t delta =
+          static_cast<uint64_t>(ids[i]) - static_cast<uint64_t>(ids[i - 1]);
+      if (delta > 0xFFFF) break;  // start a fresh block instead of widening
+      deltas->push_back(static_cast<uint16_t>(delta));
+      ++count;
+      ++i;
+    }
+    block.count = count;
+    blocks->push_back(block);
+  }
+  return blocks->size() - before;
+}
+
+Status DecodePostingBlocks(const std::vector<PostingBlock>& blocks,
+                           std::size_t begin, std::size_t end,
+                           const std::vector<uint16_t>& deltas,
+                           std::size_t max_block, std::vector<uint32_t>* out) {
+  if (begin > end || end > blocks.size()) {
+    return Status::Invalid("posting block range out of bounds");
+  }
+  uint64_t prev = 0;
+  bool have_prev = false;
+  for (std::size_t b = begin; b < end; ++b) {
+    const PostingBlock& block = blocks[b];
+    if (block.count == 0) return Status::Invalid("empty posting block");
+    if (block.count > max_block) {
+      return Status::Invalid("oversized posting block");
+    }
+    const uint64_t need = static_cast<uint64_t>(block.delta_offset) +
+                          static_cast<uint64_t>(block.count) - 1;
+    if (need > deltas.size()) {
+      return Status::Invalid("truncated posting delta arena");
+    }
+    uint64_t id = block.first;
+    if (have_prev && id <= prev) {
+      return Status::Invalid("non-monotone posting block start");
+    }
+    out->push_back(static_cast<uint32_t>(id));
+    for (std::size_t j = 0; j + 1 < block.count; ++j) {
+      const uint16_t delta = deltas[block.delta_offset + j];
+      if (delta == 0) return Status::Invalid("zero posting delta");
+      id += delta;
+      if (id > 0xFFFFFFFFull) {
+        return Status::Invalid("posting delta overflows uint32");
+      }
+      out->push_back(static_cast<uint32_t>(id));
+    }
+    prev = id;
+    have_prev = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace kb
+}  // namespace qatk

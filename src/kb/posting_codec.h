@@ -1,0 +1,48 @@
+#ifndef QATK_KB_POSTING_CODEC_H_
+#define QATK_KB_POSTING_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qatk {
+namespace kb {
+
+// Block-compressed posting runs (DESIGN.md §15). A posting list — a strictly
+// increasing sequence of u32 ids — is split into blocks of at most
+// kPostingBlockSize entries. Each block stores its first id verbatim and the
+// remaining ids as u16 deltas in a shared arena; a new block starts whenever
+// the block is full or the next delta does not fit in 16 bits, so there is no
+// wide-delta escape format.
+
+inline constexpr std::size_t kPostingBlockSize = 64;
+
+struct PostingBlock {
+  uint32_t first = 0;         // absolute id of the block's first posting
+  uint16_t count = 0;         // postings in this block, 1..max_block
+  uint16_t reserved = 0;      // explicit padding, always zero
+  uint32_t delta_offset = 0;  // start of this block's count-1 deltas
+};
+
+// Appends blocks encoding ids[0..n) to *blocks / *deltas and returns the
+// number of blocks appended. ids must be strictly increasing (checked).
+std::size_t EncodePostingBlocks(const uint32_t* ids, std::size_t n,
+                                std::size_t max_block,
+                                std::vector<PostingBlock>* blocks,
+                                std::vector<uint16_t>* deltas);
+
+// Validating decode of the block range [begin, end) into *out (appended).
+// Returns Invalid on structural corruption: empty or oversized blocks, a
+// delta range reaching past the arena, zero deltas, ids overflowing u32, or
+// block starts that break the strictly-increasing order across blocks.
+Status DecodePostingBlocks(const std::vector<PostingBlock>& blocks,
+                           std::size_t begin, std::size_t end,
+                           const std::vector<uint16_t>& deltas,
+                           std::size_t max_block, std::vector<uint32_t>* out);
+
+}  // namespace kb
+}  // namespace qatk
+
+#endif  // QATK_KB_POSTING_CODEC_H_

@@ -1,0 +1,324 @@
+// Adversarial equivalence battery for the pruned top-k scoring path
+// (DESIGN.md §15): score-upper-bound pruning over block-compressed postings
+// must be bit-identical to both the unpruned indexed path and brute force —
+// same codes, same (score desc, node asc) order, same score doubles — over
+// corpora built to stress every way pruning can go wrong: tie-heavy score
+// distributions, scores landing exactly on the pruning threshold,
+// singleton/empty postings and feature sets, and unknown-part fallbacks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "core/similarity.h"
+#include "kb/frozen_index.h"
+#include "kb/knowledge_base.h"
+#include "obs/metrics.h"
+
+namespace qatk {
+namespace {
+
+constexpr core::SimilarityMeasure kAllMeasures[] = {
+    core::SimilarityMeasure::kJaccard,
+    core::SimilarityMeasure::kOverlap,
+    core::SimilarityMeasure::kDice,
+    core::SimilarityMeasure::kCosine,
+};
+
+std::vector<int64_t> RandomFeatureSet(Rng* rng, size_t max_size,
+                                      int64_t domain) {
+  std::set<int64_t> unique;
+  const size_t size = rng->NextBounded(max_size + 1);
+  for (size_t i = 0; i < size; ++i) {
+    unique.insert(static_cast<int64_t>(rng->NextBounded(domain)));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+/// Bit-exact comparison: equal codes and equal score *bits* at every rank.
+void ExpectSameRanking(const std::vector<core::ScoredCode>& expected,
+                       const std::vector<core::ScoredCode>& actual,
+                       const char* what, core::SimilarityMeasure measure) {
+  ASSERT_EQ(expected.size(), actual.size())
+      << what << " rank-length mismatch, measure="
+      << core::SimilarityMeasureToString(measure);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i].error_code, actual[i].error_code)
+        << what << " code mismatch at rank " << i
+        << ", measure=" << core::SimilarityMeasureToString(measure);
+    ASSERT_EQ(0, std::memcmp(&expected[i].score, &actual[i].score,
+                             sizeof(double)))
+        << what << " score bits mismatch at rank " << i
+        << ", measure=" << core::SimilarityMeasureToString(measure)
+        << ", expected=" << expected[i].score
+        << ", actual=" << actual[i].score;
+  }
+}
+
+/// Pruned vs unpruned vs brute force for one probe across all measures.
+void ExpectTriEquivalent(const kb::KnowledgeBase& knowledge,
+                         const kb::FrozenIndex& index,
+                         kb::FrozenIndex::Scratch* scratch,
+                         const std::string& part_id,
+                         const std::vector<int64_t>& features,
+                         size_t max_nodes) {
+  for (core::SimilarityMeasure measure : kAllMeasures) {
+    core::RankedKnnClassifier pruned({measure, max_nodes, true});
+    core::RankedKnnClassifier unpruned({measure, max_nodes, false});
+    std::vector<core::ScoredCode> brute =
+        pruned.Classify(knowledge, part_id, features);
+    std::vector<core::ScoredCode> with_pruning =
+        pruned.Classify(index, part_id, features, scratch);
+    std::vector<core::ScoredCode> without_pruning =
+        unpruned.Classify(index, part_id, features, scratch);
+    ExpectSameRanking(brute, with_pruning, "pruned-vs-brute", measure);
+    ExpectSameRanking(brute, without_pruning, "unpruned-vs-brute", measure);
+  }
+}
+
+/// ≥200 seeded corpora tuned so posting runs regularly span multiple
+/// compressed blocks (small feature domains, hundreds of instances in few
+/// parts): the regime where the threshold machinery actually activates and
+/// blocks actually get skipped — then proven bit-identical anyway.
+TEST(PrunedEquivalenceTest, AdversarialRandomizedCorpora) {
+  Rng rng(0x9121BADF00DULL);
+  kb::FrozenIndex::Scratch scratch;  // Deliberately shared across corpora.
+  const size_t kCorpora = 220;
+  for (size_t c = 0; c < kCorpora; ++c) {
+    const size_t num_parts = 1 + rng.NextBounded(3);
+    const size_t num_codes = 1 + rng.NextBounded(8);
+    // Tiny domains make near-every pair of nodes collide on features:
+    // tie-heavy scores and long, dense posting runs.
+    const int64_t feature_domain =
+        2 + static_cast<int64_t>(rng.NextBounded(11));
+    const size_t num_instances = 40 + rng.NextBounded(201);
+    kb::KnowledgeBase knowledge;
+    for (size_t i = 0; i < num_instances; ++i) {
+      knowledge.AddInstance(
+          "P" + std::to_string(rng.NextBounded(num_parts)),
+          "E" + std::to_string(rng.NextBounded(num_codes)),
+          RandomFeatureSet(&rng, 8, feature_domain));
+    }
+    kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
+
+    for (size_t p = 0; p < 8; ++p) {
+      const std::string part_id =
+          rng.NextBernoulli(0.25)
+              ? "GHOST" + std::to_string(rng.NextBounded(3))
+              : "P" + std::to_string(rng.NextBounded(num_parts));
+      const std::vector<int64_t> features =
+          p % 5 == 0 ? std::vector<int64_t>{}
+                     : RandomFeatureSet(&rng, 6, feature_domain);
+      // k = 1 maximizes threshold pressure; k past the corpus size forces
+      // the no-skip regime; 25 is the paper's deployment value.
+      const size_t k_choices[] = {1, 2, 3, 25, num_instances + 10};
+      const size_t max_nodes = k_choices[rng.NextBounded(5)];
+      ExpectTriEquivalent(knowledge, index, &scratch, part_id, features,
+                          max_nodes);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "corpus " << c << " probe " << p << " diverged";
+      }
+    }
+  }
+}
+
+/// Scores landing exactly on the pruning threshold: more equal-score nodes
+/// than the heap holds, so the k-th best score equals every block bound.
+/// A skip on `bound == theta` (instead of strictly less) would drop nodes
+/// that win the id tie-break.
+TEST(PrunedEquivalenceTest, ScoresExactlyOnThresholdKeepIdTieBreak) {
+  kb::KnowledgeBase knowledge;
+  // 150 nodes with identical feature sets (distinct codes, so nothing
+  // merges): every score identical, runs span 3 blocks.
+  for (int i = 0; i < 150; ++i) {
+    knowledge.AddInstance("P0", "E" + std::to_string(i), {1, 2, 3});
+  }
+  kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
+  kb::FrozenIndex::Scratch scratch;
+  ExpectTriEquivalent(knowledge, index, &scratch, "P0", {1, 2, 3}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P0", {1, 3}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P0", {2}, 1);
+  ExpectTriEquivalent(knowledge, index, &scratch, "GHOST", {1}, 25);
+}
+
+/// Singleton and empty postings: parts with one node, nodes with no
+/// features, features with one posting, probes matching nothing.
+TEST(PrunedEquivalenceTest, SingletonAndEmptyPostings) {
+  kb::KnowledgeBase knowledge;
+  knowledge.AddInstance("P0", "E0", {});     // Featureless node.
+  knowledge.AddInstance("P1", "E1", {7});    // Singleton posting.
+  for (int i = 0; i < 130; ++i) {            // One long-run part besides.
+    knowledge.AddInstance("P2", "E" + std::to_string(i % 4), {7, 9, i % 3});
+  }
+  kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
+  kb::FrozenIndex::Scratch scratch;
+  ExpectTriEquivalent(knowledge, index, &scratch, "P0", {7}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P1", {7}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P2", {7, 9}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P2", {}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "P2", {1000}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "GHOST", {7}, 25);
+  ExpectTriEquivalent(knowledge, index, &scratch, "GHOST", {}, 3);
+}
+
+/// The pruning must actually prune: a corpus with 30 strong contenders and
+/// 500 hopeless light nodes behind them in frequency-rank order. Verifies
+/// (a) blocks really get skipped (counter moves), (b) fewer postings are
+/// scanned than the unpruned path reads, (c) results stay bit-identical.
+TEST(PrunedEquivalenceTest, HopelessBlocksAreSkippedAndResultsExact) {
+  kb::KnowledgeBase knowledge;
+  const std::vector<int64_t> probe = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (int i = 0; i < 30; ++i) {  // Full-overlap contenders, |B| = 10.
+    knowledge.AddInstance("P0", "HEAVY" + std::to_string(i), probe);
+  }
+  for (int i = 0; i < 500; ++i) {  // |B| = 2, share one probe feature.
+    knowledge.AddInstance("P0", "LIGHT" + std::to_string(i),
+                          {0, 100 + i});
+  }
+  kb::FrozenIndex index = kb::FrozenIndex::Build(knowledge);
+  kb::FrozenIndex::Scratch scratch;
+
+  obs::Counter* scanned =
+      obs::Registry::Global().GetCounter("qatk_kb_postings_scanned_total");
+  obs::Counter* blocks_skipped =
+      obs::Registry::Global().GetCounter("qatk_prune_blocks_skipped_total");
+
+  core::RankedKnnClassifier pruned(
+      {core::SimilarityMeasure::kJaccard, 25, true});
+  core::RankedKnnClassifier unpruned(
+      {core::SimilarityMeasure::kJaccard, 25, false});
+
+  const uint64_t scanned_before_unpruned = scanned->Value();
+  std::vector<core::ScoredCode> reference =
+      unpruned.Classify(index, "P0", probe, &scratch);
+  const uint64_t unpruned_read = scanned->Value() - scanned_before_unpruned;
+
+  const uint64_t scanned_before_pruned = scanned->Value();
+  const uint64_t blocks_before = blocks_skipped->Value();
+  std::vector<core::ScoredCode> result =
+      pruned.Classify(index, "P0", probe, &scratch);
+  const uint64_t pruned_read = scanned->Value() - scanned_before_pruned;
+  const uint64_t blocks_delta = blocks_skipped->Value() - blocks_before;
+
+  ExpectSameRanking(reference, result, "pruned-vs-unpruned",
+                    core::SimilarityMeasure::kJaccard);
+  ExpectSameRanking(pruned.Classify(knowledge, "P0", probe), result,
+                    "brute-vs-pruned", core::SimilarityMeasure::kJaccard);
+  // Feature 0's run is 530 postings (9 blocks); the light-node tail is
+  // hopeless once the 25-deep threshold holds the heavy nodes' scores.
+#ifndef QATK_NO_METRICS
+  EXPECT_GE(blocks_delta, 5u) << "pruning never skipped a block";
+  EXPECT_LT(pruned_read, unpruned_read)
+      << "pruning scanned as much as the full sweep";
+#else
+  (void)blocks_delta;
+  (void)pruned_read;
+  (void)unpruned_read;
+#endif
+  ExpectTriEquivalent(knowledge, index, &scratch, "P0", probe, 25);
+}
+
+// ---------------------------------------------------------------------------
+// Block upper-bound admissibility (the property the skip rule leans on).
+// ---------------------------------------------------------------------------
+
+/// For every measure: over randomized count vectors, no achievable score
+/// (any |B| in the block's [nb_lo, nb_hi] range, any shared count up to
+/// min(cap, |A|, |B|)) exceeds the freeze-time bound.
+TEST(SimilarityUpperBoundTest, AdmissibleOverRandomizedCountVectors) {
+  Rng rng(0xB0B5EEDULL);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const size_t na = rng.NextBounded(41);
+    const size_t lo_raw = rng.NextBounded(41);
+    const size_t hi = lo_raw + rng.NextBounded(41 - lo_raw);
+    const size_t lo = lo_raw;
+    const size_t cap = rng.NextBounded(41);
+    const size_t nb = lo + rng.NextBounded(hi - lo + 1);
+    const size_t shared =
+        rng.NextBounded(std::min({cap, na, nb}) + 1);
+    for (core::SimilarityMeasure measure : kAllMeasures) {
+      const double score =
+          core::SimilarityFromCounts(measure, shared, na, nb);
+      const double bound =
+          core::SimilarityUpperBound(measure, cap, na, lo, hi);
+      ASSERT_LE(score, bound)
+          << "inadmissible bound, measure="
+          << core::SimilarityMeasureToString(measure) << " na=" << na
+          << " nb=" << nb << " in [" << lo << "," << hi << "]"
+          << " shared=" << shared << " cap=" << cap;
+    }
+  }
+}
+
+/// The bound is tight at its maximizing point: some achievable score equals
+/// it bit-for-bit (it is computed by the same kernel), so it cannot be
+/// loosened away from the skip threshold by rounding.
+TEST(SimilarityUpperBoundTest, BoundIsAchievedAtTheMaximizingPoint) {
+  Rng rng(0x7157EEDULL);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const size_t na = 1 + rng.NextBounded(30);
+    const size_t lo = rng.NextBounded(31);
+    const size_t hi = lo + rng.NextBounded(31 - std::min<size_t>(lo, 30));
+    const size_t cap = 1 + rng.NextBounded(30);
+    for (core::SimilarityMeasure measure : kAllMeasures) {
+      const double bound =
+          core::SimilarityUpperBound(measure, cap, na, lo, hi);
+      const size_t c0 = std::min(cap, na);
+      const size_t nb = std::min(std::max(c0, lo), hi);
+      const double achieved = core::SimilarityFromCounts(
+          measure, std::min(c0, nb), na, nb);
+      ASSERT_EQ(0, std::memcmp(&bound, &achieved, sizeof(double)));
+    }
+  }
+}
+
+/// Mutation check: deliberately-too-tight bounds MUST be caught by the same
+/// sweep the admissibility test runs. Two classic wrong derivations — (a)
+/// evaluating the bound only at nb_hi (ignoring that the score peaks at
+/// |B| = min(cap, |A|), not at the range edge) and (b) shaving the shared
+/// cap by one — each violate admissibility somewhere in the sweep. If this
+/// test ever fails, the admissibility sweep has lost its teeth.
+TEST(SimilarityUpperBoundTest, TooTightBoundsAreCaughtByTheSweep) {
+  Rng rng(0xDEADB0B5ULL);
+  size_t violations_nb_hi[4] = {0, 0, 0, 0};
+  size_t violations_cap_minus_1[4] = {0, 0, 0, 0};
+  for (int trial = 0; trial < 20000; ++trial) {
+    const size_t na = 1 + rng.NextBounded(40);
+    const size_t lo = rng.NextBounded(41);
+    const size_t hi = lo + rng.NextBounded(41 - std::min<size_t>(lo, 40));
+    const size_t cap = 1 + rng.NextBounded(40);
+    const size_t nb = lo + rng.NextBounded(hi - lo + 1);
+    const size_t shared = rng.NextBounded(std::min({cap, na, nb}) + 1);
+    for (size_t m = 0; m < 4; ++m) {
+      const core::SimilarityMeasure measure = kAllMeasures[m];
+      const double score =
+          core::SimilarityFromCounts(measure, shared, na, nb);
+      // Mutant (a): bound evaluated at the nb_hi edge only.
+      const size_t c0 = std::min(cap, na);
+      const double at_hi_only = core::SimilarityFromCounts(
+          measure, std::min(c0, hi), na, hi);
+      if (score > at_hi_only) ++violations_nb_hi[m];
+      // Mutant (b): cap understated by one.
+      const double cap_shaved =
+          core::SimilarityUpperBound(measure, cap - 1, na, lo, hi);
+      if (score > cap_shaved) ++violations_cap_minus_1[m];
+    }
+  }
+  for (size_t m = 0; m < 4; ++m) {
+    EXPECT_GT(violations_nb_hi[m], 0u)
+        << "nb_hi-only mutant went undetected for "
+        << core::SimilarityMeasureToString(kAllMeasures[m]);
+    EXPECT_GT(violations_cap_minus_1[m], 0u)
+        << "cap-1 mutant went undetected for "
+        << core::SimilarityMeasureToString(kAllMeasures[m]);
+  }
+}
+
+}  // namespace
+}  // namespace qatk
